@@ -1,0 +1,248 @@
+(* Benchmark and reproduction harness.
+
+   `dune exec bench/main.exe` regenerates every table and figure:
+     table1       — the paper's Table 1 example execution (checked replay)
+     figure1      — the paper's Figure 1 advancement time diagram (measured)
+     invariants   — E3: §6.2 properties under random load
+     staleness    — E4: §8 staleness bounds and sweep
+     comparison   — E5: AVA3 vs the §9 baseline protocols
+     movetofuture — E6: §4 moveToFuture cost, §10 piggyback ablation
+     centralized  — E7: §7 three vs four versions; sync-advancement aborts
+     serializability — Theorem 6.2 executable: histories replayed serially
+     ablations    — E8: optimisation flags one by one; version-indexed GC cost
+     scalability  — E9: advancement latency and messages vs cluster size
+     micro        — bechamel microbenchmarks of the core operations
+
+   Pass one of those names as the single argument to run it alone. *)
+
+open Bechamel
+open Toolkit
+
+(* ------------------------------------------------------------------ *)
+(* Microbenchmarks: the primitive operations whose cost the paper
+   argues about (latched counters, version lookups, moveToFuture).     *)
+(* ------------------------------------------------------------------ *)
+
+let bench_latch =
+  let latch = Lockmgr.Latch.create "bench" in
+  let cell = ref 0 in
+  Test.make ~name:"latched counter incr+decr"
+    (Staged.stage (fun () ->
+         Lockmgr.Latch.incr_protected latch cell;
+         Lockmgr.Latch.decr_protected latch cell))
+
+let bench_store_read =
+  let store : int Vstore.Store.t = Vstore.Store.create ~bound:3 () in
+  Vstore.Store.write store "x" 0 1;
+  Vstore.Store.write store "x" 1 2;
+  Vstore.Store.write store "x" 2 3;
+  Test.make ~name:"vstore read_le (3 live versions)"
+    (Staged.stage (fun () -> ignore (Vstore.Store.read_le store "x" 1)))
+
+let bench_store_write =
+  let store : int Vstore.Store.t = Vstore.Store.create ~bound:3 () in
+  let i = ref 0 in
+  Test.make ~name:"vstore write (overwrite same version)"
+    (Staged.stage (fun () ->
+         incr i;
+         Vstore.Store.write store "x" 0 !i))
+
+let bench_mvcc_chain_read =
+  let store : int Vstore.Store.t = Vstore.Store.create () in
+  for v = 0 to 63 do
+    Vstore.Store.write store "x" v v
+  done;
+  Test.make ~name:"vstore read_le (64-version MVCC chain)"
+    (Staged.stage (fun () -> ignore (Vstore.Store.read_le store "x" 0)))
+
+let bench_zipf =
+  let z = Workload.Zipf.create ~n:10_000 ~theta:0.9 in
+  let rng = Sim.Rng.create 5L in
+  Test.make ~name:"zipf sample (10k items)"
+    (Staged.stage (fun () -> ignore (Workload.Zipf.sample z rng)))
+
+(* moveToFuture cost under both recovery schemes, 8 touched items. *)
+let mtf_once kind =
+  let store : int Vstore.Store.t = Vstore.Store.create ~bound:3 () in
+  let log = Wal.Log.create () in
+  let scheme = Wal.Scheme.create kind ~store ~log in
+  for i = 0 to 7 do
+    Vstore.Store.write store (Printf.sprintf "k%d" i) 0 i
+  done;
+  let session = Wal.Scheme.begin_session scheme ~txn:1 ~version:1 in
+  for i = 0 to 7 do
+    Wal.Scheme.write scheme session (Printf.sprintf "k%d" i) (Some (i * 10))
+  done;
+  Wal.Scheme.move_to_future scheme session ~new_version:2;
+  Wal.Scheme.commit scheme session ~final_version:2
+
+let bench_mtf_no_undo =
+  Test.make ~name:"moveToFuture no-undo (8 writes, incl. setup)"
+    (Staged.stage (fun () -> mtf_once Wal.Scheme.No_undo))
+
+let bench_mtf_undo_redo =
+  Test.make ~name:"moveToFuture undo-redo (8 writes, incl. setup)"
+    (Staged.stage (fun () -> mtf_once Wal.Scheme.Undo_redo))
+
+let bench_centralized_txn =
+  Test.make ~name:"centralized update transaction (sim end-to-end)"
+    (Staged.stage (fun () ->
+         let engine = Sim.Engine.create ~trace:false () in
+         let db : int Ava3.Centralized.t =
+           Ava3.Centralized.create ~engine
+             ~config:
+               {
+                 Ava3.Config.default with
+                 read_service_time = 0.0;
+                 write_service_time = 0.0;
+               }
+             ()
+         in
+         Ava3.Centralized.load db [ ("x", 0) ];
+         Sim.Engine.spawn engine (fun () ->
+             ignore (Ava3.Centralized.run_update db ~ops:[ Write ("x", 1) ]));
+         Sim.Engine.run engine))
+
+let micro_tests =
+  Test.make_grouped ~name:"micro" ~fmt:"%s %s"
+    [
+      bench_latch;
+      bench_store_read;
+      bench_store_write;
+      bench_mvcc_chain_read;
+      bench_zipf;
+      bench_mtf_no_undo;
+      bench_mtf_undo_redo;
+      bench_centralized_txn;
+    ]
+
+let run_micro () =
+  print_endline "\n== microbenchmarks (bechamel, monotonic clock) ==";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg instances micro_tests in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let ns =
+          match Analyze.OLS.estimates ols with
+          | Some [ e ] -> Printf.sprintf "%.1f" e
+          | _ -> "n/a"
+        in
+        [ name; ns ] :: acc)
+      results []
+    |> List.sort compare
+  in
+  print_string
+    (Dbsim.Report.render ~header:[ "operation"; "ns/run" ] ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Paper artifacts                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () =
+  print_endline "\n== Table 1: example execution (paper §5), replayed ==";
+  let r = Dbsim.Table1.run () in
+  print_string (Dbsim.Table1.render r);
+  (match r.Dbsim.Table1.violations with
+  | [] -> print_endline "table 1: all checks passed"
+  | vs ->
+      List.iter (Printf.printf "table 1 VIOLATION: %s\n") vs;
+      exit 1);
+  (* The same execution under the in-place recovery scheme. *)
+  let r2 = Dbsim.Table1.run ~scheme:Wal.Scheme.Undo_redo () in
+  match r2.Dbsim.Table1.violations with
+  | [] -> print_endline "table 1 (undo-redo scheme): all checks passed"
+  | vs ->
+      List.iter (Printf.printf "table 1 undo-redo VIOLATION: %s\n") vs;
+      exit 1
+
+let run_figure1 () =
+  print_endline "\n== Figure 1: version-advancement time diagram (paper §8) ==";
+  let f = Dbsim.Figure1.run () in
+  print_string (Dbsim.Figure1.render f);
+  (match f.Dbsim.Figure1.violations with
+  | [] -> print_endline "figure 1: all checks passed"
+  | vs ->
+      List.iter (Printf.printf "figure 1 VIOLATION: %s\n") vs;
+      exit 1);
+  print_endline "\n-- with the §8 eager counter hand-off --";
+  let fe = Dbsim.Figure1.run ~eager_handoff:true () in
+  print_string (Dbsim.Figure1.render fe);
+  match fe.Dbsim.Figure1.violations with
+  | [] -> print_endline "figure 1 (eager hand-off): all checks passed"
+  | vs ->
+      List.iter (Printf.printf "figure 1 eager VIOLATION: %s\n") vs;
+      exit 1
+
+let run_serializability () =
+  print_endline
+    "\n== Theorem 6.2, executable: record histories, replay the claimed \
+     serial order ==";
+  let rows =
+    List.map
+      (fun seed ->
+        let v = Dbsim.Serial_check.check ~seed:(Int64.of_int seed) () in
+        [
+          string_of_int seed;
+          string_of_int v.Dbsim.Serial_check.transactions_checked;
+          string_of_int v.Dbsim.Serial_check.queries_checked;
+          (match v.Dbsim.Serial_check.errors with
+          | [] -> "serializable"
+          | e :: _ -> "ANOMALY: " ^ e);
+        ])
+      [ 1; 2; 3; 4; 5 ]
+  in
+  print_string
+    (Dbsim.Report.render
+       ~header:[ "seed"; "transactions"; "queries"; "verdict" ]
+       ~rows);
+  if
+    List.exists
+      (fun row -> match row with [ _; _; _; v ] -> v <> "serializable" | _ -> true)
+      rows
+  then exit 1
+
+let run_ablations () =
+  Dbsim.Experiment.print_ablations ();
+  Dbsim.Experiment.print_tree_vs_flat ()
+
+let experiments =
+  [
+    ("table1", run_table1);
+    ("figure1", run_figure1);
+    ("invariants", Dbsim.Experiment.print_invariants);
+    ("staleness", Dbsim.Experiment.print_staleness);
+    ("comparison", Dbsim.Experiment.print_comparison);
+    ("movetofuture", Dbsim.Experiment.print_move_to_future);
+    ("centralized", Dbsim.Experiment.print_centralized);
+    ("serializability", run_serializability);
+    ("ablations", run_ablations);
+    ("scalability", Dbsim.Experiment.print_scalability);
+    ("micro", run_micro);
+  ]
+
+let () =
+  match Sys.argv with
+  | [| _ |] ->
+      List.iter
+        (fun (name, run) ->
+          Printf.printf "\n###### %s ######\n%!" name;
+          run ())
+        experiments
+  | [| _; name |] -> (
+      match List.assoc_opt name experiments with
+      | Some run -> run ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available: %s\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+  | _ ->
+      Printf.eprintf "usage: %s [experiment]\n" Sys.argv.(0);
+      exit 2

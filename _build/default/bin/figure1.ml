@@ -1,0 +1,13 @@
+(* Measure and print the paper's Figure 1 version-advancement time diagram.
+   Pass --eager to enable the §8 eager counter hand-off.
+   Exit status 1 if any bound check fails. *)
+
+let () =
+  let eager = Array.length Sys.argv > 1 && Sys.argv.(1) = "--eager" in
+  let r = Dbsim.Figure1.run ~eager_handoff:eager () in
+  print_string (Dbsim.Figure1.render r);
+  match r.Dbsim.Figure1.violations with
+  | [] -> print_endline "all Figure 1 checks passed"
+  | vs ->
+      List.iter (Printf.printf "VIOLATION: %s\n") vs;
+      exit 1

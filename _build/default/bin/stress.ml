@@ -1,0 +1,198 @@
+(* stress — randomized protocol stress with livelock and invariant checks.
+
+   Runs many seeds of a randomized mixed workload (updates, queries,
+   advancements from random coordinators, optional crashes, optionally the
+   tree executor) and fails loudly on: an exception, a §6.2 invariant
+   violation, or a livelock (events still pending far beyond the workload
+   horizon).  This is the tool that caught the premature-GC and
+   cross-node-deadlock bugs during development; it runs in CI spirit:
+   `dune exec bin/stress.exe -- --seeds 500`.  *)
+
+module Cluster = Ava3.Cluster
+module Update = Ava3.Update_exec
+
+let run_one ~seed ~nodes ~crashes ~partitions ~use_tree =
+  let engine = Sim.Engine.create ~seed:(Int64.of_int seed) ~trace:false () in
+  let config =
+    {
+      Ava3.Config.default with
+      scheme = (if seed mod 2 = 0 then Wal.Scheme.No_undo else Wal.Scheme.Undo_redo);
+      eager_counter_handoff = seed mod 3 = 0;
+      piggyback_version = seed mod 5 = 0;
+      root_only_query_counters = seed mod 7 = 0;
+      shared_transaction_counters = seed mod 11 = 0;
+      gc_renumber = seed mod 13 <> 0;
+      read_service_time = 0.3;
+      write_service_time = 0.5;
+      advancement_retry = 50.0;
+    }
+  in
+  let db : int Cluster.t = Cluster.create ~engine ~config ~nodes () in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  for n = 0 to nodes - 1 do
+    Cluster.load db ~node:n
+      (List.init 12 (fun i -> (Printf.sprintf "n%d-k%d" n i, i)))
+  done;
+  let key n = Printf.sprintf "n%d-k%d" n (Sim.Rng.int rng 12) in
+  let horizon = 400.0 in
+  (* Updates. *)
+  for _ = 1 to 25 do
+    let delay = Sim.Rng.float rng horizon in
+    Sim.Engine.schedule engine ~delay (fun () ->
+        let root = Sim.Rng.int rng nodes in
+        let mk _ =
+          let n = Sim.Rng.int rng nodes in
+          if Sim.Rng.bool rng then
+            Workload.Db_intf.Write { node = n; key = key n; value = Sim.Rng.int rng 1000 }
+          else Workload.Db_intf.Read { node = n; key = key n }
+        in
+        let ops =
+          List.init (1 + Sim.Rng.int rng 4) (fun i ->
+              match mk i with
+              | Workload.Db_intf.Write { node; key; value } ->
+                  Update.Write { node; key; value }
+              | Workload.Db_intf.Read { node; key } -> Update.Read { node; key })
+        in
+        ignore (Cluster.run_update_with_retry db ~root ~ops ()))
+  done;
+  (* Tree transactions (explicit), when enabled. *)
+  if use_tree then
+    for _ = 1 to 10 do
+      let delay = Sim.Rng.float rng horizon in
+      Sim.Engine.schedule engine ~delay (fun () ->
+          let root = Sim.Rng.int rng nodes in
+          let children =
+            List.filteri (fun i _ -> i <> root) (List.init nodes (fun i -> i))
+            |> List.filter (fun _ -> Sim.Rng.bool rng)
+            |> List.map (fun n ->
+                   {
+                     Ava3.Tree_txn.at = n;
+                     work = [ Ava3.Tree_txn.Write (key n, Sim.Rng.int rng 1000) ];
+                     children = [];
+                   })
+          in
+          let plan =
+            { Ava3.Tree_txn.at = root; work = [ Ava3.Tree_txn.Read (key root) ]; children }
+          in
+          ignore (Cluster.run_tree_update db ~plan))
+    done;
+  (* Queries. *)
+  for _ = 1 to 20 do
+    let delay = Sim.Rng.float rng horizon in
+    Sim.Engine.schedule engine ~delay (fun () ->
+        let root = Sim.Rng.int rng nodes in
+        let reads =
+          List.init (1 + Sim.Rng.int rng 5) (fun _ ->
+              let n = Sim.Rng.int rng nodes in
+              (n, key n))
+        in
+        try ignore (Cluster.run_query db ~root ~reads)
+        with Net.Network.Node_down _ -> ())
+  done;
+  (* Advancements from random coordinators. *)
+  for _ = 1 to 5 do
+    let delay = Sim.Rng.float rng horizon in
+    let k = Sim.Rng.int rng nodes in
+    Sim.Engine.schedule engine ~delay (fun () ->
+        ignore (Cluster.advance db ~coordinator:k))
+  done;
+  (* Crash/recover cycles. *)
+  if crashes then begin
+    let victim = Sim.Rng.int rng nodes in
+    let at = Sim.Rng.float rng (horizon /. 2.0) in
+    Sim.Engine.schedule engine ~delay:at (fun () -> Cluster.crash db ~node:victim);
+    Sim.Engine.schedule engine ~delay:(at +. 60.0) (fun () ->
+        Cluster.recover db ~node:victim);
+    Sim.Engine.schedule engine ~delay:(at +. 120.0) (fun () ->
+        ignore (Cluster.advance db ~coordinator:((victim + 1) mod nodes)))
+  end;
+  (* Network partitions: cut a random directed pair both ways, heal later. *)
+  if partitions then begin
+    let a = Sim.Rng.int rng nodes in
+    let b = (a + 1 + Sim.Rng.int rng (nodes - 1)) mod nodes in
+    let at = Sim.Rng.float rng (horizon /. 2.0) in
+    let net = Cluster.network db in
+    Sim.Engine.schedule engine ~delay:at (fun () ->
+        Net.Network.set_link_down net ~src:a ~dst:b true;
+        Net.Network.set_link_down net ~src:b ~dst:a true);
+    Sim.Engine.schedule engine ~delay:(at +. 80.0) (fun () ->
+        Net.Network.set_link_down net ~src:a ~dst:b false;
+        Net.Network.set_link_down net ~src:b ~dst:a false);
+    Sim.Engine.schedule engine ~delay:(at +. 160.0) (fun () ->
+        ignore (Cluster.advance db ~coordinator:a))
+  end;
+  (* Invariant probes. *)
+  let violations = ref [] in
+  for _ = 1 to 10 do
+    let delay = Sim.Rng.float rng (horizon +. 100.0) in
+    Sim.Engine.schedule engine ~delay (fun () ->
+        violations := Cluster.check_invariants db @ !violations)
+  done;
+  (* Livelock detection: the run must drain well before this wall. *)
+  let wall = 50_000.0 in
+  Sim.Engine.run ~until:wall engine;
+  let pending = Sim.Engine.pending_events engine in
+  violations := Cluster.check_invariants db @ !violations;
+  if pending > 0 then begin
+    let buf = Buffer.create 256 in
+    Buffer.add_string buf
+      (Printf.sprintf "livelock: %d events still pending at t=%.0f;" pending wall);
+    for n = 0 to nodes - 1 do
+      let nd = Cluster.node db n in
+      Buffer.add_string buf
+        (Printf.sprintf " node%d{u=%d q=%d g=%d upd=%d qry(q)=%d wait=%d}" n
+           (Ava3.Node_state.u nd) (Ava3.Node_state.q nd) (Ava3.Node_state.g nd)
+           (Ava3.Node_state.active_update_transactions nd)
+           (Ava3.Node_state.query_count nd ~version:(Ava3.Node_state.q nd))
+           (Lockmgr.Lock_table.waiting_requests (Ava3.Node_state.locks nd)))
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf " in_progress=%b" (Cluster.advancement_in_progress db));
+    Error (Buffer.contents buf)
+  end
+  else if !violations <> [] then
+    Error (Printf.sprintf "invariant violations: %s" (String.concat "; " !violations))
+  else Ok ()
+
+let () =
+  let seeds = ref 200 and from = ref 1 and verbose = ref false in
+  let spec =
+    [
+      ("--seeds", Arg.Set_int seeds, "number of seeds to run (default 200)");
+      ("--from", Arg.Set_int from, "first seed (default 1)");
+      ("-v", Arg.Set verbose, "print each seed");
+    ]
+  in
+  Arg.parse spec (fun _ -> ()) "stress [--seeds N] [--from S]";
+  let failures = ref 0 in
+  for seed = !from to !from + !seeds - 1 do
+    List.iter
+      (fun (nodes, crashes, partitions, use_tree) ->
+        if !verbose then
+          Printf.printf "seed %d nodes %d crashes %b partitions %b tree %b\n%!"
+            seed nodes crashes partitions use_tree;
+        match run_one ~seed ~nodes ~crashes ~partitions ~use_tree with
+        | Ok () -> ()
+        | Error msg ->
+            incr failures;
+            Printf.printf
+              "FAIL seed=%d nodes=%d crashes=%b partitions=%b tree=%b: %s\n%!"
+              seed nodes crashes partitions use_tree msg
+        | exception e ->
+            incr failures;
+            Printf.printf
+              "EXCEPTION seed=%d nodes=%d crashes=%b partitions=%b tree=%b: %s\n%!"
+              seed nodes crashes partitions use_tree (Printexc.to_string e))
+      [
+        (2, false, false, false);
+        (3, true, false, false);
+        (4, false, false, true);
+        (3, false, true, false);
+      ]
+  done;
+  if !failures = 0 then
+    Printf.printf "stress: %d seeds x 4 configurations clean\n" !seeds
+  else begin
+    Printf.printf "stress: %d failures\n" !failures;
+    exit 1
+  end

@@ -1,0 +1,16 @@
+(* Replay the paper's Table 1 example execution and print it.
+   Exit status 1 if any check against the paper's behaviour fails. *)
+
+let () =
+  let scheme =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "--undo-redo" then
+      Wal.Scheme.Undo_redo
+    else Wal.Scheme.No_undo
+  in
+  let r = Dbsim.Table1.run ~scheme () in
+  print_string (Dbsim.Table1.render r);
+  match r.Dbsim.Table1.violations with
+  | [] -> print_endline "\nall Table 1 checks passed"
+  | vs ->
+      List.iter (Printf.printf "VIOLATION: %s\n") vs;
+      exit 1

@@ -1,0 +1,1 @@
+examples/call_records.ml: Ava3 List Net Option Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/credit_card.ml: Baseline Driver Histogram List Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/credit_card.mli:

@@ -1,0 +1,1 @@
+examples/manual_versioning.ml: Ava3 Hashtbl List Printf Sim Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Ava3 Format List Option Printf Sim

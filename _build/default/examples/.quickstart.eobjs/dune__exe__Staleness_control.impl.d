@@ -1,0 +1,1 @@
+examples/staleness_control.ml: Ava3 Baseline List Option Printf Sim Workload

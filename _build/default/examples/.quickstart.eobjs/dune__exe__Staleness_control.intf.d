@@ -1,0 +1,1 @@
+examples/staleness_control.mli:

@@ -1,0 +1,1 @@
+examples/warehouse_orders.ml: Ava3 List Net Option Printf Sim Workload

@@ -1,0 +1,100 @@
+(* Credit-card processing — the paper's second motivating application.
+
+   Authorizations are short, latency-critical update transactions; fraud
+   analytics are long scans over many accounts.  The example runs the same
+   workload on AVA3 and on the unbounded-MVCC baseline and contrasts the
+   paper's trade-off (§9):
+
+   - both decouple the analytics scan from authorizations,
+   - MVCC analytics read the freshest data but version chains grow behind
+     the long scan,
+   - AVA3 reads a slightly stale snapshot but never keeps more than three
+     versions of any account.
+
+   Run with: dune exec examples/credit_card.exe *)
+
+let nodes = 3
+let accounts_per_node = 60
+let run_for = 3000.0
+
+let account_key n a = Printf.sprintf "acct-%d-%03d" n a
+
+let spec =
+  {
+    Workload.Driver.default_spec with
+    duration = run_for;
+    update_rate = 0.4;
+    (* authorizations *)
+    query_rate = 0.05;
+    (* balance checks *)
+    ops_per_update = (1, 3);
+    reads_per_query = (1, 3);
+    remote_fraction = 0.2;
+    long_query_period = 250.0;
+    (* fraud analytics: scan 120 accounts *)
+    long_query_reads = 120;
+  }
+
+let run_protocol (type db) name (module Db : Workload.Db_intf.DB with type t = db)
+    (make : Sim.Engine.t -> db)
+    (load : db -> node:int -> (string * int) list -> unit) =
+  let engine = Sim.Engine.create ~seed:1234L ~trace:false () in
+  let db = make engine in
+  let ks =
+    Workload.Keyspace.create ~nodes ~keys_per_node:accounts_per_node ~theta:0.8
+  in
+  for n = 0 to nodes - 1 do
+    load db ~node:n
+      (List.init accounts_per_node (fun a -> (account_key n a, 1000)))
+  done;
+  (* The generated keyspace uses its own names; preload those too. *)
+  for n = 0 to nodes - 1 do
+    load db ~node:n
+      (List.map (fun k -> (k, 1000)) (Workload.Keyspace.all_keys ks ~node:n))
+  done;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let report = Workload.Driver.run (module Db) db ~engine ~rng ~keyspace:ks ~spec in
+  let open Workload in
+  Printf.printf
+    "%-16s auth p95 %6.2f | analytics p95 %7.2f (%d failed) | staleness mean      %6.1f | max versions %2d\n"
+    name
+    (Histogram.percentile report.Driver.update_latency 0.95)
+    (Histogram.percentile report.Driver.long_query_latency 0.95)
+    report.Driver.queries_failed
+    (Histogram.mean report.Driver.staleness)
+    (Db.max_versions_ever db);
+  report
+
+let () =
+  Printf.printf
+    "credit-card processing: authorizations + fraud analytics (%d nodes, %.0f \
+     time units)\n\n"
+    nodes run_for;
+  let _ =
+    run_protocol "ava3"
+      (module Baseline.Ava3_db)
+      (fun engine ->
+        Baseline.Ava3_db.create ~engine ~advancement_period:100.0
+          ~advancement_until:run_for ~nodes ())
+      Baseline.Ava3_db.load
+  in
+  let _ =
+    run_protocol "mvcc-unbounded"
+      (module Baseline.Mvcc)
+      (fun engine -> Baseline.Mvcc.create ~engine ~nodes ())
+      Baseline.Mvcc.load
+  in
+  let _ =
+    run_protocol "s2pl"
+      (module Baseline.S2pl)
+      (fun engine -> Baseline.S2pl.create ~engine ~nodes ())
+      Baseline.S2pl.load
+  in
+  print_newline ();
+  print_endline
+    "reading guide: AVA3 and MVCC both keep authorizations fast while the";
+  print_endline
+    "fraud scan runs; S2PL's scan blocks behind writers (and vice versa).";
+  print_endline
+    "MVCC grows version chains behind the scan; AVA3 caps them at three at";
+  print_endline "the price of analytics reading a slightly stale snapshot."

@@ -1,0 +1,1 @@
+lib/baseline/ava3_db.ml: Ava3 Hashtbl List Net Option Sim Workload

@@ -1,0 +1,1 @@
+lib/baseline/ava3_db.mli: Ava3 Net Sim Workload

@@ -1,0 +1,1 @@
+lib/baseline/common.ml: Sim Workload

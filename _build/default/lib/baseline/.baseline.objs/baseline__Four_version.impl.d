@@ -1,0 +1,1 @@
+lib/baseline/four_version.ml: Ava3 List Net Sim Wal Workload

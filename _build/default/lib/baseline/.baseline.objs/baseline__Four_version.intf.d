@@ -1,0 +1,1 @@
+lib/baseline/four_version.mli: Ava3 Net Sim Wal Workload

@@ -1,0 +1,1 @@
+lib/baseline/mvcc.ml: Array Common Hashtbl List Lockmgr Net Sim Vstore Workload

@@ -1,0 +1,1 @@
+lib/baseline/mvcc.mli: Net Sim Workload

@@ -1,0 +1,1 @@
+lib/baseline/s2pl.ml: Array Common Hashtbl List Lockmgr Net Sim Workload

@@ -1,0 +1,1 @@
+lib/baseline/s2pl.mli: Net Sim Workload

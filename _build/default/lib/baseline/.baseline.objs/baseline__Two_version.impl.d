@@ -1,0 +1,1 @@
+lib/baseline/two_version.ml: Array Common Hashtbl List Lockmgr Net Sim Workload

@@ -1,0 +1,1 @@
+lib/baseline/two_version.mli: Net Sim Workload

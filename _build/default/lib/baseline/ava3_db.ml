@@ -1,0 +1,99 @@
+type t = { db : int Ava3.Cluster.t; use_tree : bool }
+
+let name = "ava3"
+
+let create ~engine ?config ?latency ?(advancement_period = 100.0)
+    ?(advancement_until = 10_000.0) ?(use_tree = false) ~nodes () =
+  let db = Ava3.Cluster.create ~engine ?config ?latency ~nodes () in
+  if advancement_period > 0.0 then
+    Ava3.Cluster.start_periodic_advancement db ~coordinator:0
+      ~period:advancement_period ~until:advancement_until;
+  { db; use_tree }
+
+let cluster t = t.db
+let load t ~node items = Ava3.Cluster.load t.db ~node items
+let node_count t = Ava3.Cluster.node_count t.db
+
+let to_op = function
+  | Workload.Db_intf.Read { node; key } -> Ava3.Update_exec.Read { node; key }
+  | Workload.Db_intf.Write { node; key; value } ->
+      Ava3.Update_exec.Write { node; key; value }
+
+(* Build a one-level tree: the root's own operations plus one concurrent
+   child per remote node touched. *)
+let tree_plan ~root ops =
+  let to_step = function
+    | Workload.Db_intf.Read { key; _ } -> Ava3.Tree_txn.Read key
+    | Workload.Db_intf.Write { key; value; _ } -> Ava3.Tree_txn.Write (key, value)
+  in
+  let node_of = function
+    | Workload.Db_intf.Read { node; _ } | Workload.Db_intf.Write { node; _ } ->
+        node
+  in
+  let by_node = Hashtbl.create 4 in
+  List.iter
+    (fun op ->
+      let n = node_of op in
+      let steps = Option.value (Hashtbl.find_opt by_node n) ~default:[] in
+      Hashtbl.replace by_node n (to_step op :: steps))
+    ops;
+  let work =
+    List.rev (Option.value (Hashtbl.find_opt by_node root) ~default:[])
+  in
+  let children =
+    Hashtbl.fold
+      (fun n steps acc ->
+        if n = root then acc
+        else
+          { Ava3.Tree_txn.at = n; work = List.rev steps; children = [] } :: acc)
+      by_node []
+    |> List.sort (fun a b -> compare a.Ava3.Tree_txn.at b.Ava3.Tree_txn.at)
+  in
+  { Ava3.Tree_txn.at = root; work; children }
+
+let submit_update t ~root ~ops =
+  if t.use_tree then begin
+    let plan = tree_plan ~root ops in
+    let rec attempt n =
+      match Ava3.Cluster.run_tree_update t.db ~plan with
+      | Ava3.Tree_txn.Committed _ -> Workload.Db_intf.Committed
+      | Ava3.Tree_txn.Aborted _ when n < 10 ->
+          Sim.Engine.sleep 5.0;
+          attempt (n + 1)
+      | Ava3.Tree_txn.Aborted _ -> Workload.Db_intf.Aborted
+    in
+    attempt 1
+  end
+  else
+    match
+      Ava3.Cluster.run_update_with_retry t.db ~root ~ops:(List.map to_op ops) ()
+    with
+    | Ava3.Update_exec.Committed _, _ -> Workload.Db_intf.Committed
+    | Ava3.Update_exec.Aborted _, _ -> Workload.Db_intf.Aborted
+
+let submit_query t ~root ~reads =
+  match Ava3.Cluster.run_query t.db ~root ~reads with
+  | result ->
+      Some
+        {
+          Workload.Db_intf.q_latency =
+            result.Ava3.Query_exec.finished_at -. result.Ava3.Query_exec.started_at;
+          q_staleness = result.Ava3.Query_exec.staleness;
+        }
+  | exception Net.Network.Node_down _ -> None
+
+let max_versions_ever t = (Ava3.Cluster.stats t.db).Ava3.Cluster.max_versions_ever
+
+let extra_stats t =
+  let s = Ava3.Cluster.stats t.db in
+  [
+    ("commits", float_of_int s.Ava3.Cluster.commits);
+    ("aborts", float_of_int s.Ava3.Cluster.aborts);
+    ("advancements", float_of_int s.Ava3.Cluster.advancements);
+    ("mtf_data", float_of_int s.Ava3.Cluster.mtf_data_access);
+    ("mtf_commit", float_of_int s.Ava3.Cluster.mtf_commit_time);
+    ("lock_waits", float_of_int s.Ava3.Cluster.lock_waits);
+    ("lock_wait_time", s.Ava3.Cluster.lock_wait_time);
+    ("deadlocks", float_of_int s.Ava3.Cluster.deadlocks);
+    ("messages", float_of_int s.Ava3.Cluster.messages);
+  ]

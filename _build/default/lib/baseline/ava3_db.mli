@@ -1,0 +1,32 @@
+(** {!Workload.Db_intf.DB} adapter for the AVA3 cluster, so the protocol
+    under study runs the exact same generated workloads as the baselines.
+
+    Version advancement is driven by a periodic process (configured at
+    creation); query staleness comes from the cluster's freeze-time
+    bookkeeping. *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  ?config:Ava3.Config.t ->
+  ?latency:Net.Latency.t ->
+  ?advancement_period:float ->
+  ?advancement_until:float ->
+  ?use_tree:bool ->
+  nodes:int ->
+  unit ->
+  t
+(** [advancement_period] (default 100.0) drives periodic advancement from
+    node 0 until [advancement_until] (default 10_000.0).  Pass
+    [advancement_period = 0.] for manual advancement only.
+
+    [use_tree] (default false) executes update transactions through the
+    R*-style tree executor ({!Ava3.Tree_txn}) — the root's operations as its
+    own work and one concurrent child subtransaction per remote node —
+    instead of the flat executor. *)
+
+val cluster : t -> int Ava3.Cluster.t
+val load : t -> node:int -> (string * int) list -> unit
+
+include Workload.Db_intf.DB with type t := t

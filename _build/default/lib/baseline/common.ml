@@ -1,0 +1,18 @@
+let counter = ref 0
+
+let fresh_txn_id () =
+  incr counter;
+  !counter
+
+let retry ~max_attempts ~backoff attempt =
+  let rec go n =
+    match attempt () with
+    | `Committed -> Workload.Db_intf.Committed
+    | `Aborted ->
+        if n >= max_attempts then Workload.Db_intf.Aborted
+        else begin
+          Sim.Engine.sleep backoff;
+          go (n + 1)
+        end
+  in
+  go 1

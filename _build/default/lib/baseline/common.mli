@@ -1,0 +1,12 @@
+(** Shared plumbing for the baseline protocols. *)
+
+val fresh_txn_id : unit -> int
+(** Process-wide transaction id allocator for baselines (ids only need to be
+    unique within one engine run; a global counter is simplest). *)
+
+val retry :
+  max_attempts:int ->
+  backoff:float ->
+  (unit -> [ `Committed | `Aborted ]) ->
+  Workload.Db_intf.update_outcome
+(** Retry transient aborts with a fixed backoff, inside a process. *)

@@ -1,0 +1,39 @@
+(** Baseline: four-version transient versioning (MPL92/WYC91-flavoured).
+
+    Same substrate as AVA3 but with the two trade-offs the paper contrasts
+    against:
+
+    - {b Centralized trade}: one extra ("fourth") version is retained so
+      advancement's Phase 2 never waits for running queries — new queries
+      always get the freshest published version immediately.  AVA3 pays a
+      wait instead and needs only three versions.
+    - {b Distributed flaw}: version advancement is synchronous with user
+      transactions — there is no moveToFuture, so any transaction caught
+      straddling an advancement (a subtransaction version mismatch at data
+      access or commit) is {e aborted}.  The paper cites exactly this as why
+      MPL92's distributed extension violates non-interference.
+
+    Experiment E7 measures both: max resident versions (4 vs 3) and
+    advancement-induced aborts (positive vs zero). *)
+
+type t
+
+val create :
+  engine:Sim.Engine.t ->
+  ?scheme:Wal.Scheme.kind ->
+  ?latency:Net.Latency.t ->
+  ?read_service_time:float ->
+  ?write_service_time:float ->
+  ?advancement_period:float ->
+  ?advancement_until:float ->
+  nodes:int ->
+  unit ->
+  t
+
+val cluster : t -> int Ava3.Cluster.t
+val load : t -> node:int -> (string * int) list -> unit
+
+val mismatch_aborts : t -> int
+(** Transactions killed because they straddled a version advancement. *)
+
+include Workload.Db_intf.DB with type t := t

@@ -1,0 +1,1 @@
+lib/core/advancement.ml: Array Cluster_state Config Messages Net Node_state Printf Sim Vstore

@@ -1,0 +1,1 @@
+lib/core/advancement.mli: Cluster_state

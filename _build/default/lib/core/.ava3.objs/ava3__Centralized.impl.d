@@ -1,0 +1,1 @@
+lib/core/centralized.ml: Cluster List Net Update_exec

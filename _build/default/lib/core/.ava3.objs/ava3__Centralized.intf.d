@@ -1,0 +1,1 @@
+lib/core/centralized.mli: Cluster Config Node_state Query_exec Sim Update_exec

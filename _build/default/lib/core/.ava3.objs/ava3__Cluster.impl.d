@@ -1,0 +1,1 @@
+lib/core/cluster.ml: Advancement Array Cluster_state Config Format Invariant List Lockmgr Net Node_state Printf Query_exec Sim Tree_query Tree_txn Update_exec Vstore Wal

@@ -1,0 +1,1 @@
+lib/core/cluster.mli: Cluster_state Config Format Messages Net Node_state Query_exec Sim Tree_query Tree_txn Update_exec

@@ -1,0 +1,1 @@
+lib/core/cluster_state.ml: Array Config Hashtbl Lockmgr Messages Net Node_state Sim

@@ -1,0 +1,1 @@
+lib/core/invariant.ml: Array Cluster_state Config List Node_state Printf Vstore

@@ -1,0 +1,1 @@
+lib/core/node_state.ml: Format Hashtbl Lockmgr Printf Sim Vstore Wal

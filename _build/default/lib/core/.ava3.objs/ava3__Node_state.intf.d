@@ -1,0 +1,1 @@
+lib/core/node_state.mli: Format Lockmgr Sim Vstore Wal

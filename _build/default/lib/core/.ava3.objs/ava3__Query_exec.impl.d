@@ -1,0 +1,1 @@
+lib/core/query_exec.ml: Cluster_state Config Hashtbl List Net Node_state Printf Sim Vstore

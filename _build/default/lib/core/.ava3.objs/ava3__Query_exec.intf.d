@@ -1,0 +1,1 @@
+lib/core/query_exec.mli: Cluster_state

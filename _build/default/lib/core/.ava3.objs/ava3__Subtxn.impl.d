@@ -1,0 +1,1 @@
+lib/core/subtxn.ml: Cluster_state Config Lockmgr Node_state Printf Sim Vstore Wal

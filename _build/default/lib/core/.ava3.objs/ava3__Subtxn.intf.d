@@ -1,0 +1,1 @@
+lib/core/subtxn.mli: Cluster_state Node_state

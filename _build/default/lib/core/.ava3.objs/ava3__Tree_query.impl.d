@@ -1,0 +1,1 @@
+lib/core/tree_query.ml: Array Cluster_state Config Hashtbl List Net Node_state Printf Query_exec Sim Vstore

@@ -1,0 +1,1 @@
+lib/core/tree_query.mli: Cluster_state Query_exec

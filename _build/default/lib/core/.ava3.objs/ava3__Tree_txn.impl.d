@@ -1,0 +1,1 @@
+lib/core/tree_txn.ml: Array Cluster_state Config Hashtbl List Net Node_state Printf Sim Subtxn

@@ -1,0 +1,1 @@
+lib/core/tree_txn.mli: Cluster_state Subtxn

@@ -1,0 +1,1 @@
+lib/core/update_exec.ml: Cluster_state Config Hashtbl List Net Node_state Printf Sim Subtxn

@@ -1,0 +1,1 @@
+lib/core/update_exec.mli: Cluster_state Subtxn

@@ -1,0 +1,231 @@
+open Cluster_state
+
+let tag = "advance"
+
+(* Catch the node's garbage version up to [target], simulating the scan cost
+   of each collection round.  Also the Phase-1 inference rule: a node seeing
+   advance-u(newu) with g < newu - 3 may collect everything up to newu - 3. *)
+let catch_up_gc cs node ~target =
+  while Node_state.alive node && Node_state.g node < target do
+    let items = Vstore.Store.item_count (Node_state.store node) in
+    if cs.config.Config.gc_item_time > 0.0 && items > 0 then
+      Sim.Engine.sleep (float_of_int items *. cs.config.Config.gc_item_time);
+    Node_state.collect_garbage node ~newg:(Node_state.g node + 1);
+    note_version_change cs
+  done
+
+(* In the four-version baseline garbage collection trails one extra round. *)
+let gc_lag cs = if cs.config.Config.retain_extra_version then 1 else 0
+
+let handle_advance_u cs i ~src ~newu =
+  let nd = node cs i in
+  if Node_state.u nd <= newu then begin
+    catch_up_gc cs nd ~target:(newu - 3 - gc_lag cs);
+    if Node_state.u nd < newu then begin
+      Node_state.set_u nd newu;
+      emit cs ~tag (Printf.sprintf "node%d: u := %d" i newu);
+      note_version_change cs
+    end;
+    (* Wait for local update subtransactions that started on the previous
+       version to finish, then acknowledge to this message's coordinator. *)
+    Node_state.await_no_updates nd ~version:(newu - 1);
+    Net.Network.send cs.net ~src:i ~dst:src (Messages.Ack_advance_u { newu })
+  end
+
+let handle_advance_q cs i ~src ~newq =
+  let nd = node cs i in
+  if Node_state.q nd <= newq then begin
+    if Node_state.q nd < newq then begin
+      Node_state.set_q nd newq;
+      emit cs ~tag (Printf.sprintf "node%d: q := %d" i newq);
+      note_version_change cs
+    end;
+    (* Four-version baseline: the old query version survives one more round,
+       so Phase 2 need not wait for queries still reading it. *)
+    if not cs.config.Config.retain_extra_version then
+      Node_state.await_no_queries nd ~version:(newq - 1);
+    Net.Network.send cs.net ~src:i ~dst:src (Messages.Ack_advance_q { newq })
+  end
+
+let handle_garbage_collect cs i ~src ~newg =
+  ignore src;
+  let nd = node cs i in
+  (* Four-version baseline: collection trails one version behind, and must
+     wait for the stragglers still querying the version being collected. *)
+  let newg =
+    if cs.config.Config.retain_extra_version then newg - 1 else newg
+  in
+  if Node_state.g nd < newg then begin
+    if cs.config.Config.retain_extra_version then
+      Node_state.await_no_queries nd ~version:newg;
+    catch_up_gc cs nd ~target:newg;
+    emit cs ~tag (Printf.sprintf "node%d: collected version %d" i newg);
+    note_version_change cs
+  end
+
+let all_acked acks = Array.for_all (fun x -> x) acks
+
+let handle_ack_advance_u cs k ~src ~newu =
+  match cs.coords.(k) with
+  | Some c when c.c_phase = `Collect_u && c.c_newu = newu && not c.c_abandoned
+    ->
+      c.c_acks_u.(src) <- true;
+      if all_acked c.c_acks_u then begin
+        (* Version newu - 1 is now stable everywhere: no update transaction
+           will ever write it again. *)
+        freeze_version cs (newu - 1);
+        c.c_phase <- `Collect_q;
+        let newq = newu - 1 in
+        emit cs ~tag
+          (Printf.sprintf "node%d: phase 1 complete, advance-q(%d)" k newq);
+        Net.Network.broadcast cs.net ~src:k (Messages.Advance_q { newq })
+      end
+  | _ -> ()
+
+let handle_ack_advance_q cs k ~src ~newq =
+  match cs.coords.(k) with
+  | Some c
+    when c.c_phase = `Collect_q && c.c_newu = newq + 1 && not c.c_abandoned ->
+      c.c_acks_q.(src) <- true;
+      if all_acked c.c_acks_q then begin
+        cs.coords.(k) <- None;
+        cs.advancements_completed <- cs.advancements_completed + 1;
+        let newg = newq - 1 in
+        emit cs ~tag
+          (Printf.sprintf "node%d: phase 2 complete, garbage-collect(%d)" k
+             newg);
+        Net.Network.broadcast cs.net ~src:k (Messages.Garbage_collect { newg })
+      end
+  | _ -> ()
+
+(* Abandonment (paper §3.2, generalised): a coordinator stops its run when
+   a message shows another coordinator is a phase ahead in the same round,
+   or that the system has already moved to a later round.  Stale runs would
+   otherwise wait forever for acknowledgments that can no longer arrive. *)
+let maybe_abandon cs i ~src msg =
+  match cs.coords.(i) with
+  | Some c when not c.c_abandoned ->
+      let obsolete =
+        match msg with
+        | Messages.Advance_u { newu } -> newu > c.c_newu
+        | Messages.Advance_q { newq } ->
+            newq > c.c_newu - 1
+            || (src <> i && c.c_phase = `Collect_u && newq = c.c_newu - 1)
+        | Messages.Garbage_collect { newg } ->
+            newg > c.c_newu - 2
+            || (src <> i && c.c_phase = `Collect_q && newg = c.c_newu - 2)
+        | Messages.Ack_advance_u _ | Messages.Ack_advance_q _ -> false
+      in
+      if obsolete then begin
+        c.c_abandoned <- true;
+        cs.coords.(i) <- None;
+        emit cs ~tag
+          (Printf.sprintf "node%d: abandons coordination of round %d (node%d is ahead)"
+             i c.c_newu src)
+      end
+  | _ -> ()
+
+let handler cs i ~src msg =
+  maybe_abandon cs i ~src msg;
+  match msg with
+  | Messages.Advance_u { newu } -> handle_advance_u cs i ~src ~newu
+  | Messages.Ack_advance_u { newu } -> handle_ack_advance_u cs i ~src ~newu
+  | Messages.Advance_q { newq } -> handle_advance_q cs i ~src ~newq
+  | Messages.Ack_advance_q { newq } -> handle_ack_advance_q cs i ~src ~newq
+  | Messages.Garbage_collect { newg } -> handle_garbage_collect cs i ~src ~newg
+
+let install cs =
+  for i = 0 to node_count cs - 1 do
+    Net.Network.set_handler cs.net ~node:i (fun ~src msg -> handler cs i ~src msg)
+  done
+
+(* Coordinator retransmission: handlers are idempotent, so periodically
+   re-send the current phase's message to nodes that have not acknowledged.
+   Covers crashed-and-recovered participants (the paper assumes messages are
+   eventually delivered). *)
+let retransmit cs k ~newu =
+  let period = cs.config.Config.advancement_retry in
+  let rec loop () =
+    Sim.Engine.sleep period;
+    match cs.coords.(k) with
+    | Some c when c.c_newu = newu && not c.c_abandoned ->
+        let resend acks msg =
+          Array.iteri
+            (fun j acked ->
+              if not acked then Net.Network.send cs.net ~src:k ~dst:j msg)
+            acks
+        in
+        (match c.c_phase with
+        | `Collect_u -> resend c.c_acks_u (Messages.Advance_u { newu })
+        | `Collect_q ->
+            resend c.c_acks_q (Messages.Advance_q { newq = newu - 1 }));
+        loop ()
+    | _ -> ()
+  in
+  Sim.Engine.spawn cs.engine loop
+
+let start_round cs k ~newu =
+  let n = node_count cs in
+  cs.coords.(k) <-
+    Some
+      {
+        c_newu = newu;
+        c_phase = `Collect_u;
+        c_acks_u = Array.make n false;
+        c_acks_q = Array.make n false;
+        c_abandoned = false;
+      };
+  emit cs ~tag (Printf.sprintf "node%d: initiates advancement to u=%d" k newu);
+  Net.Network.broadcast cs.net ~src:k (Messages.Advance_u { newu });
+  retransmit cs k ~newu
+
+let initiate cs ~coordinator:k =
+  match cs.coords.(k) with
+  | Some _ -> `Busy
+  | None ->
+      let nd = node cs k in
+      let u = Node_state.u nd and q = Node_state.q nd and g = Node_state.g nd in
+      let lag = gc_lag cs in
+      let fresh =
+        if cs.config.Config.overlap_gc then u = q + 1
+        else u - g <= 2 + lag && u = q + 1
+      in
+      if fresh then begin
+        start_round cs k ~newu:(u + 1);
+        `Started (u + 1)
+      end
+      else if u = q + 2 || (u = q + 1 && u = g + 3 + lag) then begin
+        (* A previous round stalled (its coordinator crashed, or this node
+           missed the garbage-collect broadcast): re-run the whole round
+           idempotently with the same newu.  Local state alone cannot tell
+           "stalled" from "still in progress", but re-running is safe either
+           way — every phase re-waits its counters, so in particular Phase 3
+           cannot fire while old-version queries are still live. *)
+        start_round cs k ~newu:u;
+        `Started u
+      end
+      else `Busy
+
+let in_progress cs =
+  Array.exists (fun c -> c <> None) cs.coords
+  || Array.exists
+       (fun nd ->
+         Node_state.u nd <> Node_state.q nd + 1
+         || Node_state.g nd < Node_state.q nd - 1 - gc_lag cs)
+       cs.nodes
+
+let await_published cs ~newu =
+  Sim.Condition.await_until cs.state_changed ~pred:(fun () ->
+      Array.for_all
+        (fun nd ->
+          (not (Node_state.alive nd)) || Node_state.q nd >= newu - 1)
+        cs.nodes)
+
+let await_completion cs ~newu =
+  Sim.Condition.await_until cs.state_changed ~pred:(fun () ->
+      Array.for_all
+        (fun nd ->
+          (not (Node_state.alive nd))
+          || (Node_state.q nd >= newu - 1
+             && Node_state.g nd >= newu - 2 - gc_lag cs))
+        cs.nodes)

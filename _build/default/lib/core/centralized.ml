@@ -1,0 +1,35 @@
+type 'v t = 'v Cluster.t
+
+type 'v op =
+  | Read of string
+  | Write of string * 'v
+  | Read_modify_write of string * ('v option -> 'v)
+  | Delete of string
+  | Pause of float
+
+let create ~engine ?config () =
+  Cluster.create ~engine ?config ~latency:(Net.Latency.Constant 0.0) ~nodes:1 ()
+
+let cluster t = t
+let node t = Cluster.node t 0
+let load t items = Cluster.load t ~node:0 items
+
+let to_cluster_op = function
+  | Read key -> Update_exec.Read { node = 0; key }
+  | Write (key, value) -> Update_exec.Write { node = 0; key; value }
+  | Read_modify_write (key, f) -> Update_exec.Read_modify_write { node = 0; key; f }
+  | Delete key -> Update_exec.Delete { node = 0; key }
+  | Pause d -> Update_exec.Pause d
+
+let run_update t ~ops =
+  Cluster.run_update t ~root:0 ~ops:(List.map to_cluster_op ops)
+
+let run_query t ~keys =
+  Cluster.run_query t ~root:0 ~reads:(List.map (fun k -> (0, k)) keys)
+
+let run_scan t ~lo ~hi = Cluster.run_scan t ~root:0 ~ranges:[ (0, lo, hi) ]
+
+let advance t = Cluster.advance t ~coordinator:0
+let advance_and_wait t = Cluster.advance_and_wait t ~coordinator:0
+let stats t = Cluster.stats t
+let check_invariants t = Cluster.check_invariants t

@@ -1,0 +1,38 @@
+(** Centralized (single-site) AVA3 (paper §7).
+
+    With one node there is no distributed commitment: an update transaction
+    simply commits when it completes, and version advancement runs its three
+    phases locally.  Three versions still suffice — one fewer than the
+    four-version transient-versioning schemes (MPL92, WYC91) need for the
+    same non-interference guarantee, which experiment E7 demonstrates.
+
+    Implemented as a one-node {!Cluster} (loopback messages have zero
+    latency), with a key-based API that drops the node addressing. *)
+
+type 'v t
+
+type 'v op =
+  | Read of string
+  | Write of string * 'v
+  | Read_modify_write of string * ('v option -> 'v)
+  | Delete of string
+  | Pause of float
+
+val create : engine:Sim.Engine.t -> ?config:Config.t -> unit -> 'v t
+
+val cluster : 'v t -> 'v Cluster.t
+val node : 'v t -> 'v Node_state.t
+
+val load : 'v t -> (string * 'v) list -> unit
+
+val run_update : 'v t -> ops:'v op list -> 'v Update_exec.outcome
+val run_query : 'v t -> keys:string list -> 'v Query_exec.result
+
+val run_scan : 'v t -> lo:string -> hi:string -> 'v Query_exec.result
+(** Lock-free ordered range scan over the query snapshot. *)
+
+val advance : 'v t -> [ `Started of int | `Busy ]
+val advance_and_wait : 'v t -> [ `Completed of int | `Busy ]
+
+val stats : 'v t -> Cluster.stats
+val check_invariants : 'v t -> string list

@@ -1,0 +1,216 @@
+type 'v t = 'v Cluster_state.t
+
+let create ~engine ?(config = Config.default) ?latency ~nodes () =
+  let cs = Cluster_state.create ~engine ~config ~nodes ?latency () in
+  Advancement.install cs;
+  cs
+
+let engine (cs : _ t) = cs.Cluster_state.engine
+let config (cs : _ t) = cs.Cluster_state.config
+let node_count = Cluster_state.node_count
+let node = Cluster_state.node
+let network (cs : _ t) = cs.Cluster_state.net
+let state cs = cs
+
+let load cs ~node:i items =
+  let nd = Cluster_state.node cs i in
+  let store = Node_state.store nd in
+  (* Write through both the store and the log (as a synthetic committed
+     bootstrap transaction), so crash recovery can rebuild the preload. *)
+  let log = Node_state.log nd in
+  let txn = Node_state.fresh_txn_id nd in
+  Wal.Log.append log (Wal.Record.Begin { txn; version = 0 });
+  List.iter
+    (fun (key, value) ->
+      Vstore.Store.write store key 0 value;
+      Wal.Log.append log (Wal.Record.Update { txn; key; value = Some value }))
+    items;
+  Wal.Log.append log (Wal.Record.Commit { txn; final_version = 0 })
+
+let run_query cs ~root ~reads = Query_exec.run cs ~root ~reads
+let run_update cs ~root ~ops = Update_exec.run cs ~root ~ops
+let run_scan cs ~root ~ranges = Query_exec.run_scan cs ~root ~ranges
+let run_tree_update cs ~plan = Tree_txn.run cs ~plan
+let run_tree_query cs ~plan = Tree_query.run cs ~plan
+
+let run_update_with_retry cs ~root ~ops ?(max_attempts = 10) ?(backoff = 5.0) ()
+    =
+  let rec attempt n =
+    match Update_exec.run cs ~root ~ops with
+    | Update_exec.Committed _ as outcome -> (outcome, n)
+    | Update_exec.Aborted { reason = `Deadlock; _ } as outcome ->
+        if n >= max_attempts then (outcome, n)
+        else begin
+          Sim.Engine.sleep backoff;
+          attempt (n + 1)
+        end
+    | Update_exec.Aborted _ as outcome -> (outcome, n)
+  in
+  attempt 1
+
+let advance cs ~coordinator = Advancement.initiate cs ~coordinator
+let advancement_in_progress cs = Advancement.in_progress cs
+
+let advance_and_wait cs ~coordinator =
+  match Advancement.initiate cs ~coordinator with
+  | `Busy -> `Busy
+  | `Started newu ->
+      Advancement.await_completion cs ~newu;
+      `Completed newu
+
+let start_periodic_advancement cs ~coordinator ~period ~until =
+  let rec loop () =
+    Sim.Engine.sleep period;
+    if Sim.Engine.now cs.Cluster_state.engine <= until then begin
+      ignore (Advancement.initiate cs ~coordinator : [ `Started of int | `Busy ]);
+      loop ()
+    end
+  in
+  Sim.Engine.spawn cs.Cluster_state.engine loop
+
+(* §8 limiting mode: run advancements back to back — initiate, wait until
+   the new version is readable everywhere, immediately initiate again.
+   Pairs naturally with [Config.overlap_gc], which lets a round start while
+   the previous round's garbage collection is still draining. *)
+let start_continuous_advancement cs ~coordinator ~until =
+  let rec loop () =
+    if Sim.Engine.now cs.Cluster_state.engine < until then begin
+      (match Advancement.initiate cs ~coordinator with
+      | `Started newu -> Advancement.await_published cs ~newu
+      | `Busy -> Sim.Engine.sleep 1.0);
+      loop ()
+    end
+  in
+  Sim.Engine.spawn cs.Cluster_state.engine loop
+
+let checkpoint cs ~node:i =
+  let nd = Cluster_state.node cs i in
+  let ok = Node_state.try_checkpoint nd in
+  if ok then
+    Cluster_state.emit cs ~tag:"checkpoint"
+      (Printf.sprintf "node%d: checkpoint (log reset to %d records)" i
+         (Wal.Log.length (Node_state.log nd)));
+  ok
+
+(* Periodic quiescent checkpoints: each beat, try to checkpoint any node
+   whose log has grown past [min_log]; nodes busy with update transactions
+   are skipped and caught on a later beat. *)
+let start_periodic_checkpoints cs ~period ~until ?(min_log = 64) () =
+  let rec loop () =
+    Sim.Engine.sleep period;
+    if Sim.Engine.now cs.Cluster_state.engine <= until then begin
+      Array.iter
+        (fun nd ->
+          if
+            Node_state.alive nd
+            && Wal.Log.length (Node_state.log nd) >= min_log
+          then ignore (Node_state.try_checkpoint nd : bool))
+        cs.Cluster_state.nodes;
+      loop ()
+    end
+  in
+  Sim.Engine.spawn cs.Cluster_state.engine loop
+
+let crash cs ~node:i =
+  let nd = Cluster_state.node cs i in
+  Node_state.kill nd;
+  Net.Network.set_down cs.Cluster_state.net ~node:i true;
+  Cluster_state.emit cs ~tag:"crash" (Printf.sprintf "node%d: crashed" i)
+
+let recover cs ~node:i =
+  let old = Cluster_state.node cs i in
+  if Node_state.alive old then invalid_arg "Cluster.recover: node is not down";
+  let log = Node_state.log old in
+  let bound =
+    if cs.Cluster_state.config.Config.overlap_gc then None
+    else if cs.Cluster_state.config.Config.retain_extra_version then Some 4
+    else Some 3
+  in
+  let gc_renumber = cs.Cluster_state.config.Config.gc_renumber in
+  let store, versions =
+    match bound with
+    | Some b -> Wal.Recovery.replay log ~bound:b ~gc_renumber ()
+    | None -> Wal.Recovery.replay log ~gc_renumber ()
+  in
+  let fresh =
+    Node_state.create_recovered ~engine:cs.Cluster_state.engine ~node_id:i
+      ~scheme:cs.Cluster_state.config.Config.scheme
+      ~lock_group:cs.Cluster_state.lock_group
+      ~shared_counters:cs.Cluster_state.config.Config.shared_transaction_counters
+      ~bound ~log ~store
+      ~u:versions.Wal.Recovery.update_version
+      ~q:versions.Wal.Recovery.query_version
+      ~g:versions.Wal.Recovery.collected_version ()
+  in
+  cs.Cluster_state.nodes.(i) <- fresh;
+  Net.Network.set_down cs.Cluster_state.net ~node:i false;
+  Cluster_state.emit cs ~tag:"crash"
+    (Printf.sprintf "node%d: recovered (u=%d q=%d g=%d)" i
+       versions.Wal.Recovery.update_version versions.Wal.Recovery.query_version
+       versions.Wal.Recovery.collected_version);
+  Cluster_state.note_version_change cs
+
+type stats = {
+  commits : int;
+  aborts : int;
+  queries : int;
+  advancements : int;
+  mtf_data_access : int;
+  mtf_commit_time : int;
+  mtf_trivial : int;
+  mtf_items_copied : int;
+  commit_version_mismatches : int;
+  messages : int;
+  lock_waits : int;
+  lock_wait_time : float;
+  deadlocks : int;
+  latch_acquisitions : int;
+  max_versions_ever : int;
+}
+
+let stats cs =
+  let sum f = Array.fold_left (fun acc nd -> acc + f nd) 0 cs.Cluster_state.nodes in
+  let sumf f =
+    Array.fold_left (fun acc nd -> acc +. f nd) 0.0 cs.Cluster_state.nodes
+  in
+  {
+    commits = cs.Cluster_state.commits;
+    aborts = cs.Cluster_state.aborts;
+    queries = cs.Cluster_state.queries_completed;
+    advancements = cs.Cluster_state.advancements_completed;
+    mtf_data_access = cs.Cluster_state.mtf_data_access;
+    mtf_commit_time = cs.Cluster_state.mtf_commit_time;
+    mtf_trivial = sum (fun nd -> Wal.Scheme.mtf_trivial (Node_state.scheme nd));
+    mtf_items_copied =
+      sum (fun nd -> Wal.Scheme.mtf_items_copied (Node_state.scheme nd));
+    commit_version_mismatches = cs.Cluster_state.commit_version_mismatches;
+    messages = Net.Network.messages_sent cs.Cluster_state.net;
+    lock_waits = sum (fun nd -> Lockmgr.Lock_table.waits (Node_state.locks nd));
+    lock_wait_time =
+      sumf (fun nd -> Lockmgr.Lock_table.total_wait_time (Node_state.locks nd));
+    deadlocks =
+      sum (fun nd -> Lockmgr.Lock_table.deadlocks (Node_state.locks nd));
+    latch_acquisitions =
+      sum (fun nd -> Lockmgr.Latch.acquisitions (Node_state.counter_latch nd));
+    max_versions_ever =
+      Array.fold_left
+        (fun acc nd ->
+          max acc (Vstore.Store.high_water_versions (Node_state.store nd)))
+        0 cs.Cluster_state.nodes;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "commits=%d aborts=%d queries=%d advancements=%d@ mtf(data=%d commit=%d \
+     trivial=%d copied=%d) mismatches=%d@ messages=%d lock(waits=%d \
+     wait_time=%.1f deadlocks=%d) latches=%d max_versions=%d"
+    s.commits s.aborts s.queries s.advancements s.mtf_data_access
+    s.mtf_commit_time s.mtf_trivial s.mtf_items_copied
+    s.commit_version_mismatches s.messages s.lock_waits s.lock_wait_time
+    s.deadlocks s.latch_acquisitions s.max_versions_ever
+
+let check_invariants cs = Invariant.check cs
+let check_quiescent_invariants cs = Invariant.check_quiescent cs
+
+let staleness_of_version cs ~version ~at =
+  Cluster_state.staleness_of cs ~version ~at

@@ -1,0 +1,153 @@
+(** Public facade of the AVA3 distributed three-version database.
+
+    A cluster is [n] nodes on a simulated network, each running strict 2PL
+    for update transactions, the R* tree commit protocol with version
+    piggybacking, and the asynchronous three-phase version-advancement
+    protocol.  Queries read a consistent (possibly stale) snapshot without
+    locks; update transactions never wait for queries or for version
+    advancement.
+
+    {b Typical use} (inside a simulation process):
+
+    {[
+      let engine = Sim.Engine.create () in
+      let db : int Ava3.Cluster.t =
+        Ava3.Cluster.create ~engine ~nodes:3 () in
+      Ava3.Cluster.load db ~node:0 [ ("x", 1); ("y", 2) ];
+      Sim.Engine.spawn engine (fun () ->
+        match
+          Ava3.Cluster.run_update db ~root:0
+            ~ops:[ Write { node = 0; key = "x"; value = 7 } ]
+        with
+        | Committed _ -> ()
+        | Aborted _ -> ());
+      Sim.Engine.run engine
+    ]} *)
+
+type 'v t
+
+val create :
+  engine:Sim.Engine.t ->
+  ?config:Config.t ->
+  ?latency:Net.Latency.t ->
+  nodes:int ->
+  unit ->
+  'v t
+
+val engine : _ t -> Sim.Engine.t
+val config : _ t -> Config.t
+val node_count : _ t -> int
+val node : 'v t -> int -> 'v Node_state.t
+val network : _ t -> Messages.t Net.Network.t
+
+val state : 'v t -> 'v Cluster_state.t
+(** Escape hatch to the internals, used by the experiment harness. *)
+
+val load : 'v t -> node:int -> (string * 'v) list -> unit
+(** Preload data items at version 0 (initial database population; not a
+    transaction). *)
+
+(** {1 Transactions} *)
+
+val run_query :
+  'v t -> root:int -> reads:(int * string) list -> 'v Query_exec.result
+(** See {!Query_exec.run}. *)
+
+val run_update : 'v t -> root:int -> ops:'v Update_exec.op list -> 'v Update_exec.outcome
+(** See {!Update_exec.run}. *)
+
+val run_scan :
+  'v t -> root:int -> ranges:(int * string * string) list -> 'v Query_exec.result
+(** Lock-free ordered range scans over the query snapshot; see
+    {!Query_exec.run_scan}. *)
+
+val run_tree_update : 'v t -> plan:'v Tree_txn.plan -> 'v Tree_txn.outcome
+(** Execute an update transaction as a concurrent R*-style subtransaction
+    tree; see {!Tree_txn.run}. *)
+
+val run_tree_query : 'v t -> plan:Tree_query.plan -> 'v Query_exec.result
+(** Execute a read-only query as a concurrent subquery tree; see
+    {!Tree_query.run}. *)
+
+val run_update_with_retry :
+  'v t ->
+  root:int ->
+  ops:'v Update_exec.op list ->
+  ?max_attempts:int ->
+  ?backoff:float ->
+  unit ->
+  'v Update_exec.outcome * int
+(** Retry deadlock-aborted transactions (fresh transaction id, current
+    update version — the paper's restart rule).  Returns the final outcome
+    and the number of attempts made.  Default 10 attempts, backoff 5.0. *)
+
+(** {1 Version advancement} *)
+
+val advance : 'v t -> coordinator:int -> [ `Started of int | `Busy ]
+val advancement_in_progress : 'v t -> bool
+
+val advance_and_wait : 'v t -> coordinator:int -> [ `Completed of int | `Busy ]
+(** Initiate advancement and block until every node finished Phase 3 of the
+    round.  Must run inside a process. *)
+
+val start_periodic_advancement :
+  'v t -> coordinator:int -> period:float -> until:float -> unit
+(** Spawn a background process that initiates advancement every [period]
+    time units (skipping beats while one is still running) until virtual
+    time [until]. *)
+
+val start_continuous_advancement :
+  'v t -> coordinator:int -> until:float -> unit
+(** §8 limiting mode: advancements run back to back (each new round starts
+    as soon as the previous round's data is readable everywhere).  Combine
+    with {!Config.overlap_gc} to let garbage collection trail in the
+    background.  In this mode a query's snapshot is stale by at most the
+    age of the longest query running when it started. *)
+
+val start_periodic_checkpoints :
+  'v t -> period:float -> until:float -> ?min_log:int -> unit -> unit
+(** Background process that opportunistically checkpoints quiescent nodes
+    whose logs exceed [min_log] records (default 64), bounding recovery
+    time and memory. *)
+
+val checkpoint : 'v t -> node:int -> bool
+(** Take a quiescent checkpoint at the node, truncating its log; [false] if
+    update transactions are active there (nothing happens). *)
+
+(** {1 Failures} *)
+
+val crash : 'v t -> node:int -> unit
+(** Take the node down: volatile state (counters, in-flight transactions)
+    is lost; messages to and from it are dropped. *)
+
+val recover : 'v t -> node:int -> unit
+(** Replay the node's log, rebuilding its store and version numbers;
+    counters restart at zero.  The node rejoins the network. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  commits : int;
+  aborts : int;
+  queries : int;
+  advancements : int;
+  mtf_data_access : int;  (** moveToFuture calls triggered by data access *)
+  mtf_commit_time : int;  (** moveToFuture calls triggered at commit *)
+  mtf_trivial : int;  (** of those, virtual no-ops (No_undo fast path) *)
+  mtf_items_copied : int;
+  commit_version_mismatches : int;
+  messages : int;
+  lock_waits : int;
+  lock_wait_time : float;
+  deadlocks : int;
+  latch_acquisitions : int;
+  max_versions_ever : int;
+}
+
+val stats : _ t -> stats
+val pp_stats : Format.formatter -> stats -> unit
+
+val check_invariants : 'v t -> string list
+val check_quiescent_invariants : 'v t -> string list
+
+val staleness_of_version : _ t -> version:int -> at:float -> float option

@@ -1,0 +1,83 @@
+type coord = {
+  c_newu : int;
+  mutable c_phase : [ `Collect_u | `Collect_q ];
+  mutable c_acks_u : bool array;
+  mutable c_acks_q : bool array;
+  mutable c_abandoned : bool;
+}
+
+type 'v t = {
+  engine : Sim.Engine.t;
+  config : Config.t;
+  net : Messages.t Net.Network.t;
+  lock_group : Lockmgr.Lock_table.group;
+  mutable nodes : 'v Node_state.t array;
+  coords : coord option array;
+  frozen_at : (int, float) Hashtbl.t;
+  state_changed : Sim.Condition.t;
+  mutable advancements_completed : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable queries_completed : int;
+  mutable mtf_data_access : int;
+  mutable mtf_commit_time : int;
+  mutable commit_version_mismatches : int;
+}
+
+let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
+  if nodes <= 0 then invalid_arg "Cluster_state.create: need nodes >= 1";
+  let bound =
+    if config.Config.overlap_gc then None
+    else if config.Config.retain_extra_version then Some 4
+    else Some 3
+  in
+  (* One shared deadlock-detection group: transactions hold locks on several
+     nodes, so cycles span lock tables. *)
+  let lock_group = Lockmgr.Lock_table.new_group () in
+  let make_node i =
+    Node_state.create ~engine ~node_id:i ~scheme:config.Config.scheme
+      ~lock_group ~bound ~gc_renumber:config.Config.gc_renumber
+      ~shared_counters:config.Config.shared_transaction_counters ()
+  in
+  let t =
+    {
+      engine;
+      config;
+      lock_group;
+      net = Net.Network.create ~engine ~nodes ~latency ();
+      nodes = Array.init nodes make_node;
+      coords = Array.make nodes None;
+      frozen_at = Hashtbl.create 16;
+      state_changed = Sim.Condition.create ();
+      advancements_completed = 0;
+      commits = 0;
+      aborts = 0;
+      queries_completed = 0;
+      mtf_data_access = 0;
+      mtf_commit_time = 0;
+      commit_version_mismatches = 0;
+    }
+  in
+  (* Version 0 (the initial data) is stable from the start. *)
+  Hashtbl.replace t.frozen_at 0 0.0;
+  t
+
+let node t i =
+  if i < 0 || i >= Array.length t.nodes then
+    invalid_arg "Cluster_state.node: no such node";
+  t.nodes.(i)
+
+let node_count t = Array.length t.nodes
+let emit t ~tag message = Sim.Engine.emit t.engine ~tag message
+let now t = Sim.Engine.now t.engine
+
+let note_version_change t = Sim.Condition.broadcast t.state_changed
+
+let freeze_version t version =
+  if not (Hashtbl.mem t.frozen_at version) then
+    Hashtbl.replace t.frozen_at version (Sim.Engine.now t.engine)
+
+let staleness_of t ~version ~at =
+  match Hashtbl.find_opt t.frozen_at version with
+  | None -> None
+  | Some frozen -> Some (at -. frozen)

@@ -1,0 +1,62 @@
+(** Shared state of an AVA3 cluster — internal plumbing.
+
+    This module is the record the protocol components ({!Advancement},
+    {!Query_exec}, {!Update_exec}) operate on; applications should use the
+    {!Cluster} facade instead. *)
+
+(** Coordinator-side state of one advancement run (paper §3.2). *)
+type coord = {
+  c_newu : int;
+  mutable c_phase : [ `Collect_u | `Collect_q ];
+  mutable c_acks_u : bool array;
+  mutable c_acks_q : bool array;
+  mutable c_abandoned : bool;
+}
+
+type 'v t = {
+  engine : Sim.Engine.t;
+  config : Config.t;
+  net : Messages.t Net.Network.t;
+  lock_group : Lockmgr.Lock_table.group;
+      (** shared deadlock-detection group spanning all nodes *)
+  mutable nodes : 'v Node_state.t array;
+  coords : coord option array;  (** per-node active coordination, if any *)
+  frozen_at : (int, float) Hashtbl.t;
+      (** version -> virtual time it became stable (all its update
+          transactions finished); feeds the staleness metric of §8 *)
+  state_changed : Sim.Condition.t;
+      (** broadcast whenever any node's u/q/g changes *)
+  (* statistics *)
+  mutable advancements_completed : int;
+  mutable commits : int;
+  mutable aborts : int;
+  mutable queries_completed : int;
+  mutable mtf_data_access : int;
+  mutable mtf_commit_time : int;
+  mutable commit_version_mismatches : int;
+      (** transactions whose subtransactions prepared with differing
+          versions — the situation the modified 2PC exists for *)
+}
+
+val create :
+  engine:Sim.Engine.t ->
+  config:Config.t ->
+  nodes:int ->
+  ?latency:Net.Latency.t ->
+  unit ->
+  'v t
+
+val node : 'v t -> int -> 'v Node_state.t
+val node_count : _ t -> int
+val emit : _ t -> tag:string -> string -> unit
+val now : _ t -> float
+
+val note_version_change : _ t -> unit
+(** Wake everyone watching for u/q/g movement. *)
+
+val freeze_version : _ t -> int -> unit
+(** Record that [version] is now stable (first recording wins). *)
+
+val staleness_of : _ t -> version:int -> at:float -> float option
+(** Age of the snapshot [version] at time [at]: [at - frozen_at version].
+    [None] if the version's freeze time is unknown (still being written). *)

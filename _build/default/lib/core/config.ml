@@ -1,0 +1,41 @@
+type t = {
+  scheme : Wal.Scheme.kind;
+  eager_counter_handoff : bool;
+  piggyback_version : bool;
+  root_only_query_counters : bool;
+  shared_transaction_counters : bool;
+  abort_on_version_mismatch : bool;
+  retain_extra_version : bool;
+  overlap_gc : bool;
+  read_service_time : float;
+  write_service_time : float;
+  gc_renumber : bool;
+  gc_item_time : float;
+  advancement_retry : float;
+}
+
+let default =
+  {
+    scheme = Wal.Scheme.No_undo;
+    eager_counter_handoff = false;
+    piggyback_version = false;
+    root_only_query_counters = false;
+    shared_transaction_counters = false;
+    abort_on_version_mismatch = false;
+    retain_extra_version = false;
+    overlap_gc = false;
+    read_service_time = 0.1;
+    write_service_time = 0.2;
+    gc_renumber = true;
+    gc_item_time = 0.0;
+    advancement_retry = 100.0;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{scheme=%s; eager_handoff=%b; piggyback=%b; root_only_qc=%b; \
+     overlap_gc=%b; read=%g; write=%g; gc_item=%g; retry=%g}"
+    (Wal.Scheme.kind_name t.scheme)
+    t.eager_counter_handoff t.piggyback_version t.root_only_query_counters
+    t.overlap_gc t.read_service_time t.write_service_time t.gc_item_time
+    t.advancement_retry

@@ -1,0 +1,65 @@
+(** Protocol configuration for an AVA3 cluster.
+
+    The flags marked "§8"/"§10" enable the paper's optional optimisations;
+    the defaults give the base protocol of §3, so ablation experiments can
+    toggle one flag at a time. *)
+
+type t = {
+  scheme : Wal.Scheme.kind;
+      (** Recovery scheme, which determines the moveToFuture implementation
+          (§4).  Default [No_undo]. *)
+  eager_counter_handoff : bool;
+      (** §8: when a subtransaction runs moveToFuture, immediately move its
+          update-counter occupancy to the new version so Phase 1 need not
+          wait for long-running transactions that have already moved.
+          Default [false]. *)
+  piggyback_version : bool;
+      (** §10: update subtransactions carry the root's current version and
+          start at [max carried (u_i)], cutting commit-time moveToFutures.
+          Default [false]. *)
+  root_only_query_counters : bool;
+      (** §10: only a query's root subtransaction maintains the query
+          counter.  Default [false]. *)
+  shared_transaction_counters : bool;
+      (** §10: one transaction counter per version instead of separate query
+          and update counters — sound because reads only ever use a version
+          after all its updates finished, so the two populations never
+          occupy the same version's slot at the same time.  Default
+          [false]. *)
+  abort_on_version_mismatch : bool;
+      (** Baseline mode (not part of AVA3): instead of repairing a version
+          mismatch with moveToFuture, abort the transaction — the behaviour
+          of the MPL92-style distributed extension whose advancement is
+          synchronous with user transactions.  Default [false]. *)
+  retain_extra_version : bool;
+      (** Baseline mode (not part of AVA3): keep one extra old query version
+          (four versions total, as in MPL92/WYC91) so Phase 2 never waits
+          for running queries; garbage collection trails one round behind.
+          Default [false]. *)
+  overlap_gc : bool;
+      (** §8 relaxation: a node may start a new advancement once Phases 1–2
+          of the previous one finished, letting garbage collection complete
+          in the background.  More than three copies may then accumulate
+          transiently (the store bound is lifted), but user transactions
+          still only touch the latest three.  Default [false]. *)
+  read_service_time : float;
+      (** Virtual time one data-item read costs (storage access). *)
+  write_service_time : float;
+      (** Virtual time one data-item write costs. *)
+  gc_renumber : bool;
+      (** Phase-3 rule for items with no incarnation at the new query
+          version: [true] (default) renumbers their old entry per the paper,
+          visiting every live item each round; [false] keeps the entry in
+          place, bounding GC work by the items actually written (see
+          {!Vstore.Store.create} and experiment E8b). *)
+  gc_item_time : float;
+      (** Virtual time Phase-3 garbage collection spends per stored item. *)
+  advancement_retry : float;
+      (** Coordinator retransmission period for unacknowledged advancement
+          messages (covers participant crashes; the paper only assumes
+          eventual delivery). *)
+}
+
+val default : t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+(** Runtime checks of the paper's §6.2 performance properties.
+
+    Each function returns a list of human-readable violations (empty when
+    the property holds), so tests can assert emptiness and experiment
+    harnesses can report counts. *)
+
+val check : 'v Cluster_state.t -> string list
+(** Properties that must hold at {e every} instant:
+    - per node, [q < u <= q + 2] (property 3);
+    - across nodes, [u_i <> u_j] implies [q_i = q_j] and [q_i <> q_j]
+      implies [u_i = u_j] (properties 2b, 2c);
+    - no item ever held more than three live versions (property 2a; checked
+      against the store's high-water mark, so a past violation is caught
+      even after garbage collection) — skipped when the §8 overlapping-GC
+      relaxation is enabled;
+    - no negative transaction counters. *)
+
+val check_quiescent : 'v Cluster_state.t -> string list
+(** Additional properties that must hold when no advancement is running and
+    no transactions are active (property 1): all nodes agree on [u] and
+    [q], [u = q + 1], and every item has at most two live versions. *)

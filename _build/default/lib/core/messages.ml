@@ -1,0 +1,15 @@
+type t =
+  | Advance_u of { newu : int }
+  | Ack_advance_u of { newu : int }
+  | Advance_q of { newq : int }
+  | Ack_advance_q of { newq : int }
+  | Garbage_collect of { newg : int }
+
+let pp ppf = function
+  | Advance_u { newu } -> Format.fprintf ppf "advance-u(%d)" newu
+  | Ack_advance_u { newu } -> Format.fprintf ppf "ack-advance-u(%d)" newu
+  | Advance_q { newq } -> Format.fprintf ppf "advance-q(%d)" newq
+  | Ack_advance_q { newq } -> Format.fprintf ppf "ack-advance-q(%d)" newq
+  | Garbage_collect { newg } -> Format.fprintf ppf "garbage-collect(%d)" newg
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,18 @@
+(** Version-advancement protocol messages (paper §3.2).
+
+    These are the only messages AVA3 itself adds to the system; user
+    transactions travel over the R*-style RPC path instead. *)
+
+type t =
+  | Advance_u of { newu : int }
+      (** Phase 1: switch new update transactions to version [newu]. *)
+  | Ack_advance_u of { newu : int }
+      (** Participant confirms: its update version is at least [newu] and
+          all its subtransactions that started on [newu - 1] finished. *)
+  | Advance_q of { newq : int }
+      (** Phase 2: switch new queries to version [newq]. *)
+  | Ack_advance_q of { newq : int }
+  | Garbage_collect of { newg : int }  (** Phase 3. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,197 @@
+type 'v t = {
+  node_id : int;
+  eng : Sim.Engine.t;
+  st : 'v Vstore.Store.t;
+  lk : Lockmgr.Lock_table.t;
+  sch : 'v Wal.Scheme.t;
+  wal : 'v Wal.Log.t;
+  latch : Lockmgr.Latch.t;
+  mutable uv : int;
+  mutable qv : int;
+  mutable gv : int;
+  update_counts : (int, int ref) Hashtbl.t;
+  query_counts : (int, int ref) Hashtbl.t;
+      (* with shared counters this is the same table as [update_counts] *)
+  upd_zero : Sim.Condition.t;
+  qry_zero : Sim.Condition.t;
+  mutable txn_seq : int;
+  mutable is_alive : bool;
+}
+
+let make ~engine ~node_id ~scheme ~lock_group ~shared_counters ~st ~wal ~u ~q
+    ~g =
+  let update_counts = Hashtbl.create 8 in
+  (* §10: reads of a version only begin after its updates finished, so one
+     counter table can serve both populations. *)
+  let query_counts =
+    if shared_counters then update_counts else Hashtbl.create 8
+  in
+  let t =
+    {
+      node_id;
+      eng = engine;
+      st;
+      lk = Lockmgr.Lock_table.create ?group:lock_group ();
+      sch = Wal.Scheme.create scheme ~store:st ~log:wal;
+      wal;
+      latch = Lockmgr.Latch.create (Printf.sprintf "node%d.counters" node_id);
+      uv = u;
+      qv = q;
+      gv = g;
+      update_counts;
+      query_counts;
+      upd_zero = Sim.Condition.create ();
+      qry_zero = Sim.Condition.create ();
+      txn_seq = 0;
+      is_alive = true;
+    }
+  in
+  (* Counters exist for the current query and update versions. *)
+  Hashtbl.replace t.update_counts u (ref 0);
+  Hashtbl.replace t.query_counts q (ref 0);
+  Hashtbl.replace t.query_counts u (ref 0);
+  t
+
+(* Start-up state (paper §3.1): all data at version 0, q = 0, u = 1. *)
+let create ~engine ~node_id ~scheme ?lock_group ?(bound = Some 3)
+    ?(gc_renumber = true) ?(shared_counters = false) () =
+  let st = Vstore.Store.create ?bound ~gc_renumber () in
+  let wal = Wal.Log.create () in
+  let t =
+    make ~engine ~node_id ~scheme ~lock_group ~shared_counters ~st ~wal ~u:1
+      ~q:0 ~g:(-1)
+  in
+  Hashtbl.replace t.update_counts 0 (ref 0);
+  t
+
+let create_recovered ~engine ~node_id ~scheme ?lock_group
+    ?(shared_counters = false) ~bound ~log ~store ~u ~q ~g () =
+  ignore bound;
+  make ~engine ~node_id ~scheme ~lock_group ~shared_counters ~st:store
+    ~wal:log ~u ~q ~g
+
+let alive t = t.is_alive
+let kill t = t.is_alive <- false
+
+let id t = t.node_id
+let store t = t.st
+let locks t = t.lk
+let scheme t = t.sch
+let log t = t.wal
+let engine t = t.eng
+let u t = t.uv
+let q t = t.qv
+let g t = t.gv
+let counter_latch t = t.latch
+
+let counter tbl version =
+  match Hashtbl.find_opt tbl version with
+  | Some c -> c
+  | None ->
+      let c = ref 0 in
+      Hashtbl.replace tbl version c;
+      c
+
+let update_count t ~version =
+  match Hashtbl.find_opt t.update_counts version with
+  | None -> 0
+  | Some c -> !c
+
+let query_count t ~version =
+  match Hashtbl.find_opt t.query_counts version with
+  | None -> 0
+  | Some c -> !c
+
+let incr_update_count t ~version =
+  Lockmgr.Latch.incr_protected t.latch (counter t.update_counts version)
+
+let decr_update_count t ~version =
+  let c = counter t.update_counts version in
+  Lockmgr.Latch.decr_protected t.latch c;
+  if !c < 0 then invalid_arg "Node_state: update counter went negative";
+  if !c = 0 then begin
+    Sim.Condition.broadcast t.upd_zero;
+    if t.query_counts == t.update_counts then
+      Sim.Condition.broadcast t.qry_zero
+  end
+
+let incr_query_count t ~version =
+  Lockmgr.Latch.incr_protected t.latch (counter t.query_counts version)
+
+let decr_query_count t ~version =
+  let c = counter t.query_counts version in
+  Lockmgr.Latch.decr_protected t.latch c;
+  if !c < 0 then invalid_arg "Node_state: query counter went negative";
+  if !c = 0 then begin
+    Sim.Condition.broadcast t.qry_zero;
+    (* With shared counters an update-side waiter may be watching the same
+       slot. *)
+    if t.query_counts == t.update_counts then
+      Sim.Condition.broadcast t.upd_zero
+  end
+
+let await_no_updates t ~version =
+  Sim.Condition.await_until t.upd_zero ~pred:(fun () ->
+      update_count t ~version = 0)
+
+let await_no_queries t ~version =
+  Sim.Condition.await_until t.qry_zero ~pred:(fun () ->
+      query_count t ~version = 0)
+
+let set_u t version =
+  if version > t.uv then begin
+    t.uv <- version;
+    ignore (counter t.update_counts version : int ref);
+    Wal.Log.append t.wal (Wal.Record.Advance_update version)
+  end
+
+let set_q t version =
+  if version > t.qv then begin
+    t.qv <- version;
+    ignore (counter t.query_counts version : int ref);
+    Wal.Log.append t.wal (Wal.Record.Advance_query version)
+  end
+
+let collect_garbage t ~newg =
+  if newg > t.gv then begin
+    t.gv <- newg;
+    let query = newg + 1 in
+    Vstore.Store.gc t.st ~collect:newg ~query;
+    Wal.Log.append t.wal (Wal.Record.Collect { collect = newg; query });
+    (* Phase 3 cleanup: the query counter for the collected version and the
+       update counter for the version queries now read are both dead.  With
+       the §10 shared table, the [query] slot is the LIVE query counter and
+       must stay. *)
+    Hashtbl.remove t.query_counts newg;
+    if not (t.query_counts == t.update_counts) then
+      Hashtbl.remove t.update_counts query
+  end
+
+let active_update_transactions t =
+  Hashtbl.fold (fun _ c acc -> acc + !c) t.update_counts 0
+
+(* Checkpoints are only taken at quiescent points (no active update
+   transaction), so truncating the log loses no needed records.  Queries
+   don't matter: they write nothing. *)
+let try_checkpoint t =
+  if active_update_transactions t > 0 then false
+  else begin
+    Wal.Recovery.checkpoint t.wal ~store:t.st ~u:t.uv ~q:t.qv ~g:t.gv;
+    true
+  end
+
+let reset_volatile t =
+  Hashtbl.iter (fun _ c -> c := 0) t.update_counts;
+  Hashtbl.iter (fun _ c -> c := 0) t.query_counts;
+  Sim.Condition.broadcast t.upd_zero;
+  Sim.Condition.broadcast t.qry_zero
+
+let fresh_txn_id t =
+  t.txn_seq <- t.txn_seq + 1;
+  (* Globally unique, node-recoverable, and ordered per node. *)
+  (t.txn_seq * 1024) + t.node_id
+
+let pp_summary ppf t =
+  Format.fprintf ppf "node%d{u=%d q=%d g=%d items=%d}" t.node_id t.uv t.qv
+    t.gv
+    (Vstore.Store.item_count t.st)

@@ -1,0 +1,118 @@
+(** Per-node control state of the AVA3 protocol (paper §3.1).
+
+    Each site keeps three version numbers — [u] (update), [q] (query), [g]
+    (garbage) — plus two main-memory transaction counters per active
+    version.  Counter updates go through latches only (counted, never
+    blocking); the conditions let the advancement protocol await the
+    "counter reached zero" stable property without polling.
+
+    The node also owns the substrates: the (three-version-bounded) store,
+    the lock table, the WAL, and the recovery scheme. *)
+
+type 'v t
+
+val create :
+  engine:Sim.Engine.t ->
+  node_id:int ->
+  scheme:Wal.Scheme.kind ->
+  ?lock_group:Lockmgr.Lock_table.group ->
+  ?bound:int option ->
+  ?gc_renumber:bool ->
+  ?shared_counters:bool ->
+  unit ->
+  'v t
+(** A fresh node in the paper's start-up state: all data at version 0,
+    [q = 0], [u = 1], [g = -1], all counters zero.  [bound] is the store's
+    live-version cap ([Some 3] by default — pass [None] to disable the
+    runtime check). *)
+
+val id : _ t -> int
+val store : 'v t -> 'v Vstore.Store.t
+val locks : _ t -> Lockmgr.Lock_table.t
+val scheme : 'v t -> 'v Wal.Scheme.t
+val log : 'v t -> 'v Wal.Log.t
+val engine : _ t -> Sim.Engine.t
+
+(** {1 Version numbers} *)
+
+val u : _ t -> int
+val q : _ t -> int
+val g : _ t -> int
+
+val set_u : _ t -> int -> unit
+(** Raise the update version number (logged; initialises the new version's
+    update counter).  Ignores regressions. *)
+
+val set_q : _ t -> int -> unit
+(** Raise the query version number (logged; initialises the new version's
+    query counter).  Ignores regressions. *)
+
+val collect_garbage : _ t -> newg:int -> unit
+(** Set [g], run the Phase-3 store GC for version [newg] (renumber target
+    [newg + 1]), log it, and drop the query counter for [newg] and the
+    update counter for [newg + 1]. *)
+
+(** {1 Transaction counters} *)
+
+val update_count : _ t -> version:int -> int
+val query_count : _ t -> version:int -> int
+
+val incr_update_count : _ t -> version:int -> unit
+val decr_update_count : _ t -> version:int -> unit
+val incr_query_count : _ t -> version:int -> unit
+val decr_query_count : _ t -> version:int -> unit
+
+val await_no_updates : _ t -> version:int -> unit
+(** Block until [update_count ~version = 0]; returns immediately if the
+    version has no counter (already collected). *)
+
+val await_no_queries : _ t -> version:int -> unit
+
+val counter_latch : _ t -> Lockmgr.Latch.t
+(** The latch protecting counters and version numbers — its acquisition
+    count is the protocol's total latching work on this node. *)
+
+(** {1 Crash support} *)
+
+val alive : _ t -> bool
+(** [false] once {!kill} has run: the node has crashed and this object is an
+    orphan kept only so that in-flight transactions fail cleanly. *)
+
+val kill : _ t -> unit
+
+val create_recovered :
+  engine:Sim.Engine.t ->
+  node_id:int ->
+  scheme:Wal.Scheme.kind ->
+  ?lock_group:Lockmgr.Lock_table.group ->
+  ?shared_counters:bool ->
+  bound:int option ->
+  log:'v Wal.Log.t ->
+  store:'v Vstore.Store.t ->
+  u:int ->
+  q:int ->
+  g:int ->
+  unit ->
+  'v t
+(** Rebuild a node after a crash from its replayed log: the recovered store
+    and version numbers survive, the counters restart at zero (the paper's
+    rule — all in-flight transactions died with the crash). *)
+
+val reset_volatile : _ t -> unit
+(** Simulate loss of main memory: zero every counter (in-flight transactions
+    are aborted separately by the caller). *)
+
+val active_update_transactions : _ t -> int
+(** Update subtransactions currently counted at this node (any version). *)
+
+val try_checkpoint : _ t -> bool
+(** Take a quiescent checkpoint: truncate the log to a single checkpoint
+    record capturing the store and version numbers.  Returns [false]
+    (doing nothing) if any update transaction is active — its log records
+    must not be lost. *)
+
+val fresh_txn_id : _ t -> int
+(** Node-local transaction id allocator (ids are globally unique across a
+    cluster because they embed the node id). *)
+
+val pp_summary : Format.formatter -> _ t -> unit

@@ -1,0 +1,39 @@
+(** Read-only transaction (query) execution (paper §3.3).
+
+    Queries acquire no locks and write nothing to the data they read; the
+    only mutation they perform is a latched increment/decrement of the query
+    counters.  The root subquery pins the query version [V(Q) = q_root]; all
+    subqueries read the maximum existing version of each item not exceeding
+    [V(Q)].  A subquery arriving at a node whose query version lags behind
+    [V(Q)] triggers that node's query-version advancement locally. *)
+
+type 'v result = {
+  txn_id : int;
+  version : int;  (** [V(Q)] — the snapshot the query read *)
+  values : (int * string * 'v option) list;
+      (** (node, key, value) per read, in request order *)
+  started_at : float;
+  finished_at : float;
+  staleness : float option;
+      (** age of the snapshot at query start: start time minus the time
+          version [V(Q)] stopped changing *)
+}
+
+val run : 'v Cluster_state.t -> root:int -> reads:(int * string) list -> 'v result
+(** Execute a query rooted at [root] reading the given (node, key) pairs in
+    order.  Must be called inside a simulation process.  Raises
+    [Net.Network.Node_down] if a touched node is down (queries at dead nodes
+    simply fail; they hold no state needing cleanup beyond counters, which
+    this function releases). *)
+
+val run_scan :
+  'v Cluster_state.t ->
+  root:int ->
+  ranges:(int * string * string) list ->
+  'v result
+(** Like {!run}, but each element is a lock-free ordered range scan
+    [(node, lo, hi)] over the query's snapshot; results arrive as
+    (node, key, Some value) per matching item, in key order per range.
+    The motivating decision-support queries (account histories, audits) are
+    scans — queries read a consistent snapshot, so no predicate locking is
+    needed. *)

@@ -1,0 +1,170 @@
+open Cluster_state
+
+type abort_reason = [ `Deadlock | `Node_down of int | `Version_mismatch ]
+
+exception Txn_abort of abort_reason
+
+type state = Running | Aborting | Finished
+
+type 'v t = {
+  txn_id : int;
+  txn_state : state ref;
+  sub_node : 'v Node_state.t;
+  session : 'v Wal.Scheme.session;
+  mutable counted : int;
+      (* version whose updateCount slot this subtransaction occupies — its
+         start version unless the §8 eager hand-off moved it *)
+  mutable is_finished : bool;
+}
+
+let check_alive nd =
+  if not (Node_state.alive nd) then
+    raise (Txn_abort (`Node_down (Node_state.id nd)))
+
+let check_live t =
+  check_alive t.sub_node;
+  match !(t.txn_state) with
+  | Running -> ()
+  | Aborting | Finished ->
+      (* Another subtransaction of this transaction already failed; do not
+         touch data on behalf of a dead transaction. *)
+      raise (Txn_abort `Deadlock)
+
+let start cs ~txn_id ~state ~node:nd ~carried =
+  check_alive nd;
+  if cs.config.Config.piggyback_version && carried > Node_state.u nd then begin
+    Node_state.set_u nd carried;
+    note_version_change cs
+  end;
+  (* §3.4 step 1, atomic: version lookup and counter increment. *)
+  let v = Node_state.u nd in
+  let session =
+    Wal.Scheme.begin_session (Node_state.scheme nd) ~txn:txn_id ~version:v
+  in
+  Node_state.incr_update_count nd ~version:v;
+  emit cs ~tag:"txn"
+    (Printf.sprintf "T%d: subtransaction at node%d starts in version %d" txn_id
+       (Node_state.id nd) v);
+  { txn_id; txn_state = state; sub_node = nd; session; counted = v; is_finished = false }
+
+let node t = t.sub_node
+let version t = Wal.Scheme.version t.session
+let finished t = t.is_finished
+
+(* moveToFuture plus the bookkeeping around it.  In the baseline
+   synchronous-advancement mode there is no moveToFuture: a transaction
+   that would need one is aborted instead. *)
+let move_to cs t ~newv ~at_commit =
+  if newv > version t then begin
+    if cs.config.Config.abort_on_version_mismatch then
+      raise (Txn_abort `Version_mismatch);
+    Wal.Scheme.move_to_future (Node_state.scheme t.sub_node) t.session
+      ~new_version:newv;
+    emit cs ~tag:"txn"
+      (Printf.sprintf "T%d: moveToFuture(%d) at node%d (%s)" t.txn_id newv
+         (Node_state.id t.sub_node)
+         (if at_commit then "commit time" else "data access"));
+    if at_commit then cs.mtf_commit_time <- cs.mtf_commit_time + 1
+    else cs.mtf_data_access <- cs.mtf_data_access + 1;
+    if cs.config.Config.eager_counter_handoff then begin
+      (* §8: appear to have "started" in the advanced version so Phase 1
+         need not wait for us. *)
+      Node_state.decr_update_count t.sub_node ~version:t.counted;
+      Node_state.incr_update_count t.sub_node ~version:newv;
+      t.counted <- newv
+    end
+  end
+
+let lock cs t key mode =
+  ignore cs;
+  check_live t;
+  match
+    Lockmgr.Lock_table.acquire (Node_state.locks t.sub_node) ~owner:t.txn_id
+      ~key mode
+  with
+  | `Granted -> (
+      (* The wait may have outlived the transaction (a sibling aborted us
+         while we were queued); the abort already released our locks, so
+         this fresh grant must not leak. *)
+      match !(t.txn_state) with
+      | Running -> ()
+      | Aborting | Finished ->
+          Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node)
+            ~owner:t.txn_id;
+          raise (Txn_abort `Deadlock))
+  | `Deadlock -> raise (Txn_abort `Deadlock)
+
+(* Encountering a later version of a locked item means a conflicting
+   transaction of the next version already committed; serialize after it by
+   moving to the node's current update version (§3.4 steps 2-3). *)
+let catch_up cs t key =
+  match Vstore.Store.max_version (Node_state.store t.sub_node) key with
+  | Some cur when cur > version t ->
+      move_to cs t ~newv:(Node_state.u t.sub_node) ~at_commit:false
+  | _ -> ()
+
+let read_current t key =
+  let scheme = Node_state.scheme t.sub_node in
+  match Wal.Scheme.read_own scheme t.session key with
+  | Some own -> own
+  | None -> Vstore.Store.read_le (Node_state.store t.sub_node) key (version t)
+
+let read cs t key =
+  lock cs t key Lockmgr.Lock_table.Shared;
+  Sim.Engine.sleep cs.config.Config.read_service_time;
+  match Wal.Scheme.read_own (Node_state.scheme t.sub_node) t.session key with
+  | Some own -> own
+  | None ->
+      catch_up cs t key;
+      Vstore.Store.read_le (Node_state.store t.sub_node) key (version t)
+
+let write_value cs t key value =
+  lock cs t key Lockmgr.Lock_table.Exclusive;
+  Sim.Engine.sleep cs.config.Config.write_service_time;
+  catch_up cs t key;
+  Wal.Scheme.write (Node_state.scheme t.sub_node) t.session key value
+
+let write cs t key value = write_value cs t key (Some value)
+let delete cs t key = write_value cs t key None
+
+let read_modify_write cs t key f =
+  lock cs t key Lockmgr.Lock_table.Exclusive;
+  Sim.Engine.sleep cs.config.Config.read_service_time;
+  catch_up cs t key;
+  let current = read_current t key in
+  Sim.Engine.sleep cs.config.Config.write_service_time;
+  Wal.Scheme.write (Node_state.scheme t.sub_node) t.session key (Some (f current))
+
+let prepare cs t =
+  ignore cs;
+  check_live t;
+  Lockmgr.Lock_table.release_shared (Node_state.locks t.sub_node)
+    ~owner:t.txn_id;
+  version t
+
+(* Participants behind the global version treat the commit message as the
+   signal that advancement began (§3.4 step 8), move to the future, then
+   commit. *)
+let commit cs t ~final_version =
+  check_alive t.sub_node;
+  if version t < final_version then begin
+    if Node_state.u t.sub_node < final_version then begin
+      Node_state.set_u t.sub_node final_version;
+      note_version_change cs
+    end;
+    move_to cs t ~newv:final_version ~at_commit:true
+  end;
+  Wal.Scheme.commit (Node_state.scheme t.sub_node) t.session ~final_version;
+  Node_state.decr_update_count t.sub_node ~version:t.counted;
+  Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node) ~owner:t.txn_id;
+  t.is_finished <- true
+
+let abort cs t =
+  ignore cs;
+  if not t.is_finished then begin
+    Wal.Scheme.abort (Node_state.scheme t.sub_node) t.session;
+    Node_state.decr_update_count t.sub_node ~version:t.counted;
+    Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node)
+      ~owner:t.txn_id;
+    t.is_finished <- true
+  end

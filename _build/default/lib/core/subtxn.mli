@@ -1,0 +1,58 @@
+(** One update subtransaction at one node — the shared machinery under both
+    the flat executor ({!Update_exec}) and the R*-style tree executor
+    ({!Tree_txn}).
+
+    A subtransaction owns a durability session, occupies one update-counter
+    slot, and carries the moveToFuture bookkeeping (§3.4): a later-version
+    data item encountered under lock drags the subtransaction forward; the
+    §8 eager hand-off moves its counter occupancy along.
+
+    All operations must run inside a simulation process, executing at the
+    subtransaction's node (callers route through the network).  A
+    transaction's subtransactions share a {!state} cell: once any of them
+    aborts, operations of the others fail fast with {!Txn_abort} instead of
+    touching data under a dead transaction. *)
+
+type abort_reason = [ `Deadlock | `Node_down of int | `Version_mismatch ]
+
+exception Txn_abort of abort_reason
+
+type state = Running | Aborting | Finished
+
+type 'v t
+
+val start :
+  'v Cluster_state.t ->
+  txn_id:int ->
+  state:state ref ->
+  node:'v Node_state.t ->
+  carried:int ->
+  'v t
+(** Begin a subtransaction at the node (§3.4 step 1: version lookup and
+    counter increment, atomically).  [carried] is the transaction's highest
+    version at dispatch time; with {!Config.piggyback_version} it can raise
+    the node's update version. *)
+
+val node : 'v t -> 'v Node_state.t
+val version : 'v t -> int
+(** Current version [V(T_i)]. *)
+
+val finished : 'v t -> bool
+
+val read : 'v Cluster_state.t -> 'v t -> string -> 'v option
+val write : 'v Cluster_state.t -> 'v t -> string -> 'v -> unit
+val read_modify_write : 'v Cluster_state.t -> 'v t -> string -> ('v option -> 'v) -> unit
+val delete : 'v Cluster_state.t -> 'v t -> string -> unit
+
+val prepare : 'v Cluster_state.t -> 'v t -> int
+(** Reach the prepared state: release shared locks, report [V(T_i)] (the
+    version piggybacked on the [prepared] message). *)
+
+val commit : 'v Cluster_state.t -> 'v t -> final_version:int -> unit
+(** Process the [commit(V(T))] message: if behind, treat it as the signal
+    that advancement began, move to the future, then commit, decrement the
+    counter and release all locks. *)
+
+val abort : 'v Cluster_state.t -> 'v t -> unit
+(** Roll back and release; no-op if already finished (a participant that
+    committed before the failure is past the point of no return). *)

@@ -1,0 +1,105 @@
+open Cluster_state
+
+type plan = { at : int; keys : string list; children : plan list }
+
+let rec plan_nodes plan = plan.at :: List.concat_map plan_nodes plan.children
+
+let validate plan =
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        invalid_arg "Tree_query.run: plan visits a node twice"
+      else Hashtbl.replace seen n ())
+    (plan_nodes plan)
+
+let parallel cs thunks =
+  let n = List.length thunks in
+  let results = Array.make n None in
+  let completed = ref 0 in
+  let cv = Sim.Condition.create () in
+  List.iteri
+    (fun i thunk ->
+      Sim.Engine.spawn cs.engine (fun () ->
+          let r = try Ok (thunk ()) with e -> Error e in
+          results.(i) <- Some r;
+          incr completed;
+          Sim.Condition.broadcast cv))
+    thunks;
+  Sim.Condition.await_until cv ~pred:(fun () -> !completed = n);
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> assert false)
+
+let run cs ~plan =
+  validate plan;
+  let root = plan.at in
+  let root_node = node cs root in
+  if not (Node_state.alive root_node) then raise (Net.Network.Node_down root);
+  let txn_id = Node_state.fresh_txn_id root_node in
+  let started_at = now cs in
+  (* §3.3 step 1, atomic at the root. *)
+  let v = Node_state.q root_node in
+  Node_state.incr_query_count root_node ~version:v;
+  emit cs ~tag:"query"
+    (Printf.sprintf "Q%d: starts at node%d with version %d" txn_id root v);
+  let child_counters = not cs.config.Config.root_only_query_counters in
+  let read_service = cs.config.Config.read_service_time in
+  (* Execute the subquery at [p]; returns its composed results (own reads
+     then children's, preorder).  [is_root] marks the pinned root counter,
+     which must be released last — by the caller, not here. *)
+  let rec exec_subquery parent_node (p : plan) ~is_root =
+    let body () =
+      let nd = node cs p.at in
+      if not (Node_state.alive nd) then raise (Net.Network.Node_down p.at);
+      if not is_root then begin
+        (* §3.3 step 2: a subquery arriving ahead of the node's query
+           version triggers the node's query-version advancement. *)
+        if v > Node_state.q nd then begin
+          Node_state.set_q nd v;
+          note_version_change cs
+        end;
+        if child_counters then Node_state.incr_query_count nd ~version:v
+      end;
+      let own =
+        List.map
+          (fun key ->
+            Sim.Engine.sleep read_service;
+            (p.at, key, Vstore.Store.read_le (Node_state.store nd) key v))
+          p.keys
+      in
+      let child_results =
+        parallel cs
+          (List.map
+             (fun child () -> exec_subquery p.at child ~is_root:false)
+             p.children)
+      in
+      (* Completion (§3.3 step 5): compose, decrement, commit.  Errors from
+         children propagate only after our own counter is safely released. *)
+      if (not is_root) && child_counters then
+        Node_state.decr_query_count nd ~version:v;
+      let composed =
+        List.concat_map
+          (function Ok values -> values | Error e -> raise e)
+          child_results
+      in
+      own @ composed
+    in
+    if p.at = parent_node then body ()
+    else Net.Network.call cs.net ~src:parent_node ~dst:p.at body
+  in
+  match exec_subquery root plan ~is_root:true with
+  | values ->
+      Node_state.decr_query_count root_node ~version:v;
+      cs.queries_completed <- cs.queries_completed + 1;
+      emit cs ~tag:"query" (Printf.sprintf "Q%d: completed" txn_id);
+      {
+        Query_exec.txn_id;
+        version = v;
+        values;
+        started_at;
+        finished_at = now cs;
+        staleness = staleness_of cs ~version:v ~at:started_at;
+      }
+  | exception e ->
+      Node_state.decr_query_count root_node ~version:v;
+      raise e

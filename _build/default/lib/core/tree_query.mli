@@ -1,0 +1,23 @@
+(** R*-style tree execution of read-only queries (paper §2, §3.3).
+
+    The root subquery pins the query version [V(Q) = q_root] and fans
+    subqueries out down a tree; each subquery reads its items at [V(Q)]
+    (lock-free), runs its children concurrently, composes their results
+    with its own, sends them to its parent and commits — decrementing its
+    node's query counter.  The root's counter, released last, is what keeps
+    the snapshot safe from garbage collection anywhere in the system.
+
+    Plans must visit each node at most once. *)
+
+type plan = {
+  at : int;
+  keys : string list;  (** items to read at [at] *)
+  children : plan list;
+}
+
+val plan_nodes : plan -> int list
+
+val run : 'v Cluster_state.t -> plan:plan -> 'v Query_exec.result
+(** Execute the subquery tree (inside a simulation process); values arrive
+    in tree preorder.  Raises [Invalid_argument] on duplicate nodes and
+    [Net.Network.Node_down] if a touched node is down. *)

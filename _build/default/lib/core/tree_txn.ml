@@ -1,0 +1,167 @@
+open Cluster_state
+
+type 'v step =
+  | Read of string
+  | Write of string * 'v
+  | Read_modify_write of string * ('v option -> 'v)
+  | Delete of string
+  | Pause of float
+
+type 'v plan = { at : int; work : 'v step list; children : 'v plan list }
+
+let rec plan_nodes plan =
+  plan.at :: List.concat_map plan_nodes plan.children
+
+type 'v commit_info = {
+  txn_id : int;
+  final_version : int;
+  reads : (int * string * 'v option) list;
+  started_at : float;
+  finished_at : float;
+}
+
+type 'v outcome =
+  | Committed of 'v commit_info
+  | Aborted of { txn_id : int; reason : Subtxn.abort_reason }
+
+let validate plan =
+  let nodes = plan_nodes plan in
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun n ->
+      if Hashtbl.mem seen n then
+        invalid_arg "Tree_txn.run: plan visits a node twice"
+      else Hashtbl.replace seen n ())
+    nodes
+
+(* Run every thunk as its own process and wait for all; results in input
+   order.  Failures are captured, not raised, so siblings always finish
+   before the caller decides. *)
+let parallel cs thunks =
+  let n = List.length thunks in
+  let results = Array.make n None in
+  let completed = ref 0 in
+  let cv = Sim.Condition.create () in
+  List.iteri
+    (fun i thunk ->
+      Sim.Engine.spawn cs.engine (fun () ->
+          let r = try Ok (thunk ()) with e -> Error e in
+          results.(i) <- Some r;
+          incr completed;
+          Sim.Condition.broadcast cv))
+    thunks;
+  Sim.Condition.await_until cv ~pred:(fun () -> !completed = n);
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> assert false)
+
+let run cs ~plan =
+  validate plan;
+  let root = plan.at in
+  let root_node = node cs root in
+  if not (Node_state.alive root_node) then
+    Aborted { txn_id = -1; reason = `Node_down root }
+  else begin
+    let txn_id = Node_state.fresh_txn_id root_node in
+    let started_at = now cs in
+    let state = ref Subtxn.Running in
+    let subs : (int, 'v Subtxn.t) Hashtbl.t = Hashtbl.create 8 in
+    let reads = ref [] in
+    let exec_step sub = function
+      | Read key ->
+          let v = Subtxn.read cs sub key in
+          reads := (Node_state.id (Subtxn.node sub), key, v) :: !reads
+      | Write (key, value) -> Subtxn.write cs sub key value
+      | Read_modify_write (key, f) -> Subtxn.read_modify_write cs sub key f
+      | Delete key -> Subtxn.delete cs sub key
+      | Pause d -> Sim.Engine.sleep d
+    in
+    (* Execute the subtree rooted at [p], whose parent runs at
+       [parent_node]; returns the subtree's prepared version — the maximum
+       of this subtransaction's version and its children's (the version
+       number travelling up with the prepared message). *)
+    let rec exec_subtree parent_node (p : 'v plan) ~carried =
+      let body () =
+        let sub =
+          Subtxn.start cs ~txn_id ~state ~node:(node cs p.at) ~carried
+        in
+        Hashtbl.replace subs p.at sub;
+        List.iter (exec_step sub) p.work;
+        let own = Subtxn.version sub in
+        (* Children are dispatched concurrently, each carrying the version
+           their parent had reached (§10 piggybacking uses it). *)
+        let child_results =
+          parallel cs
+            (List.map
+               (fun child () -> exec_subtree p.at child ~carried:own)
+               p.children)
+        in
+        let child_versions =
+          List.map (function Ok v -> v | Error e -> raise e) child_results
+        in
+        (* Prepared: own work and all children done; release read locks. *)
+        let prepared = Subtxn.prepare cs sub in
+        List.fold_left max prepared child_versions
+      in
+      if p.at = parent_node then body ()
+      else Net.Network.call cs.net ~src:parent_node ~dst:p.at body
+    in
+    (* Commit flows down the tree edges. *)
+    let rec commit_subtree parent_node (p : 'v plan) ~final_version =
+      let body () =
+        (match Hashtbl.find_opt subs p.at with
+        | Some sub when not (Subtxn.finished sub) ->
+            Subtxn.commit cs sub ~final_version
+        | _ -> ());
+        let results =
+          parallel cs
+            (List.map
+               (fun child () -> commit_subtree p.at child ~final_version)
+               p.children)
+        in
+        List.iter (function Ok () -> () | Error e -> raise e) results
+      in
+      if p.at = parent_node then body ()
+      else Net.Network.call cs.net ~src:parent_node ~dst:p.at body
+    in
+    let abort_all reason =
+      state := Subtxn.Aborting;
+      Hashtbl.iter (fun _ sub -> Subtxn.abort cs sub) subs;
+      cs.aborts <- cs.aborts + 1;
+      emit cs ~tag:"txn"
+        (Printf.sprintf "T%d: aborted at root node%d (%s)" txn_id root
+           (match reason with
+           | `Deadlock -> "deadlock"
+           | `Node_down n -> Printf.sprintf "node %d down" n
+           | `Version_mismatch -> "version mismatch"));
+      Aborted { txn_id; reason }
+    in
+    try
+      let final_version = exec_subtree root plan ~carried:0 in
+      (* The root holds the global version V(T); a participant that ran
+         behind it repairs itself when the commit message arrives. *)
+      let distinct_versions =
+        Hashtbl.fold (fun _ sub acc -> Subtxn.version sub :: acc) subs []
+      in
+      if List.exists (fun v -> v <> final_version) distinct_versions then begin
+        cs.commit_version_mismatches <- cs.commit_version_mismatches + 1;
+        if cs.config.Config.abort_on_version_mismatch then
+          raise (Subtxn.Txn_abort `Version_mismatch)
+      end;
+      commit_subtree root plan ~final_version;
+      state := Subtxn.Finished;
+      cs.commits <- cs.commits + 1;
+      emit cs ~tag:"txn"
+        (Printf.sprintf "T%d: committed in version %d (root node%d)" txn_id
+           final_version root);
+      Committed
+        {
+          txn_id;
+          final_version;
+          reads = List.rev !reads;
+          started_at;
+          finished_at = now cs;
+        }
+    with
+    | Subtxn.Txn_abort reason -> abort_all reason
+    | Net.Network.Node_down n -> abort_all (`Node_down n)
+  end

@@ -1,0 +1,1 @@
+lib/dbsim/experiment.ml: Ava3 Baseline Float List Net Option Printf Report Sim Vstore Wal Workload

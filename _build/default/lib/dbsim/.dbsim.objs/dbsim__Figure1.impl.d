@@ -1,0 +1,1 @@
+lib/dbsim/figure1.ml: Ava3 Buffer Float List Net Printf Sim String

@@ -1,0 +1,1 @@
+lib/dbsim/figure1.mli:

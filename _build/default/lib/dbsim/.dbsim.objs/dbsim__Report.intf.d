@@ -1,0 +1,1 @@
+lib/dbsim/report.mli:

@@ -1,0 +1,1 @@
+lib/dbsim/serial_check.ml: Array Ava3 Hashtbl List Option Printf Sim Vstore

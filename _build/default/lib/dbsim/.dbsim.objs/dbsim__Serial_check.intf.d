@@ -1,0 +1,1 @@
+lib/dbsim/serial_check.mli:

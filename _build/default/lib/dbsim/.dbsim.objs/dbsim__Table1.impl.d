@@ -1,0 +1,1 @@
+lib/dbsim/table1.ml: Ava3 Char List Net Option Printf Report Sim String Wal

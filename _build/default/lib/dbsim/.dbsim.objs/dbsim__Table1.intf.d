@@ -1,0 +1,1 @@
+lib/dbsim/table1.mli: Wal

@@ -1,0 +1,1182 @@
+module Update = Ava3.Update_exec
+module Driver = Workload.Driver
+module Histogram = Workload.Histogram
+
+(* ------------------------------------------------------------------ *)
+(* E3 — §6.2 invariants under load                                     *)
+(* ------------------------------------------------------------------ *)
+
+type invariants_run = {
+  probes : int;
+  violations : int;
+  max_versions_ever : int;
+  advancements : int;
+  commits : int;
+  queries : int;
+}
+
+let invariants ?(seed = 17L) ~nodes ~duration () =
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let db =
+    Baseline.Ava3_db.create ~engine ~advancement_period:(duration /. 12.0)
+      ~advancement_until:duration ~nodes ()
+  in
+  let ks = Workload.Keyspace.create ~nodes ~keys_per_node:80 ~theta:0.8 in
+  for n = 0 to nodes - 1 do
+    Baseline.Ava3_db.load db ~node:n
+      (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:n))
+  done;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let cluster = Baseline.Ava3_db.cluster db in
+  let probes = ref 0 and violations = ref 0 in
+  (* Probe the invariants at random instants while the workload runs. *)
+  for _ = 1 to 200 do
+    let delay = Sim.Rng.float rng duration in
+    Sim.Engine.schedule engine ~delay (fun () ->
+        incr probes;
+        violations :=
+          !violations + List.length (Ava3.Cluster.check_invariants cluster))
+  done;
+  (* Load scales with the cluster so bigger topologies do more work. *)
+  let spec =
+    {
+      Driver.default_spec with
+      duration;
+      update_rate = 0.12 *. float_of_int nodes;
+      query_rate = 0.06 *. float_of_int nodes;
+      ops_per_update = (2, 4);
+      long_query_period = duration /. 8.0;
+      long_query_reads = 40;
+    }
+  in
+  let report =
+    Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec
+  in
+  incr probes;
+  violations := !violations + List.length (Ava3.Cluster.check_invariants cluster);
+  violations :=
+    !violations + List.length (Ava3.Cluster.check_quiescent_invariants cluster);
+  let stats = Ava3.Cluster.stats cluster in
+  {
+    probes = !probes;
+    violations = !violations;
+    max_versions_ever = stats.Ava3.Cluster.max_versions_ever;
+    advancements = stats.Ava3.Cluster.advancements;
+    commits = report.Driver.committed;
+    queries = report.Driver.queries_ok;
+  }
+
+let print_invariants () =
+  let rows =
+    List.map
+      (fun nodes ->
+        let r = invariants ~nodes ~duration:1500.0 () in
+        [
+          Report.i nodes;
+          Report.i r.probes;
+          Report.i r.violations;
+          Report.i r.max_versions_ever;
+          Report.i r.advancements;
+          Report.i r.commits;
+          Report.i r.queries;
+        ])
+      [ 1; 3; 5 ]
+  in
+  Report.print ~title:"E3: §6.2 invariants under random load"
+    ~header:
+      [ "nodes"; "probes"; "violations"; "max-versions"; "advancements"; "commits"; "queries" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* E4 — staleness                                                      *)
+(* ------------------------------------------------------------------ *)
+
+type staleness_point = {
+  period : float;
+  eager : bool;
+  mean_staleness : float;
+  p95_staleness : float;
+  max_staleness : float;
+  advancements_done : int;
+}
+
+let staleness_one ?(seed = 23L) ~period ~eager () =
+  let duration = 2000.0 in
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let config =
+    { Ava3.Config.default with eager_counter_handoff = eager }
+  in
+  let db =
+    Baseline.Ava3_db.create ~engine ~config ~advancement_period:period
+      ~advancement_until:duration ~nodes:3 ()
+  in
+  let ks = Workload.Keyspace.create ~nodes:3 ~keys_per_node:80 ~theta:0.8 in
+  for n = 0 to 2 do
+    Baseline.Ava3_db.load db ~node:n
+      (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:n))
+  done;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let spec =
+    {
+      Driver.default_spec with
+      duration;
+      update_rate = 0.2;
+      query_rate = 0.25;
+      ops_per_update = (2, 4);
+    }
+  in
+  let report =
+    Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec
+  in
+  let h = report.Driver.staleness in
+  let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster db) in
+  {
+    period;
+    eager;
+    mean_staleness = Histogram.mean h;
+    p95_staleness = Histogram.percentile h 0.95;
+    max_staleness = Histogram.max_value h;
+    advancements_done = stats.Ava3.Cluster.advancements;
+  }
+
+let staleness_sweep ?(seed = 23L) ?(periods = [ 25.0; 50.0; 100.0; 200.0; 400.0 ])
+    ~eager () =
+  List.map (fun period -> staleness_one ~seed ~period ~eager ()) periods
+
+type staleness_bound = {
+  long_txn_duration : float;
+  publish_lag_plain : float;
+  publish_lag_eager : float;
+}
+
+(* Measure the lag between advancement start and queries first seeing the
+   new version, with one long update transaction active at advancement
+   start.  Figure 1's Phase-1 bound; §8 claims the eager hand-off removes
+   it. *)
+let publish_lag ~seed ~long_txn_duration ~eager =
+  let config =
+    {
+      Ava3.Config.default with
+      eager_counter_handoff = eager;
+      write_service_time = 0.0;
+    }
+  in
+  let engine = Sim.Engine.create ~seed () in
+  let db : int Ava3.Cluster.t =
+    Ava3.Cluster.create ~engine ~config ~latency:(Net.Latency.Constant 1.0)
+      ~nodes:3 ()
+  in
+  Ava3.Cluster.load db ~node:0 [ ("a", 0); ("b", 0) ];
+  let started = ref nan and published = ref nan in
+  Sim.Engine.schedule engine ~delay:5.0 (fun () ->
+      ignore
+        (Ava3.Cluster.run_update db ~root:0
+           ~ops:
+             [
+               Update.Write { node = 0; key = "a"; value = 1 };
+               Update.Pause (long_txn_duration /. 4.0);
+               (* Touching b (committed in the new version below) triggers
+                  the moveToFuture that the eager hand-off exploits. *)
+               Update.Write { node = 0; key = "b"; value = 1 };
+               Update.Pause (0.75 *. long_txn_duration);
+             ]));
+  Sim.Engine.schedule engine ~delay:10.0 (fun () ->
+      started := Sim.Engine.now engine;
+      ignore (Ava3.Cluster.advance db ~coordinator:2));
+  Sim.Engine.schedule engine ~delay:12.0 (fun () ->
+      ignore
+        (Ava3.Cluster.run_update db ~root:0
+           ~ops:[ Update.Write { node = 0; key = "b"; value = 2 } ]));
+  (* Poll with tiny queries until one reads version 1. *)
+  let probe at =
+    if at < 10_000.0 then
+      Sim.Engine.schedule engine ~delay:at (fun () ->
+          if Float.is_nan !published then begin
+            let q = Ava3.Cluster.run_query db ~root:1 ~reads:[] in
+            if q.Ava3.Query_exec.version >= 1 then
+              published := Sim.Engine.now engine
+          end)
+  in
+  let rec schedule at =
+    if at < 200.0 then begin
+      probe at;
+      schedule (at +. 1.0)
+    end
+  in
+  schedule 11.0;
+  Sim.Engine.run engine;
+  !published -. !started
+
+let staleness_bound ?(seed = 29L) ?(long_txn_duration = 100.0) () =
+  {
+    long_txn_duration;
+    publish_lag_plain = publish_lag ~seed ~long_txn_duration ~eager:false;
+    publish_lag_eager = publish_lag ~seed ~long_txn_duration ~eager:true;
+  }
+
+type continuous_point = {
+  query_duration : float;  (* measured mean query duration, network included *)
+  cont_mean : float;
+  cont_p95 : float;
+  cont_max : float;
+  rounds : int;
+}
+
+(* §8 limiting mode: advancements run back to back (overlapping GC), so a
+   query's snapshot is stale by at most roughly the age of the longest query
+   running when it started — here, the query duration itself. *)
+let continuous_one ?(seed = 47L) ~query_duration () =
+  let duration = 1500.0 in
+  let read_service = 0.5 in
+  let reads_per_query = max 1 (int_of_float (query_duration /. read_service)) in
+  let config =
+    {
+      Ava3.Config.default with
+      overlap_gc = true;
+      eager_counter_handoff = true;
+      read_service_time = read_service;
+    }
+  in
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let db =
+    Baseline.Ava3_db.create ~engine ~config ~advancement_period:0.0 ~nodes:3 ()
+  in
+  Ava3.Cluster.start_continuous_advancement (Baseline.Ava3_db.cluster db)
+    ~coordinator:0 ~until:duration;
+  let ks = Workload.Keyspace.create ~nodes:3 ~keys_per_node:80 ~theta:0.8 in
+  for n = 0 to 2 do
+    Baseline.Ava3_db.load db ~node:n
+      (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:n))
+  done;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let spec =
+    {
+      Driver.default_spec with
+      duration;
+      update_rate = 0.15;
+      query_rate = 0.1;
+      ops_per_update = (1, 3);
+      reads_per_query = (reads_per_query, reads_per_query);
+    }
+  in
+  let report =
+    Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec
+  in
+  ignore query_duration;
+  let h = report.Driver.staleness in
+  let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster db) in
+  {
+    (* Report the measured query duration — remote reads add network
+       latency on top of the nominal storage time. *)
+    query_duration = Histogram.mean report.Driver.query_latency;
+    cont_mean = Histogram.mean h;
+    cont_p95 = Histogram.percentile h 0.95;
+    cont_max = Histogram.max_value h;
+    rounds = stats.Ava3.Cluster.advancements;
+  }
+
+let continuous_staleness ?(seed = 47L) ?(durations = [ 5.0; 20.0; 60.0 ]) () =
+  List.map (fun d -> continuous_one ~seed ~query_duration:d ()) durations
+
+let print_staleness () =
+  let render eager =
+    let points = staleness_sweep ~eager () in
+    List.map
+      (fun p ->
+        [
+          Report.f1 p.period;
+          (if p.eager then "yes" else "no");
+          Report.f1 p.mean_staleness;
+          Report.f1 p.p95_staleness;
+          Report.f1 p.max_staleness;
+          Report.i p.advancements_done;
+        ])
+      points
+  in
+  Report.print ~title:"E4a: query staleness vs advancement period (AVA3, 3 nodes)"
+    ~header:[ "period"; "eager"; "mean"; "p95"; "max"; "advancements" ]
+    ~rows:(render false @ render true);
+  let b = staleness_bound () in
+  Report.print
+    ~title:
+      "E4b: publish lag with one long update transaction (bound: txn \
+       duration; §8 optimisation removes it)"
+    ~header:[ "long txn"; "lag (base)"; "lag (eager hand-off)" ]
+    ~rows:
+      [
+        [
+          Report.f1 b.long_txn_duration;
+          Report.f1 b.publish_lag_plain;
+          Report.f1 b.publish_lag_eager;
+        ];
+      ];
+  let rows =
+    List.map
+      (fun p ->
+        [
+          Report.f1 p.query_duration;
+          Report.f1 p.cont_mean;
+          Report.f1 p.cont_p95;
+          Report.f1 p.cont_max;
+          Report.i p.rounds;
+        ])
+      (continuous_staleness ())
+  in
+  Report.print
+    ~title:
+      "E4c: continuous advancement (§8 limit) — staleness bounded by the \
+       longest concurrent query"
+    ~header:[ "query duration (measured)"; "staleness mean"; "p95"; "max"; "rounds" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* E5 — protocol comparison                                            *)
+(* ------------------------------------------------------------------ *)
+
+type comparison_row = {
+  protocol : string;
+  committed : int;
+  aborted : int;
+  update_p95 : float;
+  query_p95 : float;
+  long_query_p95 : float;
+  staleness_mean : float;
+  max_versions : int;
+  lock_wait_time : float;
+  interference_metric : float;
+}
+
+let comparison_spec duration =
+  {
+    Driver.default_spec with
+    duration;
+    update_rate = 0.25;
+    query_rate = 0.12;
+    ops_per_update = (2, 4);
+    long_query_period = 120.0;
+    long_query_reads = 60;
+  }
+
+let comparison ?(seed = 31L) ?(duration = 2000.0) () =
+  let spec = comparison_spec duration in
+  let keyspace () = Workload.Keyspace.create ~nodes:3 ~keys_per_node:60 ~theta:0.9 in
+  let run_one (type db) (module Db : Workload.Db_intf.DB with type t = db)
+      (make : Sim.Engine.t -> db)
+      (load : db -> node:int -> (string * int) list -> unit)
+      ~interference_of =
+    let engine = Sim.Engine.create ~seed ~trace:false () in
+    let db = make engine in
+    let ks = keyspace () in
+    for n = 0 to 2 do
+      load db ~node:n
+        (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:n))
+    done;
+    let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    let report = Driver.run (module Db) db ~engine ~rng ~keyspace:ks ~spec in
+    let extra = Db.extra_stats db in
+    let get key = Option.value (List.assoc_opt key extra) ~default:0.0 in
+    {
+      protocol = Db.name;
+      committed = report.Driver.committed;
+      aborted = report.Driver.aborted;
+      update_p95 = Histogram.percentile report.Driver.update_latency 0.95;
+      query_p95 = Histogram.percentile report.Driver.query_latency 0.95;
+      long_query_p95 = Histogram.percentile report.Driver.long_query_latency 0.95;
+      staleness_mean = Histogram.mean report.Driver.staleness;
+      max_versions = Db.max_versions_ever db;
+      lock_wait_time = get "lock_wait_time";
+      interference_metric = interference_of extra;
+    }
+  in
+  [
+    run_one
+      (module Baseline.Ava3_db)
+      (fun engine ->
+        Baseline.Ava3_db.create ~engine ~advancement_period:100.0
+          ~advancement_until:duration ~nodes:3 ())
+      Baseline.Ava3_db.load
+      ~interference_of:(fun _ -> 0.0);
+    run_one
+      (module Baseline.S2pl)
+      (fun engine -> Baseline.S2pl.create ~engine ~nodes:3 ())
+      Baseline.S2pl.load
+      ~interference_of:(fun extra ->
+        Option.value (List.assoc_opt "lock_wait_time" extra) ~default:0.0);
+    run_one
+      (module Baseline.Two_version)
+      (fun engine -> Baseline.Two_version.create ~engine ~nodes:3 ())
+      Baseline.Two_version.load
+      ~interference_of:(fun extra ->
+        Option.value (List.assoc_opt "commit_delay" extra) ~default:0.0);
+    run_one
+      (module Baseline.Mvcc)
+      (fun engine -> Baseline.Mvcc.create ~engine ~nodes:3 ())
+      Baseline.Mvcc.load
+      ~interference_of:(fun _ -> 0.0);
+    run_one
+      (module Baseline.Four_version)
+      (fun engine ->
+        Baseline.Four_version.create ~engine ~advancement_period:100.0
+          ~advancement_until:duration ~nodes:3 ())
+      Baseline.Four_version.load
+      ~interference_of:(fun extra ->
+        Option.value (List.assoc_opt "mismatch_aborts" extra) ~default:0.0);
+  ]
+
+let print_comparison () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.protocol;
+          Report.i r.committed;
+          Report.i r.aborted;
+          Report.f2 r.update_p95;
+          Report.f2 r.query_p95;
+          Report.f2 r.long_query_p95;
+          Report.f1 r.staleness_mean;
+          Report.i r.max_versions;
+          Report.f1 r.lock_wait_time;
+          Report.f1 r.interference_metric;
+        ])
+      (comparison ())
+  in
+  Report.print
+    ~title:
+      "E5: protocols under one mixed workload (3 nodes, Zipf 0.95, long \
+       queries every 120)"
+    ~header:
+      [
+        "protocol";
+        "commits";
+        "aborts";
+        "upd p95";
+        "qry p95";
+        "longq p95";
+        "staleness";
+        "max-vers";
+        "lock-wait";
+        "interference";
+      ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* E6 — moveToFuture                                                   *)
+(* ------------------------------------------------------------------ *)
+
+type mtf_row = {
+  scheme_name : string;
+  piggyback : bool;
+  advancement_period : float;
+  commits : int;
+  mtf_data : int;
+  mtf_commit : int;
+  mtf_trivial : int;
+  items_copied : int;
+}
+
+let move_to_future ?(seed = 37L) ?(duration = 2000.0) () =
+  let run ~scheme ~piggyback ~period =
+    let engine = Sim.Engine.create ~seed ~trace:false () in
+    let config =
+      { Ava3.Config.default with scheme; piggyback_version = piggyback }
+    in
+    let db =
+      Baseline.Ava3_db.create ~engine ~config ~advancement_period:period
+        ~advancement_until:duration ~nodes:3 ()
+    in
+    let ks = Workload.Keyspace.create ~nodes:3 ~keys_per_node:80 ~theta:0.9 in
+    for n = 0 to 2 do
+      Baseline.Ava3_db.load db ~node:n
+        (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:n))
+    done;
+    let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    let spec =
+      {
+        Driver.default_spec with
+        duration;
+        update_rate = 0.3;
+        query_rate = 0.05;
+        remote_fraction = 0.5;
+        ops_per_update = (3, 6);
+      }
+    in
+    let report = Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec in
+    let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster db) in
+    {
+      scheme_name = Wal.Scheme.kind_name scheme;
+      piggyback;
+      advancement_period = period;
+      commits = report.Driver.committed;
+      mtf_data = stats.Ava3.Cluster.mtf_data_access;
+      mtf_commit = stats.Ava3.Cluster.mtf_commit_time;
+      mtf_trivial = stats.Ava3.Cluster.mtf_trivial;
+      items_copied = stats.Ava3.Cluster.mtf_items_copied;
+    }
+  in
+  List.concat_map
+    (fun period ->
+      List.concat_map
+        (fun scheme ->
+          List.map
+            (fun piggyback -> run ~scheme ~piggyback ~period)
+            [ false; true ])
+        [ Wal.Scheme.No_undo; Wal.Scheme.Undo_redo ])
+    [ 50.0; 200.0 ]
+
+(* Targeted §10 piggyback scenario: the root subtransaction is dragged to
+   the new version by a data access, then dispatches a child to a node that
+   has not advanced yet.  Piggybacking starts the child directly in the new
+   version, eliminating the commit-time moveToFuture. *)
+type piggyback_run = { staged : int; commit_mtf_plain : int; commit_mtf_piggyback : int }
+
+let piggyback_targeted ?(seed = 53L) () =
+  let run ~piggyback =
+    let config =
+      {
+        Ava3.Config.default with
+        piggyback_version = piggyback;
+        read_service_time = 0.0;
+        write_service_time = 0.0;
+      }
+    in
+    let engine = Sim.Engine.create ~seed ~trace:false () in
+    let db : int Ava3.Cluster.t =
+      Ava3.Cluster.create ~engine ~config ~latency:(Net.Latency.Constant 1.0)
+        ~nodes:3 ()
+    in
+    Ava3.Cluster.load db ~node:0 [ ("a", 0); ("c", 0) ];
+    Ava3.Cluster.load db ~node:1 [ ("b", 0) ];
+    let staged = 20 in
+    for s = 0 to staged - 1 do
+      let base = 10.0 +. (50.0 *. float_of_int s) in
+      (* The straddler: writes at node 0, is dragged to the new version by
+         touching [c] (committed there by the transaction below), then
+         dispatches its first operation to node 1 — which has not heard
+         about the advancement yet. *)
+      Sim.Engine.schedule engine ~delay:base (fun () ->
+          ignore
+            (Ava3.Cluster.run_update db ~root:0
+               ~ops:
+                 [
+                   Update.Write { node = 0; key = "a"; value = s };
+                   Update.Pause 10.0;
+                   Update.Write { node = 0; key = "c"; value = s };
+                   Update.Pause 5.0;
+                   Update.Write { node = 1; key = "b"; value = s };
+                 ]));
+      (* Node 0 hears Phase 1 first (direct message); node 1 lags. *)
+      Sim.Engine.schedule engine ~delay:(base +. 2.0) (fun () ->
+          let newu = Ava3.Node_state.u (Ava3.Cluster.node db 0) + 1 in
+          Net.Network.send (Ava3.Cluster.network db) ~src:2 ~dst:0
+            (Ava3.Messages.Advance_u { newu }));
+      Sim.Engine.schedule engine ~delay:(base +. 4.0) (fun () ->
+          ignore
+            (Ava3.Cluster.run_update db ~root:0
+               ~ops:[ Update.Write { node = 0; key = "c"; value = s } ]));
+      (* Let the round finish properly so versions publish and collect. *)
+      Sim.Engine.schedule engine ~delay:(base +. 30.0) (fun () ->
+          ignore (Ava3.Cluster.advance db ~coordinator:0))
+    done;
+    Sim.Engine.run engine;
+    let stats = Ava3.Cluster.stats db in
+    (staged, stats.Ava3.Cluster.mtf_commit_time)
+  in
+  let staged, plain = run ~piggyback:false in
+  let _, piggy = run ~piggyback:true in
+  { staged; commit_mtf_plain = plain; commit_mtf_piggyback = piggy }
+
+let print_move_to_future () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.scheme_name;
+          (if r.piggyback then "yes" else "no");
+          Report.f1 r.advancement_period;
+          Report.i r.commits;
+          Report.i r.mtf_data;
+          Report.i r.mtf_commit;
+          Report.i r.mtf_trivial;
+          Report.i r.items_copied;
+        ])
+      (move_to_future ())
+  in
+  Report.print
+    ~title:
+      "E6: moveToFuture frequency and cost (§4, §10 piggyback ablation)"
+    ~header:
+      [
+        "scheme";
+        "piggyback";
+        "adv period";
+        "commits";
+        "mtf@data";
+        "mtf@commit";
+        "trivial";
+        "items copied";
+      ]
+    ~rows;
+  let p = piggyback_targeted () in
+  Report.print
+    ~title:"E6b: §10 piggyback on transactions that straddle an advancement"
+    ~header:[ "staged straddlers"; "commit-mtf (plain)"; "commit-mtf (piggyback)" ]
+    ~rows:
+      [
+        [
+          Report.i p.staged;
+          Report.i p.commit_mtf_plain;
+          Report.i p.commit_mtf_piggyback;
+        ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E7 — centralized 3 vs 4 versions; synchronous advancement aborts    *)
+(* ------------------------------------------------------------------ *)
+
+type centralized_row = {
+  variant : string;
+  max_versions : int;
+  steady_versions : int;
+  advancement_mean_latency : float;
+  advancements : int;
+}
+
+(* Centralized node with constant long queries; measure how long each
+   advancement takes to publish (Phase 2 wait) and how many versions are
+   resident.  AVA3 pays the wait with 3 versions; the 4-version scheme
+   advances instantly with 4. *)
+let centralized_variant ~seed ~retain_extra () =
+  let config =
+    {
+      Ava3.Config.default with
+      retain_extra_version = retain_extra;
+      read_service_time = 0.5;
+    }
+  in
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let db : int Ava3.Centralized.t = Ava3.Centralized.create ~engine ~config () in
+  Ava3.Centralized.load db (List.init 10 (fun i -> (Printf.sprintf "k%d" i, 0)));
+  let latencies = Histogram.create () in
+  let advancements = ref 0 in
+  let steady = ref 0 in
+  (* Sample resident versions between advancements (steady state). *)
+  for s = 1 to 10 do
+    Sim.Engine.schedule engine
+      ~delay:((100.0 *. float_of_int s) -. 10.0)
+      (fun () ->
+        let store = Ava3.Node_state.store (Ava3.Centralized.node db) in
+        steady := max !steady (Vstore.Store.max_live_versions_now store))
+  done;
+  (* Steady stream of 40-unit queries. *)
+  for s = 0 to 60 do
+    Sim.Engine.schedule engine
+      ~delay:(10.0 +. (20.0 *. float_of_int s))
+      (fun () ->
+        ignore
+          (Ava3.Centralized.run_query db
+             ~keys:(List.init 80 (fun i -> Printf.sprintf "k%d" (i mod 10)))))
+  done;
+  (* Updates rewriting every key every round, so each advancement both has
+     something to publish and exercises the version bound. *)
+  for s = 0 to 150 do
+    Sim.Engine.schedule engine
+      ~delay:(5.0 +. (8.0 *. float_of_int s))
+      (fun () ->
+        ignore
+          (Ava3.Centralized.run_update db
+             ~ops:[ Ava3.Centralized.Write (Printf.sprintf "k%d" (s mod 10), s) ]))
+  done;
+  (* Advancements every 100 units; measure their completion latency. *)
+  for s = 1 to 10 do
+    Sim.Engine.schedule engine
+      ~delay:(100.0 *. float_of_int s)
+      (fun () ->
+        let t0 = Sim.Engine.now engine in
+        match Ava3.Centralized.advance_and_wait db with
+        | `Completed _ ->
+            incr advancements;
+            Histogram.add latencies (Sim.Engine.now engine -. t0)
+        | `Busy -> ())
+  done;
+  Sim.Engine.run engine;
+  let stats = Ava3.Centralized.stats db in
+  {
+    variant = (if retain_extra then "four-version (MPL92-style)" else "ava3 (3 versions)");
+    max_versions = stats.Ava3.Cluster.max_versions_ever;
+    steady_versions = !steady;
+    advancement_mean_latency = Histogram.mean latencies;
+    advancements = !advancements;
+  }
+
+let centralized ?(seed = 41L) () =
+  [
+    centralized_variant ~seed ~retain_extra:false ();
+    centralized_variant ~seed ~retain_extra:true ();
+  ]
+
+type sync_aborts = {
+  ava3_aborts_from_advancement : int;
+  fourv_mismatch_aborts : int;
+  advancements_during_run : int;
+}
+
+(* Distributed: frequent advancements under distributed transactions.  The
+   synchronous scheme aborts straddlers; AVA3 moves them to the future. *)
+let sync_advancement_aborts ?(seed = 43L) () =
+  let duration = 1500.0 in
+  let spec =
+    {
+      Driver.default_spec with
+      duration;
+      update_rate = 0.25;
+      query_rate = 0.05;
+      remote_fraction = 0.6;
+      ops_per_update = (3, 6);
+    }
+  in
+  let ks () = Workload.Keyspace.create ~nodes:3 ~keys_per_node:80 ~theta:0.85 in
+  (* AVA3 *)
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let ava3 =
+    Baseline.Ava3_db.create ~engine ~advancement_period:40.0
+      ~advancement_until:duration ~nodes:3 ()
+  in
+  let keyspace = ks () in
+  for n = 0 to 2 do
+    Baseline.Ava3_db.load ava3 ~node:n
+      (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys keyspace ~node:n))
+  done;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let _ = Driver.run (module Baseline.Ava3_db) ava3 ~engine ~rng ~keyspace ~spec in
+  let ava3_stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster ava3) in
+  (* Four-version synchronous *)
+  let engine2 = Sim.Engine.create ~seed ~trace:false () in
+  let fourv =
+    Baseline.Four_version.create ~engine:engine2 ~advancement_period:40.0
+      ~advancement_until:duration ~nodes:3 ()
+  in
+  let keyspace2 = ks () in
+  for n = 0 to 2 do
+    Baseline.Four_version.load fourv ~node:n
+      (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys keyspace2 ~node:n))
+  done;
+  let rng2 = Sim.Rng.split (Sim.Engine.rng engine2) in
+  let _ =
+    Driver.run (module Baseline.Four_version) fourv ~engine:engine2 ~rng:rng2
+      ~keyspace:keyspace2 ~spec
+  in
+  {
+    (* AVA3 aborts only come from deadlocks; advancement adds none.  Report
+       aborts minus deadlock victims (which exist in both systems). *)
+    ava3_aborts_from_advancement =
+      ava3_stats.Ava3.Cluster.aborts - ava3_stats.Ava3.Cluster.deadlocks;
+    fourv_mismatch_aborts = Baseline.Four_version.mismatch_aborts fourv;
+    advancements_during_run = ava3_stats.Ava3.Cluster.advancements;
+  }
+
+let print_centralized () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.variant;
+          Report.i r.max_versions;
+          Report.i r.steady_versions;
+          Report.f1 r.advancement_mean_latency;
+          Report.i r.advancements;
+        ])
+      (centralized ())
+  in
+  Report.print
+    ~title:"E7a: centralized — versions kept vs advancement latency (§7)"
+    ~header:
+      [ "variant"; "max versions"; "steady versions"; "adv latency (mean)"; "advancements" ]
+    ~rows;
+  let s = sync_advancement_aborts () in
+  Report.print
+    ~title:"E7b: distributed — advancement-induced aborts (§1, §9)"
+    ~header:[ "protocol"; "advancement-induced aborts"; "advancements" ]
+    ~rows:
+      [
+        [ "ava3"; Report.i s.ava3_aborts_from_advancement; Report.i s.advancements_during_run ];
+        [ "four-version-sync"; Report.i s.fourv_mismatch_aborts; Report.i s.advancements_during_run ];
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* E8 — optimisation ablations and the version-index GC cost           *)
+(* ------------------------------------------------------------------ *)
+
+type ablation_row = {
+  ablation : string;
+  abl_commits : int;
+  abl_messages : int;
+  abl_latches : int;
+  abl_mtf : int;
+  abl_staleness : float;
+}
+
+let ablations ?(seed = 59L) ?(duration = 1500.0) () =
+  let run ~name ~config =
+    let engine = Sim.Engine.create ~seed ~trace:false () in
+    let db =
+      Baseline.Ava3_db.create ~engine ~config ~advancement_period:75.0
+        ~advancement_until:duration ~nodes:3 ()
+    in
+    let ks = Workload.Keyspace.create ~nodes:3 ~keys_per_node:80 ~theta:0.85 in
+    for n = 0 to 2 do
+      Baseline.Ava3_db.load db ~node:n
+        (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:n))
+    done;
+    let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    let spec =
+      {
+        Driver.default_spec with
+        duration;
+        update_rate = 0.25;
+        query_rate = 0.2;
+        ops_per_update = (2, 4);
+        remote_fraction = 0.5;
+      }
+    in
+    let report =
+      Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec
+    in
+    let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster db) in
+    {
+      ablation = name;
+      abl_commits = report.Driver.committed;
+      abl_messages = stats.Ava3.Cluster.messages;
+      abl_latches = stats.Ava3.Cluster.latch_acquisitions;
+      abl_mtf =
+        stats.Ava3.Cluster.mtf_data_access + stats.Ava3.Cluster.mtf_commit_time;
+      abl_staleness = Histogram.mean report.Driver.staleness;
+    }
+  in
+  let base = Ava3.Config.default in
+  [
+    run ~name:"base protocol" ~config:base;
+    run ~name:"+eager hand-off (§8)"
+      ~config:{ base with eager_counter_handoff = true };
+    run ~name:"+piggyback (§10)" ~config:{ base with piggyback_version = true };
+    run ~name:"+root-only counters (§10)"
+      ~config:{ base with root_only_query_counters = true };
+    run ~name:"+shared counters (§10)"
+      ~config:{ base with shared_transaction_counters = true };
+    run ~name:"+overlap gc (§8)" ~config:{ base with overlap_gc = true };
+    run ~name:"all optimisations"
+      ~config:
+        {
+          base with
+          eager_counter_handoff = true;
+          piggyback_version = true;
+          root_only_query_counters = true;
+          shared_transaction_counters = true;
+          overlap_gc = true;
+        };
+  ]
+
+type gc_cost_row = {
+  gc_rule : string;
+  store_items : int;
+  gc_rounds : int;
+  items_visited : int;  (** total GC work with the version index *)
+  full_scan_equivalent : int;  (** items * rounds — the naive cost *)
+}
+
+(* Under the paper's renumbering rule, every live item is touched each GC
+   round; the read-equivalent in-place rule plus the version index makes GC
+   proportional to the items actually written. *)
+let gc_cost_one ?(seed = 61L) ~renumber () =
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let config = { Ava3.Config.default with gc_renumber = renumber } in
+  let db : int Ava3.Cluster.t = Ava3.Cluster.create ~engine ~config ~nodes:1 () in
+  let items = 5000 in
+  Ava3.Cluster.load db ~node:0
+    (List.init items (fun i -> (Printf.sprintf "k%d" i, 0)));
+  let rounds = ref 0 in
+  Sim.Engine.spawn engine (fun () ->
+      for round = 1 to 10 do
+        (* Touch only 50 of the 5000 items per round. *)
+        for i = 0 to 49 do
+          ignore
+            (Ava3.Cluster.run_update db ~root:0
+               ~ops:
+                 [
+                   Ava3.Update_exec.Write
+                     {
+                       node = 0;
+                       key = Printf.sprintf "k%d" (((round * 50) + i) mod items);
+                       value = round;
+                     };
+                 ])
+        done;
+        match Ava3.Cluster.advance_and_wait db ~coordinator:0 with
+        | `Completed _ -> incr rounds
+        | `Busy -> ()
+      done);
+  Sim.Engine.run engine;
+  let store = Ava3.Node_state.store (Ava3.Cluster.node db 0) in
+  {
+    gc_rule = (if renumber then "renumber (paper)" else "in-place");
+    store_items = Vstore.Store.item_count store;
+    gc_rounds = !rounds;
+    items_visited = Vstore.Store.gc_items_visited store;
+    full_scan_equivalent = items * !rounds;
+  }
+
+let gc_cost ?seed () =
+  [ gc_cost_one ?seed ~renumber:true (); gc_cost_one ?seed ~renumber:false () ]
+
+let print_ablations () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.ablation;
+          Report.i r.abl_commits;
+          Report.i r.abl_messages;
+          Report.i r.abl_latches;
+          Report.i r.abl_mtf;
+          Report.f1 r.abl_staleness;
+        ])
+      (ablations ())
+  in
+  Report.print
+    ~title:"E8a: optimisation ablations (same workload and seed)"
+    ~header:[ "configuration"; "commits"; "messages"; "latches"; "mtf"; "staleness" ]
+    ~rows;
+  let rows =
+    List.map
+      (fun g ->
+        [
+          g.gc_rule;
+          Report.i g.store_items;
+          Report.i g.gc_rounds;
+          Report.i g.items_visited;
+          Report.i g.full_scan_equivalent;
+        ])
+      (gc_cost ())
+  in
+  Report.print
+    ~title:
+      "E8b: Phase-3 GC work, version-indexed (50 of 5000 items written per \
+       round)"
+    ~header:
+      [ "gc rule"; "store items"; "gc rounds"; "items visited"; "full-scan equivalent" ]
+    ~rows
+
+(* ------------------------------------------------------------------ *)
+(* E9 — advancement scalability with cluster size                      *)
+(* ------------------------------------------------------------------ *)
+
+type scalability_row = {
+  sc_nodes : int;
+  sc_advancement_latency : float;  (** mean time for a full idle round *)
+  sc_messages_per_round : float;
+  sc_commits : int;
+  sc_staleness : float;
+}
+
+(* Version advancement costs 5n messages per round (advance-u/ack,
+   advance-q/ack, garbage-collect) and two ack-collection barriers; latency
+   should stay near-constant with n while messages grow linearly.  The
+   protocol cost is measured on an idle cluster (a loaded one would conflate
+   transaction RPC traffic); throughput and staleness come from a loaded
+   run of the same size. *)
+let scalability ?(seed = 67L) () =
+  let idle_round_cost nodes =
+    let engine = Sim.Engine.create ~seed ~trace:false () in
+    let db : int Ava3.Cluster.t = Ava3.Cluster.create ~engine ~nodes () in
+    Ava3.Cluster.load db ~node:0 [ ("x", 1) ];
+    let latencies = Histogram.create () and message_costs = Histogram.create () in
+    Sim.Engine.spawn engine (fun () ->
+        let net = Ava3.Cluster.network db in
+        for round = 0 to 4 do
+          (* Keep versions moving so every round has something to publish. *)
+          ignore
+            (Ava3.Cluster.run_update db ~root:0
+               ~ops:[ Ava3.Update_exec.Write { node = 0; key = "x"; value = round } ]);
+          let before = Net.Network.messages_sent net in
+          let t0 = Sim.Engine.now engine in
+          match Ava3.Cluster.advance_and_wait db ~coordinator:(round mod nodes) with
+          | `Completed _ ->
+              Histogram.add latencies (Sim.Engine.now engine -. t0);
+              Histogram.add message_costs
+                (float_of_int (Net.Network.messages_sent net - before))
+          | `Busy -> ()
+        done);
+    Sim.Engine.run engine;
+    (Histogram.mean latencies, Histogram.mean message_costs)
+  in
+  let run nodes =
+    let duration = 1200.0 in
+    let idle_latency, idle_messages = idle_round_cost nodes in
+    let engine = Sim.Engine.create ~seed ~trace:false () in
+    let db : int Ava3.Cluster.t = Ava3.Cluster.create ~engine ~nodes () in
+    let ks = Workload.Keyspace.create ~nodes ~keys_per_node:40 ~theta:0.8 in
+    for n = 0 to nodes - 1 do
+      Ava3.Cluster.load db ~node:n
+        (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:n))
+    done;
+    Ava3.Cluster.start_periodic_advancement db ~coordinator:0 ~period:100.0
+      ~until:duration;
+    let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    let spec =
+      {
+        Driver.default_spec with
+        duration;
+        update_rate = 0.08 *. float_of_int nodes;
+        query_rate = 0.05 *. float_of_int nodes;
+        ops_per_update = (2, 4);
+      }
+    in
+    (* Drive the workload directly on this cluster. *)
+    let committed = ref 0 in
+    let staleness = Histogram.create () in
+    List.iter
+      (fun at ->
+        Sim.Engine.schedule engine ~delay:at (fun () ->
+            let root = Sim.Rng.int rng nodes in
+            let lo, hi = spec.Driver.ops_per_update in
+            let ops =
+              List.init (Sim.Rng.int_in rng lo hi) (fun _ ->
+                  let n = Sim.Rng.int rng nodes in
+                  Ava3.Update_exec.Write
+                    {
+                      node = n;
+                      key = Workload.Keyspace.draw_at ks rng ~node:n;
+                      value = Sim.Rng.int rng 1000;
+                    })
+            in
+            match Ava3.Cluster.run_update_with_retry db ~root ~ops () with
+            | Ava3.Update_exec.Committed _, _ -> incr committed
+            | Ava3.Update_exec.Aborted _, _ -> ()))
+      (List.init
+         (int_of_float (spec.Driver.update_rate *. duration))
+         (fun i -> float_of_int i /. spec.Driver.update_rate));
+    List.iter
+      (fun at ->
+        Sim.Engine.schedule engine ~delay:at (fun () ->
+            let root = Sim.Rng.int rng nodes in
+            let q =
+              Ava3.Cluster.run_query db ~root
+                ~reads:[ (root, Workload.Keyspace.draw_at ks rng ~node:root) ]
+            in
+            Option.iter (Histogram.add staleness) q.Ava3.Query_exec.staleness))
+      (List.init
+         (int_of_float (spec.Driver.query_rate *. duration))
+         (fun i -> float_of_int i /. spec.Driver.query_rate));
+    Sim.Engine.run engine;
+    {
+      sc_nodes = nodes;
+      sc_advancement_latency = idle_latency;
+      sc_messages_per_round = idle_messages;
+      sc_commits = !committed;
+      sc_staleness = Histogram.mean staleness;
+    }
+  in
+  List.map run [ 1; 2; 4; 8; 16 ]
+
+let print_scalability () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Report.i r.sc_nodes;
+          Report.f1 r.sc_advancement_latency;
+          Report.f1 r.sc_messages_per_round;
+          Report.i r.sc_commits;
+          Report.f1 r.sc_staleness;
+        ])
+      (scalability ())
+  in
+  Report.print
+    ~title:
+      "E9: advancement cost vs cluster size (per-node load held constant)"
+    ~header:
+      [ "nodes"; "adv latency (mean)"; "messages/round"; "commits"; "staleness" ]
+    ~rows
+
+type tree_vs_flat_row = {
+  fanout : int;  (** remote nodes touched per transaction *)
+  flat_latency : float;
+  tree_latency : float;
+}
+
+(* The R* tree model runs children concurrently; the flat executor ships
+   operations one at a time.  With f remote nodes and latency L, flat pays
+   ~2fL of network time where the tree pays ~2L. *)
+let tree_vs_flat ?(seed = 71L) () =
+  let run ~fanout ~use_tree =
+    let engine = Sim.Engine.create ~seed ~trace:false () in
+    let config =
+      { Ava3.Config.default with read_service_time = 0.0; write_service_time = 0.0 }
+    in
+    let db : int Ava3.Cluster.t =
+      Ava3.Cluster.create ~engine ~config ~latency:(Net.Latency.Constant 2.0)
+        ~nodes:(fanout + 1) ()
+    in
+    for n = 0 to fanout do
+      Ava3.Cluster.load db ~node:n [ (Printf.sprintf "k%d" n, 0) ]
+    done;
+    let latencies = Histogram.create () in
+    for s = 0 to 19 do
+      Sim.Engine.schedule engine ~delay:(float_of_int s *. 100.0) (fun () ->
+          let t0 = Sim.Engine.now engine in
+          let done_ () = Histogram.add latencies (Sim.Engine.now engine -. t0) in
+          if use_tree then begin
+            let plan =
+              {
+                Ava3.Tree_txn.at = 0;
+                work = [ Ava3.Tree_txn.Write ("k0", s) ];
+                children =
+                  List.init fanout (fun i ->
+                      {
+                        Ava3.Tree_txn.at = i + 1;
+                        work = [ Ava3.Tree_txn.Write (Printf.sprintf "k%d" (i + 1), s) ];
+                        children = [];
+                      });
+              }
+            in
+            match Ava3.Cluster.run_tree_update db ~plan with
+            | Ava3.Tree_txn.Committed _ -> done_ ()
+            | Ava3.Tree_txn.Aborted _ -> ()
+          end
+          else
+            match
+              Ava3.Cluster.run_update db ~root:0
+                ~ops:
+                  (Ava3.Update_exec.Write { node = 0; key = "k0"; value = s }
+                  :: List.init fanout (fun i ->
+                         Ava3.Update_exec.Write
+                           { node = i + 1; key = Printf.sprintf "k%d" (i + 1); value = s }))
+            with
+            | Ava3.Update_exec.Committed _ -> done_ ()
+            | Ava3.Update_exec.Aborted _ -> ())
+    done;
+    Sim.Engine.run engine;
+    Histogram.mean latencies
+  in
+  List.map
+    (fun fanout ->
+      {
+        fanout;
+        flat_latency = run ~fanout ~use_tree:false;
+        tree_latency = run ~fanout ~use_tree:true;
+      })
+    [ 1; 2; 4; 8 ]
+
+let print_tree_vs_flat () =
+  let rows =
+    List.map
+      (fun r ->
+        [ Report.i r.fanout; Report.f1 r.flat_latency; Report.f1 r.tree_latency ])
+      (tree_vs_flat ())
+  in
+  Report.print
+    ~title:
+      "E8c: flat vs R*-tree transaction execution (latency 2.0/hop, one \
+       write per node)"
+    ~header:[ "remote nodes"; "flat latency"; "tree latency" ]
+    ~rows

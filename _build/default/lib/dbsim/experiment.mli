@@ -1,0 +1,185 @@
+(** Experiment drivers for the paper's measurable claims (DESIGN.md E3–E7).
+
+    Each function runs a self-contained simulation (deterministic under its
+    seed) and returns structured results; [print_*] renders the same data as
+    the tables in EXPERIMENTS.md. *)
+
+(** {1 E3 — §6.2 invariants under load} *)
+
+type invariants_run = {
+  probes : int;  (** invariant checks performed at random instants *)
+  violations : int;
+  max_versions_ever : int;
+  advancements : int;
+  commits : int;
+  queries : int;
+}
+
+val invariants : ?seed:int64 -> nodes:int -> duration:float -> unit -> invariants_run
+val print_invariants : unit -> unit
+
+(** {1 E4 — §8 staleness vs advancement period} *)
+
+type staleness_point = {
+  period : float;
+  eager : bool;
+  mean_staleness : float;
+  p95_staleness : float;
+  max_staleness : float;
+  advancements_done : int;
+}
+
+val staleness_sweep :
+  ?seed:int64 -> ?periods:float list -> eager:bool -> unit -> staleness_point list
+
+type staleness_bound = {
+  long_txn_duration : float;
+  publish_lag_plain : float;
+      (** time from advancement start to queries seeing the new version,
+          with a long update transaction running — base protocol *)
+  publish_lag_eager : float;  (** same with the §8 eager hand-off *)
+}
+
+val staleness_bound : ?seed:int64 -> ?long_txn_duration:float -> unit -> staleness_bound
+
+type continuous_point = {
+  query_duration : float;
+  cont_mean : float;
+  cont_p95 : float;
+  cont_max : float;
+  rounds : int;  (** back-to-back advancement rounds completed *)
+}
+
+val continuous_staleness :
+  ?seed:int64 -> ?durations:float list -> unit -> continuous_point list
+(** §8 limiting mode: with advancements running back to back, a query's
+    snapshot is stale by at most (roughly) the age of the longest query
+    running when it started. *)
+
+val print_staleness : unit -> unit
+
+(** {1 E5 — protocol comparison on one workload} *)
+
+type comparison_row = {
+  protocol : string;
+  committed : int;
+  aborted : int;
+  update_p95 : float;
+  query_p95 : float;
+  long_query_p95 : float;
+  staleness_mean : float;
+  max_versions : int;
+  lock_wait_time : float;
+  interference_metric : float;
+      (** protocol-specific: lock wait (S2PL), commit delay (2V), 0 for
+          version-based protocols *)
+}
+
+val comparison : ?seed:int64 -> ?duration:float -> unit -> comparison_row list
+val print_comparison : unit -> unit
+
+(** {1 E6 — moveToFuture frequency and cost} *)
+
+type mtf_row = {
+  scheme_name : string;
+  piggyback : bool;
+  advancement_period : float;
+  commits : int;
+  mtf_data : int;
+  mtf_commit : int;
+  mtf_trivial : int;
+  items_copied : int;
+}
+
+val move_to_future : ?seed:int64 -> ?duration:float -> unit -> mtf_row list
+
+type piggyback_run = {
+  staged : int;  (** transactions engineered to straddle an advancement *)
+  commit_mtf_plain : int;
+  commit_mtf_piggyback : int;
+}
+
+val piggyback_targeted : ?seed:int64 -> unit -> piggyback_run
+val print_move_to_future : unit -> unit
+
+(** {1 E7 — three vs four versions; synchronous advancement aborts} *)
+
+type centralized_row = {
+  variant : string;
+  max_versions : int;
+  steady_versions : int;
+      (** resident versions sampled between advancements — AVA3: at most 2,
+          four-version scheme: 3 *)
+  advancement_mean_latency : float;
+      (** time for one advancement to complete under long queries *)
+  advancements : int;
+}
+
+val centralized : ?seed:int64 -> unit -> centralized_row list
+
+type sync_aborts = {
+  ava3_aborts_from_advancement : int;
+  fourv_mismatch_aborts : int;
+  advancements_during_run : int;
+}
+
+val sync_advancement_aborts : ?seed:int64 -> unit -> sync_aborts
+val print_centralized : unit -> unit
+
+(** {1 E8 — ablations and GC cost} *)
+
+type ablation_row = {
+  ablation : string;
+  abl_commits : int;
+  abl_messages : int;
+  abl_latches : int;
+  abl_mtf : int;
+  abl_staleness : float;
+}
+
+val ablations : ?seed:int64 -> ?duration:float -> unit -> ablation_row list
+(** The same workload under each optimisation flag (and all together). *)
+
+type gc_cost_row = {
+  gc_rule : string;
+  store_items : int;
+  gc_rounds : int;
+  items_visited : int;
+  full_scan_equivalent : int;
+}
+
+val gc_cost : ?seed:int64 -> unit -> gc_cost_row list
+(** Phase-3 garbage-collection work under the paper's renumbering rule and
+    the read-equivalent in-place rule, both version-indexed, against the
+    naive full-scan cost. *)
+
+val print_ablations : unit -> unit
+
+(** {1 E9 — scalability} *)
+
+type scalability_row = {
+  sc_nodes : int;
+  sc_advancement_latency : float;
+  sc_messages_per_round : float;
+  sc_commits : int;
+  sc_staleness : float;
+}
+
+val scalability : ?seed:int64 -> unit -> scalability_row list
+(** Advancement latency and message cost as the cluster grows (per-node
+    workload held constant): messages grow linearly (5n per round), latency
+    stays bounded by in-flight transaction residuals, not by n. *)
+
+val print_scalability : unit -> unit
+
+type tree_vs_flat_row = {
+  fanout : int;
+  flat_latency : float;
+  tree_latency : float;
+}
+
+val tree_vs_flat : ?seed:int64 -> unit -> tree_vs_flat_row list
+(** Transaction latency of the sequential flat executor vs the concurrent
+    R*-style tree executor as the number of remote participants grows. *)
+
+val print_tree_vs_flat : unit -> unit

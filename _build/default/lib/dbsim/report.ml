@@ -1,0 +1,36 @@
+let f1 v = Printf.sprintf "%.1f" v
+let f2 v = Printf.sprintf "%.2f" v
+let i v = string_of_int v
+
+let render ~header ~rows =
+  let all = header :: rows in
+  let columns = List.length header in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (String.length cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init columns width in
+  let pad cell w = cell ^ String.make (max 0 (w - String.length cell)) ' ' in
+  let rtrim s =
+    let n = ref (String.length s) in
+    while !n > 0 && s.[!n - 1] = ' ' do
+      decr n
+    done;
+    String.sub s 0 !n
+  in
+  let line row =
+    String.concat "  " (List.mapi (fun c cell -> pad cell (List.nth widths c)) row)
+    |> rtrim
+    |> fun s -> s ^ "\n"
+  in
+  let rule =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths) ^ "\n"
+  in
+  line header ^ rule ^ String.concat "" (List.map line rows)
+
+let print ~title ~header ~rows =
+  Printf.printf "\n== %s ==\n%s%!" title (render ~header ~rows)

@@ -1,0 +1,13 @@
+(** Plain-text table rendering for experiment reports. *)
+
+val render : header:string list -> rows:string list list -> string
+(** Aligned columns, a rule under the header. *)
+
+val print : title:string -> header:string list -> rows:string list list -> unit
+(** Render to stdout with a title banner. *)
+
+val f1 : float -> string
+(** One decimal place. *)
+
+val f2 : float -> string
+val i : int -> string

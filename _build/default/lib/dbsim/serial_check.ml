@@ -1,0 +1,327 @@
+module Update = Ava3.Update_exec
+
+type key = int * string
+
+type op_record =
+  | Rmw of key * int option * int  (** observed value, written value *)
+  | Put of key * int  (** blind write *)
+  | Del of key
+
+type txn_record = {
+  t_version : int;
+  t_finished : float;
+  t_commit_at : (int * float) list;  (** per-node local commit times *)
+  t_ops : op_record list;
+}
+
+type query_record = { q_version : int; q_reads : (key * int option) list }
+
+type history = {
+  committed : txn_record list;
+  queries : query_record list;
+  initial : (key * int) list;
+  final_visible : (key * int option) list;
+}
+
+let key_name (n, k) = Printf.sprintf "n%d-%s" n k
+
+(* The deterministic transform RMW transactions apply; salted so different
+   ops produce different values. *)
+let transform ~salt old = ((Option.value old ~default:0 * 31) + salt) mod 100_003
+
+let recording_run ?(seed = 101L) ?(nodes = 3) ?(transactions = 60)
+    ?(queries = 25) ?(advancements = 4) () =
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let config =
+    { Ava3.Config.default with read_service_time = 0.3; write_service_time = 0.5 }
+  in
+  let db : int Ava3.Cluster.t = Ava3.Cluster.create ~engine ~config ~nodes () in
+  let keys_per_node = 6 in
+  let all_keys =
+    List.concat_map
+      (fun n -> List.init keys_per_node (fun i -> (n, Printf.sprintf "k%d" i)))
+      (List.init nodes (fun n -> n))
+  in
+  let initial = List.mapi (fun i key -> (key, i + 1)) all_keys in
+  List.iter
+    (fun ((n, _) as key, v) ->
+      Ava3.Cluster.load db ~node:n [ (snd key, v) ])
+    initial;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let committed = ref [] and query_records = ref [] in
+  let horizon = 400.0 in
+  (* Update transactions: a mix of RMWs (observing reads), blind writes and
+     deletes, each recorded through closures so only the committed
+     attempt's executions count. *)
+  for t = 1 to transactions do
+    let delay = Sim.Rng.float rng horizon in
+    let picks =
+      List.init
+        (1 + Sim.Rng.int rng 3)
+        (fun j ->
+          let n = Sim.Rng.int rng nodes in
+          let key = (n, Printf.sprintf "k%d" (Sim.Rng.int rng keys_per_node)) in
+          (key, Sim.Rng.int rng 3, (t * 100) + j))
+    in
+    (* Distinct keys only: repeated RMW of one key in one txn is fine for
+       the protocol but would need own-write tracking here. *)
+    let seen = Hashtbl.create 4 in
+    let picks =
+      List.filter
+        (fun (key, _, _) ->
+          if Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.replace seen key ();
+            true
+          end)
+        picks
+    in
+    Sim.Engine.schedule engine ~delay (fun () ->
+        (* RMW observations are recorded by their closures at execution
+           time; blind writes and deletes are appended afterwards — sound
+           because each transaction touches distinct keys, so intra-
+           transaction op order across keys cannot affect observations. *)
+        let cell = ref [] in
+        let ops =
+          List.map
+            (fun (((n, k) as key), kind, salt) ->
+              match kind with
+              | 0 ->
+                  Update.Read_modify_write
+                    {
+                      node = n;
+                      key = k;
+                      f =
+                        (fun old ->
+                          let nv = transform ~salt old in
+                          cell := Rmw (key, old, nv) :: !cell;
+                          nv);
+                    }
+              | 1 -> Update.Write { node = n; key = k; value = salt }
+              | _ -> Update.Delete { node = n; key = k })
+            picks
+        in
+        match Ava3.Cluster.run_update db ~root:(Sim.Rng.int rng nodes) ~ops with
+        | Update.Committed c ->
+            let blind =
+              List.filter_map
+                (fun (key, kind, salt) ->
+                  match kind with
+                  | 1 -> Some (Put (key, salt))
+                  | 2 -> Some (Del key)
+                  | _ -> None)
+                picks
+            in
+            committed :=
+              {
+                t_version = c.Update.final_version;
+                t_finished = c.Update.finished_at;
+                t_commit_at = c.Update.participants;
+                t_ops = List.rev !cell @ blind;
+              }
+              :: !committed
+        | Update.Aborted _ -> ())
+  done;
+  (* Queries. *)
+  for _ = 1 to queries do
+    let delay = Sim.Rng.float rng (horizon +. 50.0) in
+    Sim.Engine.schedule engine ~delay (fun () ->
+        let reads =
+          List.init
+            (2 + Sim.Rng.int rng 4)
+            (fun _ ->
+              let n = Sim.Rng.int rng nodes in
+              (n, Printf.sprintf "k%d" (Sim.Rng.int rng keys_per_node)))
+        in
+        let q = Ava3.Cluster.run_query db ~root:(Sim.Rng.int rng nodes) ~reads in
+        query_records :=
+          {
+            q_version = q.Ava3.Query_exec.version;
+            q_reads =
+              List.map (fun (n, k, v) -> ((n, k), v)) q.Ava3.Query_exec.values;
+          }
+          :: !query_records)
+  done;
+  for a = 1 to advancements do
+    Sim.Engine.schedule engine
+      ~delay:(float_of_int a *. (horizon /. float_of_int (advancements + 1)))
+      (fun () -> ignore (Ava3.Cluster.advance db ~coordinator:(a mod nodes)))
+  done;
+  Sim.Engine.run engine;
+  let final_visible =
+    List.map
+      (fun ((n, k) as key) ->
+        ( key,
+          Vstore.Store.read_le
+            (Ava3.Node_state.store (Ava3.Cluster.node db n))
+            k max_int ))
+      all_keys
+  in
+  {
+    committed = !committed;
+    queries = !query_records;
+    initial;
+    final_visible;
+  }
+
+type verdict = {
+  transactions_checked : int;
+  queries_checked : int;
+  errors : string list;
+}
+
+let verify history =
+  let errors = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  (* The serial order Theorem 6.2 claims: transactions ordered by commit
+     version; within a version, conflicting transactions follow their 2PL
+     order, which is visible as the order of their local commits at the
+     node holding the contended item.  Build those conflict edges and
+     topologically sort (ties broken deterministically by root finish
+     time). *)
+  let txns = Array.of_list history.committed in
+  let n_txns = Array.length txns in
+  let key_of_op = function Rmw (k, _, _) -> k | Put (k, _) -> k | Del k -> k in
+  let commit_at t node =
+    Option.value (List.assoc_opt node t.t_commit_at) ~default:t.t_finished
+  in
+  (* Group transaction indices by touched key. *)
+  let by_key : (key, int list ref) Hashtbl.t = Hashtbl.create 64 in
+  Array.iteri
+    (fun i t ->
+      List.iter
+        (fun op ->
+          let k = key_of_op op in
+          match Hashtbl.find_opt by_key k with
+          | Some l -> if not (List.mem i !l) then l := i :: !l
+          | None -> Hashtbl.replace by_key k (ref [ i ]))
+        t.t_ops)
+    txns;
+  let succs = Array.make n_txns [] and indeg = Array.make n_txns 0 in
+  let add_edge a b =
+    if not (List.mem b succs.(a)) then begin
+      succs.(a) <- b :: succs.(a);
+      indeg.(b) <- indeg.(b) + 1
+    end
+  in
+  Hashtbl.iter
+    (fun ((node, _) as _k) l ->
+      let chain =
+        List.sort
+          (fun a b ->
+            compare
+              (txns.(a).t_version, commit_at txns.(a) node)
+              (txns.(b).t_version, commit_at txns.(b) node))
+          !l
+      in
+      let rec link = function
+        | a :: (b :: _ as rest) ->
+            add_edge a b;
+            link rest
+        | _ -> ()
+      in
+      link chain)
+    by_key;
+  (* Kahn's algorithm with a deterministic priority. *)
+  let ready =
+    ref
+      (List.filter (fun i -> indeg.(i) = 0) (List.init n_txns (fun i -> i)))
+  in
+  let priority i = (txns.(i).t_version, txns.(i).t_finished, i) in
+  let order = ref [] in
+  let emitted = ref 0 in
+  while !ready <> [] do
+    let best =
+      List.fold_left
+        (fun acc i ->
+          match acc with
+          | None -> Some i
+          | Some j -> if priority i < priority j then Some i else Some j)
+        None !ready
+    in
+    match best with
+    | None -> ()
+    | Some i ->
+        ready := List.filter (fun j -> j <> i) !ready;
+        order := txns.(i) :: !order;
+        incr emitted;
+        List.iter
+          (fun j ->
+            indeg.(j) <- indeg.(j) - 1;
+            if indeg.(j) = 0 then ready := j :: !ready)
+          succs.(i)
+  done;
+  if !emitted <> n_txns then
+    fail "conflict graph has a cycle (%d of %d emitted) — not serializable"
+      !emitted n_txns;
+  let order = List.rev !order in
+  let state : (key, int option) Hashtbl.t = Hashtbl.create 64 in
+  List.iter (fun (key, v) -> Hashtbl.replace state key (Some v)) history.initial;
+  let lookup key = Option.join (Hashtbl.find_opt state key) in
+  let snapshot_at = Hashtbl.create 8 in
+  (* Replay, remembering the state after each version's transactions. *)
+  let remember v =
+    Hashtbl.replace snapshot_at v (Hashtbl.copy state)
+  in
+  let current_version = ref 0 in
+  remember (-1);
+  List.iter
+    (fun t ->
+      if t.t_version > !current_version then begin
+        (* All versions in between close with the current state. *)
+        for v = !current_version to t.t_version - 1 do
+          remember v
+        done;
+        current_version := t.t_version
+      end;
+      List.iter
+        (fun op ->
+          match op with
+          | Rmw (key, observed, written) ->
+              let expect = lookup key in
+              if observed <> expect then
+                fail "rmw on %s observed %s, serial replay has %s"
+                  (key_name key)
+                  (match observed with None -> "-" | Some v -> string_of_int v)
+                  (match expect with None -> "-" | Some v -> string_of_int v);
+              Hashtbl.replace state key (Some written)
+          | Put (key, v) -> Hashtbl.replace state key (Some v)
+          | Del key -> Hashtbl.replace state key None)
+        t.t_ops)
+    order;
+  for v = !current_version to !current_version + 2 do
+    remember v
+  done;
+  let max_remembered = !current_version + 2 in
+  (* Queries read exactly the replayed prefix of their snapshot version. *)
+  List.iter
+    (fun q ->
+      let snap =
+        Hashtbl.find snapshot_at (min q.q_version max_remembered)
+      in
+      List.iter
+        (fun (key, got) ->
+          let expect = Option.join (Hashtbl.find_opt snap key) in
+          if got <> expect then
+            fail "query at v%d read %s = %s, serial replay has %s" q.q_version
+              (key_name key)
+              (match got with None -> "-" | Some v -> string_of_int v)
+              (match expect with None -> "-" | Some v -> string_of_int v))
+        q.q_reads)
+    history.queries;
+  (* Final states agree. *)
+  List.iter
+    (fun (key, visible) ->
+      let expect = lookup key in
+      if visible <> expect then
+        fail "final state of %s is %s, serial replay has %s" (key_name key)
+          (match visible with None -> "-" | Some v -> string_of_int v)
+          (match expect with None -> "-" | Some v -> string_of_int v))
+    history.final_visible;
+  {
+    transactions_checked = List.length history.committed;
+    queries_checked = List.length history.queries;
+    errors = List.rev !errors;
+  }
+
+let check ?seed () = verify (recording_run ?seed ())

@@ -1,0 +1,1 @@
+lib/lockmgr/lock_table.mli:

@@ -1,0 +1,13 @@
+type t = { name : string; mutable acquisitions : int }
+
+let create name = { name; acquisitions = 0 }
+
+let name t = t.name
+let acquisitions t = t.acquisitions
+
+let protect t f =
+  t.acquisitions <- t.acquisitions + 1;
+  f ()
+
+let incr_protected t cell = protect t (fun () -> incr cell)
+let decr_protected t cell = protect t (fun () -> decr cell)

@@ -1,0 +1,24 @@
+(** Latch accounting.
+
+    The paper allows read transactions to "increment some main memory
+    counters associated with the node using latches (no locks)".  In the
+    single-threaded simulation a latch never blocks, so a latch is purely an
+    accounting device: it counts short critical sections so experiments can
+    report how much latching each protocol performs, and the microbenchmarks
+    can measure the real-time cost of a latched counter update. *)
+
+type t
+
+val create : string -> t
+
+val name : t -> string
+
+val acquisitions : t -> int
+
+val protect : t -> (unit -> 'a) -> 'a
+(** Run the critical section, counting one acquisition. *)
+
+val incr_protected : t -> int ref -> unit
+(** The common case: latched increment of a main-memory counter. *)
+
+val decr_protected : t -> int ref -> unit

@@ -1,0 +1,129 @@
+exception Node_down of int
+
+type 'm t = {
+  engine : Sim.Engine.t;
+  nodes : int;
+  latency : Latency.t;
+  self_latency : float;
+  rng : Sim.Rng.t;
+  handlers : (src:int -> 'm -> unit) option array;
+  down : bool array;
+  link_down : bool array array;
+  (* FIFO enforcement: earliest admissible delivery time per (src,dst). *)
+  link_clock : float array array;
+  link_sent : int array array;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create ~engine ~nodes ?(latency = Latency.Constant 1.0) ?(self_latency = 0.0)
+    () =
+  if nodes <= 0 then invalid_arg "Network.create: need at least one node";
+  {
+    engine;
+    nodes;
+    latency;
+    self_latency;
+    rng = Sim.Rng.split (Sim.Engine.rng engine);
+    handlers = Array.make nodes None;
+    down = Array.make nodes false;
+    link_down = Array.make_matrix nodes nodes false;
+    link_clock = Array.make_matrix nodes nodes 0.0;
+    link_sent = Array.make_matrix nodes nodes 0;
+    sent = 0;
+    dropped = 0;
+  }
+
+let engine t = t.engine
+let node_count t = t.nodes
+
+let check_node t node =
+  if node < 0 || node >= t.nodes then invalid_arg "Network: no such node"
+
+let set_handler t ~node handler =
+  check_node t node;
+  t.handlers.(node) <- Some handler
+
+let set_down t ~node flag =
+  check_node t node;
+  t.down.(node) <- flag
+
+let is_down t ~node =
+  check_node t node;
+  t.down.(node)
+
+let set_link_down t ~src ~dst flag =
+  check_node t src;
+  check_node t dst;
+  t.link_down.(src).(dst) <- flag
+
+let link_is_down t ~src ~dst = t.down.(src) || t.down.(dst) || t.link_down.(src).(dst)
+
+let messages_sent t = t.sent
+let messages_dropped t = t.dropped
+
+let link_count t ~src ~dst =
+  check_node t src;
+  check_node t dst;
+  t.link_sent.(src).(dst)
+
+(* Latency for one message on link src->dst, respecting per-link FIFO:
+   delivery time is clamped to be no earlier than the previous delivery on
+   the same link. *)
+let delivery_delay t ~src ~dst =
+  let raw =
+    if src = dst then t.self_latency else Latency.sample t.latency t.rng
+  in
+  let now = Sim.Engine.now t.engine in
+  let at = now +. raw in
+  let at = if at < t.link_clock.(src).(dst) then t.link_clock.(src).(dst) else at in
+  t.link_clock.(src).(dst) <- at;
+  at -. now
+
+let deliver t ~src ~dst msg =
+  if t.down.(dst) then t.dropped <- t.dropped + 1
+  else
+    match t.handlers.(dst) with
+    | None -> invalid_arg "Network: destination has no handler"
+    | Some handler -> handler ~src msg
+
+let send t ~src ~dst msg =
+  check_node t src;
+  check_node t dst;
+  t.sent <- t.sent + 1;
+  t.link_sent.(src).(dst) <- t.link_sent.(src).(dst) + 1;
+  if t.down.(src) || t.link_down.(src).(dst) then t.dropped <- t.dropped + 1
+  else begin
+    let delay = delivery_delay t ~src ~dst in
+    Sim.Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg)
+  end
+
+let broadcast t ~src msg =
+  for dst = 0 to t.nodes - 1 do
+    send t ~src ~dst msg
+  done
+
+let call t ~src ~dst thunk =
+  check_node t src;
+  check_node t dst;
+  t.sent <- t.sent + 1;
+  t.link_sent.(src).(dst) <- t.link_sent.(src).(dst) + 1;
+  if t.down.(dst) || t.link_down.(src).(dst) || t.link_down.(dst).(src) then
+    raise (Node_down dst);
+  let request_delay = delivery_delay t ~src ~dst in
+  let outcome =
+    Sim.Engine.suspend (fun resume ->
+        Sim.Engine.schedule t.engine ~delay:request_delay (fun () ->
+            (* The thunk runs at the destination; failures travel back to
+               the caller instead of crashing the engine. *)
+            let result =
+              if t.down.(dst) then Error (Node_down dst)
+              else try Ok (thunk ()) with e -> Error e
+            in
+            t.sent <- t.sent + 1;
+            t.link_sent.(dst).(src) <- t.link_sent.(dst).(src) + 1;
+            let reply_delay = delivery_delay t ~src:dst ~dst:src in
+            Sim.Engine.schedule t.engine ~delay:reply_delay (fun () ->
+                resume result)))
+  in
+  match outcome with Ok v -> v | Error e -> raise e

@@ -1,0 +1,59 @@
+(** Simulated message-passing network between [n] nodes.
+
+    Delivery is reliable and, per (source, destination) link, FIFO: a later
+    send never overtakes an earlier one.  Each delivered message runs the
+    destination's handler in a fresh simulation process, so handlers may
+    block (acquire locks, await conditions) without stalling the network.
+
+    Nodes can be marked down, in which case messages addressed to them are
+    counted as dropped; upper layers decide what a crash means for state. *)
+
+type 'm t
+
+val create :
+  engine:Sim.Engine.t ->
+  nodes:int ->
+  ?latency:Latency.t ->
+  ?self_latency:float ->
+  unit ->
+  'm t
+(** [latency] defaults to [Constant 1.0]; [self_latency] (messages a node
+    sends to itself) defaults to [0.]. *)
+
+val engine : _ t -> Sim.Engine.t
+val node_count : _ t -> int
+
+val set_handler : 'm t -> node:int -> (src:int -> 'm -> unit) -> unit
+(** Install the message handler for [node], replacing any previous one.
+    Messages delivered to a node with no handler raise [Invalid_argument]. *)
+
+val send : 'm t -> src:int -> dst:int -> 'm -> unit
+(** Asynchronous send; the caller continues immediately. *)
+
+val broadcast : 'm t -> src:int -> 'm -> unit
+(** Send to every node, including [src] itself (the paper's advancement
+    messages go "to every node, including itself"). *)
+
+val call : _ t -> src:int -> dst:int -> (unit -> 'r) -> 'r
+(** Remote procedure call: after one network latency the thunk runs at the
+    destination (in its own process); after another latency the caller
+    resumes with the result.  The caller must be inside a process.  Raises
+    [Node_down] at the caller if the destination is down. *)
+
+exception Node_down of int
+
+val set_down : _ t -> node:int -> bool -> unit
+val is_down : _ t -> node:int -> bool
+
+val set_link_down : _ t -> src:int -> dst:int -> bool -> unit
+(** Partition a single directed link: sends on it are dropped; {!call}s
+    that would use it (either direction) raise [Node_down].  Node state is
+    untouched — this models a network partition rather than a crash. *)
+
+val link_is_down : _ t -> src:int -> dst:int -> bool
+
+(** {1 Statistics} *)
+
+val messages_sent : _ t -> int
+val messages_dropped : _ t -> int
+val link_count : _ t -> src:int -> dst:int -> int

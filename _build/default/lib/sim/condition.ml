@@ -1,0 +1,52 @@
+(* Each waiter is a thunk returning whether it actually accepted the wakeup:
+   a waiter whose timeout already fired declines, so [signal] keeps looking
+   for a live waiter instead of losing the signal. *)
+type waiter = unit -> bool
+
+type t = { mutable queue : waiter list (* oldest first *) }
+
+let create () = { queue = [] }
+
+let waiters t = List.length t.queue
+
+let add_waiter t w = t.queue <- t.queue @ [ w ]
+
+let await t =
+  Engine.suspend (fun resume ->
+      add_waiter t (fun () ->
+          resume ();
+          true))
+
+let await_until t ~pred =
+  while not (pred ()) do
+    await t
+  done
+
+let await_timeout t ~timeout =
+  let engine = Engine.current () in
+  Engine.suspend (fun resume ->
+      let fired = ref false in
+      add_waiter t (fun () ->
+          if !fired then false
+          else begin
+            fired := true;
+            resume `Signaled;
+            true
+          end);
+      Engine.schedule engine ~delay:timeout (fun () ->
+          if not !fired then begin
+            fired := true;
+            resume `Timeout
+          end))
+
+let signal t =
+  let rec wake = function
+    | [] -> t.queue <- []
+    | w :: rest -> if w () then t.queue <- rest else wake rest
+  in
+  wake t.queue
+
+let broadcast t =
+  let all = t.queue in
+  t.queue <- [];
+  List.iter (fun w -> ignore (w () : bool)) all

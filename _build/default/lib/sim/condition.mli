@@ -1,0 +1,30 @@
+(** Condition variables for simulation processes.
+
+    A condition carries no value: a waiter parks until some other process
+    signals or broadcasts.  The usual lost-wakeup caveat applies, so most
+    call sites should use {!await_until}, which re-checks a predicate after
+    every wakeup. *)
+
+type t
+
+val create : unit -> t
+
+val waiters : t -> int
+(** Number of processes currently parked. *)
+
+val await : t -> unit
+(** Park the calling process until signalled. *)
+
+val await_until : t -> pred:(unit -> bool) -> unit
+(** [await_until c ~pred] returns immediately if [pred ()] holds, otherwise
+    parks, re-testing [pred] after each wakeup. *)
+
+val await_timeout : t -> timeout:float -> [ `Signaled | `Timeout ]
+(** Park until signalled or until [timeout] virtual time units elapse.
+    Timed-out waiters never consume a signal. *)
+
+val signal : t -> unit
+(** Wake the oldest live waiter, if any. *)
+
+val broadcast : t -> unit
+(** Wake all current waiters. *)

@@ -1,0 +1,116 @@
+type t = {
+  mutable clock : float;
+  queue : (unit -> unit) Heap.t;
+  mutable seq : int;
+  root_rng : Rng.t;
+  trace_rec : Trace.t;
+  mutable running : bool;
+  mutable suspended : int;
+}
+
+exception Not_in_process
+exception Deadlocked of string
+
+type _ Effect.t +=
+  | Suspend : (('a -> unit) -> unit) -> 'a Effect.t
+  | Sleep : float -> unit Effect.t
+  | Current_engine : t Effect.t
+
+let create ?(seed = 0x5EEDL) ?(trace = true) () =
+  {
+    clock = 0.0;
+    queue = Heap.create ();
+    seq = 0;
+    root_rng = Rng.create seed;
+    trace_rec = Trace.create ~enabled:trace ();
+    running = false;
+    suspended = 0;
+  }
+
+let now t = t.clock
+let rng t = t.root_rng
+let trace t = t.trace_rec
+let emit t ~tag message = Trace.emit t.trace_rec ~time:t.clock ~tag message
+
+let schedule_at t ~time fn =
+  t.seq <- t.seq + 1;
+  Heap.push t.queue ~time ~seq:t.seq fn
+
+(* Run [fn] as a process: a deep handler interprets the suspension effects.
+   The handler stays installed across resumptions, so a process suspended in
+   a Condition resumes under the same engine. *)
+let run_process t fn =
+  let open Effect.Deep in
+  match_with fn ()
+    {
+      retc = (fun () -> ());
+      exnc = (fun e -> raise e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Suspend register ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  t.suspended <- t.suspended + 1;
+                  register (fun v ->
+                      t.suspended <- t.suspended - 1;
+                      schedule_at t ~time:t.clock (fun () -> continue k v)))
+          | Sleep delay ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let delay = if delay < 0.0 then 0.0 else delay in
+                  schedule_at t ~time:(t.clock +. delay) (fun () ->
+                      continue k ()))
+          | Current_engine ->
+              Some (fun (k : (a, _) continuation) -> continue k t)
+          | _ -> None);
+    }
+
+let spawn t ?name fn =
+  ignore name;
+  schedule_at t ~time:t.clock (fun () -> run_process t fn)
+
+let schedule t ~delay fn =
+  let delay = if delay < 0.0 then 0.0 else delay in
+  schedule_at t ~time:(t.clock +. delay) (fun () -> run_process t fn)
+
+let stop t = t.running <- false
+
+let suspended_count t = t.suspended
+let pending_events t = Heap.size t.queue
+
+let run ?until t =
+  let limit = match until with None -> infinity | Some u -> u in
+  t.running <- true;
+  let rec loop () =
+    if not t.running then ()
+    else
+      match Heap.peek_time t.queue with
+      | None -> ()
+      | Some time when time > limit -> t.clock <- limit
+      | Some _ -> (
+          match Heap.pop t.queue with
+          | None -> ()
+          | Some (time, _, fn) ->
+              t.clock <- time;
+              fn ();
+              loop ())
+  in
+  loop ();
+  t.running <- false
+
+(* Effect-performing helpers; valid only inside a process. *)
+
+let not_in_process () = raise Not_in_process
+
+let current () =
+  try Effect.perform Current_engine with Effect.Unhandled _ -> not_in_process ()
+
+let sleep delay =
+  try Effect.perform (Sleep delay) with Effect.Unhandled _ -> not_in_process ()
+
+let suspend register =
+  try Effect.perform (Suspend register)
+  with Effect.Unhandled _ -> not_in_process ()
+
+let yield () = sleep 0.0

@@ -1,0 +1,73 @@
+(** Deterministic discrete-event simulation engine.
+
+    Processes are ordinary OCaml functions run under an effect handler, so
+    protocol code is written in direct, blocking style ([Engine.sleep],
+    [Condition.await], lock acquisition) while the engine interleaves
+    processes on a virtual clock.  Runs are fully deterministic: events are
+    ordered by [(time, insertion sequence)] and all randomness flows through
+    the engine's seeded {!Rng}.
+
+    Functions documented as usable "inside a process" perform effects and
+    must be called from code (transitively) started by {!spawn} or
+    {!schedule}; calling them elsewhere raises [Not_in_process]. *)
+
+type t
+
+exception Not_in_process
+(** Raised when an effectful operation ([sleep], [suspend], [current]) is
+    performed outside any simulation process. *)
+
+exception Deadlocked of string
+(** Raised by {!run} when [run_until_quiescent] detects that processes are
+    still suspended but no future event can wake them. *)
+
+val create : ?seed:int64 -> ?trace:bool -> unit -> t
+(** Fresh engine with virtual time 0.  [trace] enables event recording
+    (default true). *)
+
+val now : t -> float
+(** Current virtual time. *)
+
+val rng : t -> Rng.t
+(** The engine's root random stream.  Components should usually take a
+    {!Rng.split} of it. *)
+
+val trace : t -> Trace.t
+
+val emit : t -> tag:string -> string -> unit
+(** Record a trace entry stamped with the current virtual time. *)
+
+val spawn : t -> ?name:string -> (unit -> unit) -> unit
+(** Start a new process at the current time (it runs when the engine next
+    reaches the event queue, after the caller yields). *)
+
+val schedule : t -> delay:float -> (unit -> unit) -> unit
+(** Start a new process after [delay] units of virtual time. *)
+
+val run : ?until:float -> t -> unit
+(** Execute events until the queue is empty or virtual time would exceed
+    [until].  An exception escaping a process aborts the run. *)
+
+val stop : t -> unit
+(** Make {!run} return after the current event completes. *)
+
+val suspended_count : t -> int
+(** Number of processes currently suspended on a {!suspend}. *)
+
+val pending_events : t -> int
+
+(** {1 Operations usable inside a process} *)
+
+val current : unit -> t
+(** The engine running the calling process. *)
+
+val sleep : float -> unit
+(** Advance this process's virtual time by the given delay. *)
+
+val yield : unit -> unit
+(** Let other processes scheduled for the same instant run first. *)
+
+val suspend : (('a -> unit) -> unit) -> 'a
+(** [suspend register] parks the calling process and calls
+    [register resume].  The process continues with value [v] when some other
+    event calls [resume v].  [resume] must be called at most once. *)

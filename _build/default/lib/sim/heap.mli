@@ -1,0 +1,18 @@
+(** Minimal binary min-heap keyed by [(time, sequence)].
+
+    The sequence number breaks ties between events scheduled for the same
+    simulated instant, giving the engine a deterministic FIFO order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val push : 'a t -> time:float -> seq:int -> 'a -> unit
+
+val pop : 'a t -> (float * int * 'a) option
+(** Remove and return the minimum element, or [None] if empty. *)
+
+val peek_time : 'a t -> float option
+(** Time key of the minimum element without removing it. *)

@@ -1,0 +1,57 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 constants, see Steele et al., "Fast splittable pseudorandom
+   number generators". *)
+let gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state gamma;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t =
+  let seed = bits64 t in
+  create (Int64.logxor seed 0xDEADBEEFCAFEBABEL)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  let mask = Int64.of_int max_int in
+  let v = Int64.to_int (Int64.logand (bits64 t) mask) in
+  v mod bound
+
+let int_in t lo hi =
+  if hi < lo then invalid_arg "Rng.int_in: empty range";
+  lo + int t (hi - lo + 1)
+
+let float t bound =
+  (* 53 uniform bits mapped into [0, 1). *)
+  let v = Int64.shift_right_logical (bits64 t) 11 in
+  let unit = Int64.to_float v /. 9007199254740992.0 in
+  unit *. bound
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+let chance t p = float t 1.0 < p
+
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  let u = ref (float t 1.0) in
+  (* Avoid log 0. *)
+  if !u = 0.0 then u := epsilon_float;
+  -.mean *. log !u
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))

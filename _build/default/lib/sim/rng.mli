@@ -1,0 +1,48 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    Every stochastic choice in the simulator draws from one of these
+    generators, so a run is fully reproducible from its seed.  The generator
+    is intentionally not the stdlib [Random] module: we need a splittable,
+    self-contained stream whose sequence is stable across OCaml releases. *)
+
+type t
+
+val create : int64 -> t
+(** [create seed] makes a fresh generator.  Equal seeds yield equal
+    streams. *)
+
+val copy : t -> t
+(** [copy t] duplicates the generator state; the copy evolves
+    independently. *)
+
+val split : t -> t
+(** [split t] derives a new, statistically independent generator and
+    advances [t].  Used to give each simulated component its own stream so
+    adding draws in one component does not perturb another. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform on [\[0, bound)].  [bound] must be positive. *)
+
+val int_in : t -> int -> int -> int
+(** [int_in t lo hi] is uniform on [\[lo, hi\]] inclusive. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform on [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val chance : t -> float -> bool
+(** [chance t p] is true with probability [p]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed value with the given mean; used for Poisson
+    arrival processes and service times. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniformly random element of a non-empty array. *)

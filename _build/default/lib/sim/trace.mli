@@ -1,0 +1,26 @@
+(** Recording of timestamped simulation events.
+
+    Traces back the human-readable reproductions of the paper's Table 1 and
+    Figure 1: protocol code emits tagged lines, experiments render them. *)
+
+type entry = { time : float; tag : string; message : string }
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+
+val enabled : t -> bool
+val set_enabled : t -> bool -> unit
+
+val emit : t -> time:float -> tag:string -> string -> unit
+(** Record one entry (no-op when disabled). *)
+
+val entries : t -> entry list
+(** All recorded entries in emission order. *)
+
+val find : t -> tag:string -> entry list
+(** Entries carrying the given tag, in emission order. *)
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit

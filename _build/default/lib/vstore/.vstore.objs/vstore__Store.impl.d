@@ -1,0 +1,1 @@
+lib/vstore/store.ml: Hashtbl List Option Set String

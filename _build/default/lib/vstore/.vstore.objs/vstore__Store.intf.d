@@ -1,0 +1,1 @@
+lib/vstore/store.mli:

@@ -1,0 +1,351 @@
+type version = int
+
+exception Version_bound_exceeded of { key : string; versions : version list }
+
+type 'v entry = { version : version; body : 'v body }
+and 'v body = Value of 'v | Tombstone
+
+(* Entries are kept sorted by version, descending (newest first); items have
+   very few versions (<= 3 for AVA3) so list operations are cheap. *)
+type 'v item = { mutable entries : 'v entry list }
+
+module String_set = Set.Make (String)
+
+type 'v t = {
+  bound : int option;
+  gc_renumber : bool;
+  items : (string, 'v item) Hashtbl.t;
+  mutable key_order : String_set.t;
+      (* ordered key index for range scans, kept in sync with [items] *)
+  (* Version index (the structure the paper defers to MPL92 for): which
+     items have an entry in each version.  Keeps garbage collection
+     proportional to the touched items instead of the whole store. *)
+  by_version : (int, (string, unit) Hashtbl.t) Hashtbl.t;
+  mutable high_water : int;
+  mutable gc_items_visited : int;
+}
+
+let create ?bound ?(gc_renumber = true) () =
+  (match bound with
+  | Some b when b < 1 -> invalid_arg "Store.create: bound must be >= 1"
+  | _ -> ());
+  {
+    bound;
+    gc_renumber;
+    items = Hashtbl.create 1024;
+    key_order = String_set.empty;
+    by_version = Hashtbl.create 8;
+    high_water = 0;
+    gc_items_visited = 0;
+  }
+
+let index_add t version key =
+  let set =
+    match Hashtbl.find_opt t.by_version version with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 64 in
+        Hashtbl.replace t.by_version version s;
+        s
+  in
+  Hashtbl.replace set key ()
+
+let index_remove t version key =
+  match Hashtbl.find_opt t.by_version version with
+  | None -> ()
+  | Some s ->
+      Hashtbl.remove s key;
+      if Hashtbl.length s = 0 then Hashtbl.remove t.by_version version
+
+(* Re-derive an item's index membership after its entry list changed. *)
+let reindex t key ~before ~after =
+  List.iter
+    (fun v -> if not (List.mem v after) then index_remove t v key)
+    before;
+  List.iter
+    (fun v -> if not (List.mem v before) then index_add t v key)
+    after
+
+let bound t = t.bound
+
+let find_item t key = Hashtbl.find_opt t.items key
+
+let versions_of_item item = List.rev_map (fun e -> e.version) item.entries
+
+let exists_in t key v =
+  match find_item t key with
+  | None -> false
+  | Some item -> List.exists (fun e -> e.version = v) item.entries
+
+let max_version t key =
+  match find_item t key with
+  | None | Some { entries = [] } -> None
+  | Some { entries = newest :: _ } -> Some newest.version
+
+let versions_of t key =
+  match find_item t key with None -> [] | Some item -> versions_of_item item
+
+let read_le t key v =
+  match find_item t key with
+  | None -> None
+  | Some item -> (
+      match List.find_opt (fun e -> e.version <= v) item.entries with
+      | None | Some { body = Tombstone; _ } -> None
+      | Some { body = Value value; _ } -> Some value)
+
+let read_exact t key v =
+  match find_item t key with
+  | None -> None
+  | Some item -> (
+      match List.find_opt (fun e -> e.version = v) item.entries with
+      | None | Some { body = Tombstone; _ } -> None
+      | Some { body = Value value; _ } -> Some value)
+
+let note_size t key item =
+  let n = List.length item.entries in
+  if n > t.high_water then t.high_water <- n;
+  match t.bound with
+  | Some b when n > b ->
+      raise (Version_bound_exceeded { key; versions = versions_of_item item })
+  | _ -> ()
+
+(* Insert or replace the entry for [e.version], keeping descending order. *)
+let put_entry t key item e =
+  let rec insert = function
+    | [] -> [ e ]
+    | x :: rest when x.version = e.version -> e :: rest
+    | x :: rest when x.version < e.version -> e :: x :: rest
+    | x :: rest -> x :: insert rest
+  in
+  item.entries <- insert item.entries;
+  index_add t e.version key;
+  note_size t key item
+
+let get_or_create_item t key =
+  match find_item t key with
+  | Some item -> item
+  | None ->
+      let item = { entries = [] } in
+      Hashtbl.replace t.items key item;
+      t.key_order <- String_set.add key t.key_order;
+      item
+
+let remove_item t key =
+  Hashtbl.remove t.items key;
+  t.key_order <- String_set.remove key t.key_order
+
+let write t key v value =
+  let item = get_or_create_item t key in
+  put_entry t key item { version = v; body = Value value }
+
+let copy_forward t key ~src ~dst =
+  match find_item t key with
+  | None -> raise Not_found
+  | Some item -> (
+      match List.find_opt (fun e -> e.version = src) item.entries with
+      | None -> raise Not_found
+      | Some e -> put_entry t key item { version = dst; body = e.body })
+
+let drop_item_if_empty t key item =
+  if item.entries = [] then remove_item t key
+
+(* An item whose only remaining entry is a tombstone can be removed outright
+   (paper: once all earlier versions are gone, the deleted item itself may
+   be removed). *)
+let drop_lone_tombstone t key item =
+  match item.entries with
+  | [ { body = Tombstone; version } ] ->
+      index_remove t version key;
+      remove_item t key
+  | _ -> drop_item_if_empty t key item
+
+(* The tombstone is retained even when it is the item's only entry: an
+   uncommitted transaction may still hold an undo image or need to copy the
+   entry forward in moveToFuture.  The paper removes fully-deleted items
+   when their earlier versions are garbage-collected, which is what {!gc}
+   does. *)
+let delete t key v =
+  let item = get_or_create_item t key in
+  put_entry t key item { version = v; body = Tombstone }
+
+let remove_version t key v =
+  match find_item t key with
+  | None -> ()
+  | Some item ->
+      item.entries <- List.filter (fun e -> e.version <> v) item.entries;
+      index_remove t v key;
+      drop_item_if_empty t key item
+
+let gc t ~collect ~query =
+  let process key item =
+    t.gc_items_visited <- t.gc_items_visited + 1;
+    let before = List.map (fun e -> e.version) item.entries in
+    if List.exists (fun e -> e.version = query) item.entries then
+      item.entries <- List.filter (fun e -> e.version > collect) item.entries
+    else if t.gc_renumber then begin
+      (* Paper rule: no incarnation at [query] — renumber the newest entry
+         at or below [collect] so readers of [query] still find the item. *)
+      match List.find_opt (fun e -> e.version <= collect) item.entries with
+      | None -> ()
+      | Some e ->
+          item.entries <-
+            List.filter (fun x -> x.version > collect) item.entries
+            @ [ { e with version = query } ];
+          (* Restore descending order: renumbered entry belongs after any
+             entries with version > query, before those in (collect, query). *)
+          item.entries <-
+            List.sort (fun a b -> compare b.version a.version) item.entries
+    end
+    else begin
+      (* In-place rule: keep the newest entry <= collect (still the one
+         readers of [query] resolve to) and drop any older ones. *)
+      match List.find_opt (fun e -> e.version <= collect) item.entries with
+      | None -> ()
+      | Some newest ->
+          item.entries <-
+            List.filter
+              (fun x -> x.version > collect || x.version = newest.version)
+              item.entries
+    end;
+    reindex t key ~before ~after:(List.map (fun e -> e.version) item.entries);
+    drop_lone_tombstone t key item
+  in
+  (* The version index bounds the scan.  Under the paper's renumbering rule
+     every item with an entry at or below [collect] is a candidate (each
+     untouched item gets renumbered every round).  Under the in-place rule,
+     steady state guarantees at most one entry below [collect] per item, so
+     only items actually written in [collect] or [query] need work. *)
+  let candidate_versions =
+    Hashtbl.fold
+      (fun v _ acc ->
+        if
+          (if t.gc_renumber then v <= collect
+           else v = collect || v = query)
+        then v :: acc
+        else acc)
+      t.by_version []
+  in
+  let keys = Hashtbl.create 64 in
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt t.by_version v with
+      | None -> ()
+      | Some set -> Hashtbl.iter (fun k () -> Hashtbl.replace keys k ()) set)
+    candidate_versions;
+  Hashtbl.iter
+    (fun k () ->
+      match find_item t k with None -> () | Some item -> process k item)
+    keys
+
+let prune_below t ~keep =
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) t.items [] in
+  List.iter
+    (fun key ->
+      match find_item t key with
+      | None -> ()
+      | Some item ->
+          let before = List.map (fun e -> e.version) item.entries in
+          (match List.find_opt (fun e -> e.version <= keep) item.entries with
+          | None -> ()
+          | Some newest_visible ->
+              item.entries <-
+                List.filter
+                  (fun e -> e.version >= newest_visible.version)
+                  item.entries);
+          reindex t key ~before
+            ~after:(List.map (fun e -> e.version) item.entries);
+          drop_lone_tombstone t key item)
+    keys
+
+type 'v snapshot = (string * (version * 'v option) list) list
+
+let snapshot t =
+  Hashtbl.fold
+    (fun key item acc ->
+      let entries =
+        List.rev_map
+          (fun e ->
+            ( e.version,
+              match e.body with Value v -> Some v | Tombstone -> None ))
+          item.entries
+      in
+      (key, entries) :: acc)
+    t.items []
+  |> List.sort compare
+
+let restore ?bound ?gc_renumber snap =
+  let t = create ?bound ?gc_renumber () in
+  List.iter
+    (fun (key, entries) ->
+      List.iter
+        (fun (v, value) ->
+          match value with
+          | Some value -> write t key v value
+          | None -> delete t key v)
+        entries)
+    snap;
+  t
+
+let snapshot_items snap = snap
+let snapshot_of_items items = List.sort compare items
+
+(* Range scan at a version: keys in [lo, hi] (inclusive), ascending, with
+   their value as of [version]; deleted/absent-as-of-version keys are
+   skipped. *)
+let range t ~lo ~hi version =
+  if hi < lo then []
+  else begin
+    (* Split twice to isolate [lo, hi]. *)
+    let _, lo_present, ge_lo = String_set.split lo t.key_order in
+    let le_hi, hi_present, _ = String_set.split hi ge_lo in
+    let keys =
+      (if lo_present then [ lo ] else [])
+      @ String_set.elements le_hi
+      @ if hi_present && hi <> lo then [ hi ] else []
+    in
+    List.filter_map
+      (fun key ->
+        match read_le t key version with
+        | Some value -> Some (key, value)
+        | None -> None)
+      keys
+  end
+
+let item_count t = Hashtbl.length t.items
+
+let iter f t =
+  Hashtbl.iter
+    (fun key item ->
+      let summary =
+        List.rev_map
+          (fun e ->
+            (e.version, match e.body with Value _ -> `Value | Tombstone -> `Tombstone))
+          item.entries
+      in
+      f key summary)
+    t.items
+
+let live_versions t key =
+  match find_item t key with None -> 0 | Some item -> List.length item.entries
+
+let max_live_versions_now t =
+  Hashtbl.fold (fun _ item acc -> max acc (List.length item.entries)) t.items 0
+
+let high_water_versions t = t.high_water
+let gc_items_visited t = t.gc_items_visited
+
+let items_in_version t v =
+  match Hashtbl.find_opt t.by_version v with
+  | None -> 0
+  | Some s -> Hashtbl.length s
+
+let version_histogram t =
+  let tbl = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun _ item ->
+      let k = List.length item.entries in
+      let cur = Option.value (Hashtbl.find_opt tbl k) ~default:0 in
+      Hashtbl.replace tbl k (cur + 1))
+    t.items;
+  Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)

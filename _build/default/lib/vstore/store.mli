@@ -1,0 +1,138 @@
+(** Versioned key-value storage engine.
+
+    Each data item [x] exists in a small set of integer versions; the store
+    answers the two index questions the AVA3 paper requires (§3): does [x]
+    exist in version [v], and what is [maxV(x)]?  Deletions are modelled as
+    tombstones inside a version (paper §3.1), and the Phase-3
+    garbage-collection rules (drop the collected version, or renumber it to
+    the query version when the item has no newer incarnation) are provided
+    as a single {!gc} operation.
+
+    The store can be created with a [bound] on live versions per item; AVA3
+    uses [bound = 3] and the store raises {!Version_bound_exceeded} if a
+    write would violate it — turning the paper's central claim into a
+    runtime-checked invariant.  Baselines that need unlimited versions
+    create unbounded stores. *)
+
+type version = int
+
+exception Version_bound_exceeded of { key : string; versions : version list }
+
+type 'v t
+
+val create : ?bound:int -> ?gc_renumber:bool -> unit -> 'v t
+(** [bound], if given, is the maximum number of simultaneously live versions
+    of any single item (AVA3: 3).
+
+    [gc_renumber] (default [true]) selects the garbage-collection rule for
+    items with no incarnation at the new query version: the paper's
+    renumbering rule moves their old entry to the query version — touching
+    {e every} live item each round — while [false] keeps the old entry in
+    place (readers resolve to it anyway), letting the version index bound
+    GC work by the items actually written.  Both rules are read-equivalent;
+    experiment E8b measures the difference. *)
+
+val bound : _ t -> int option
+
+(** {1 Index queries} *)
+
+val exists_in : _ t -> string -> version -> bool
+(** Is there an entry (value or tombstone) for this key at exactly this
+    version? *)
+
+val max_version : _ t -> string -> version option
+(** [maxV(x)]: greatest version in which the item exists, or [None] if the
+    item is unknown. *)
+
+val versions_of : _ t -> string -> version list
+(** All live versions of the item, ascending. *)
+
+(** {1 Reads} *)
+
+val read_le : 'v t -> string -> version -> 'v option
+(** [read_le t x v] is the value of [x] in the greatest existing version not
+    exceeding [v] — the visibility rule used by both queries and update
+    transactions.  [None] when the item is absent or deleted as of [v]. *)
+
+val read_exact : 'v t -> string -> version -> 'v option
+(** Value stored at exactly this version ([None] if absent or tombstone). *)
+
+val range : 'v t -> lo:string -> hi:string -> version -> (string * 'v) list
+(** Ordered scan: keys in [\[lo, hi\]] (inclusive) with their value as of
+    [version], ascending; items deleted or absent as of that version are
+    skipped.  O(log n + results) over the store's ordered key index. *)
+
+(** {1 Writes} *)
+
+val write : 'v t -> string -> version -> 'v -> unit
+(** Create or overwrite the item's entry at [version]. *)
+
+val copy_forward : 'v t -> string -> src:version -> dst:version -> unit
+(** Duplicate the entry (value or tombstone) at [src] into [dst]; the
+    update-protocol step "create y in version V(T) by copying y(maxV(y))".
+    Raises [Not_found] if nothing exists at [src]. *)
+
+val delete : 'v t -> string -> version -> unit
+(** Tombstone the item in [version].  The tombstone persists (uncommitted
+    transactions may still reference it); items reduced to a lone tombstone
+    are physically removed at garbage-collection time, per paper §3.1. *)
+
+val remove_version : _ t -> string -> version -> unit
+(** Physically drop the entry at [version] (no-op if absent); used by
+    moveToFuture to undo a transaction's effect on the old version. *)
+
+(** {1 Snapshots (checkpoint support)} *)
+
+type 'v snapshot
+(** A deep, immutable copy of a store's contents. *)
+
+val snapshot : 'v t -> 'v snapshot
+val restore : ?bound:int -> ?gc_renumber:bool -> 'v snapshot -> 'v t
+(** Rebuild a store (and its version index) from a snapshot. *)
+
+val snapshot_items : 'v snapshot -> (string * (version * 'v option) list) list
+(** Snapshot contents as data: per item, (version, value-or-tombstone)
+    pairs ascending; [None] encodes a tombstone. *)
+
+val snapshot_of_items : (string * (version * 'v option) list) list -> 'v snapshot
+
+(** {1 Garbage collection (advancement Phase 3)} *)
+
+val gc : _ t -> collect:version -> query:version -> unit
+(** For every item: if it exists in version [query], drop every entry with
+    version [<= collect]; otherwise renumber its newest entry [<= collect]
+    to [query] (and drop older ones).  Items left with only a tombstone and
+    no earlier version are removed. *)
+
+val prune_below : _ t -> keep:version -> unit
+(** MVCC-style garbage collection: for every item, keep the newest entry
+    with version [<= keep] (the one a reader at snapshot [keep] needs) and
+    everything newer; drop all older entries.  Items reduced to a lone
+    tombstone are removed. *)
+
+(** {1 Iteration and statistics} *)
+
+val item_count : _ t -> int
+val iter : (string -> (version * [ `Value | `Tombstone ]) list -> unit) -> _ t -> unit
+
+val live_versions : _ t -> string -> int
+(** Number of live versions of the item (0 if unknown). *)
+
+val max_live_versions_now : _ t -> int
+(** Largest number of live versions any current item has. *)
+
+val high_water_versions : _ t -> int
+(** Largest number of live versions any item has ever had — the statistic
+    that verifies "at most three versions" (paper §6.2 property 2a). *)
+
+val gc_items_visited : _ t -> int
+(** Cumulative count of items {!gc} has processed.  Garbage collection uses
+    the store's version index, so this is proportional to the items that
+    actually had entries in collected versions, not to the store size. *)
+
+val items_in_version : _ t -> version -> int
+(** Number of items with an entry at exactly this version (from the version
+    index). *)
+
+val version_histogram : _ t -> (int * int) list
+(** [(k, n)] pairs: [n] items currently have [k] live versions. *)

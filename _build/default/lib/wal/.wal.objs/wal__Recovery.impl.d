@@ -1,0 +1,1 @@
+lib/wal/recovery.ml: Hashtbl List Log Option Record Vstore

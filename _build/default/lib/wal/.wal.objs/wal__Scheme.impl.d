@@ -1,0 +1,1 @@
+lib/wal/scheme.ml: Hashtbl List Log Record Vstore

@@ -1,0 +1,1 @@
+lib/wal/scheme.mli: Log Vstore

@@ -1,0 +1,16 @@
+type 'v t = { mutable rev : 'v Record.t list; mutable count : int }
+
+let create () = { rev = []; count = 0 }
+
+let append t r =
+  t.rev <- r :: t.rev;
+  t.count <- t.count + 1
+
+let length t = t.count
+let records t = List.rev t.rev
+let records_rev t = t.rev
+let fold_rev f init t = List.fold_left f init t.rev
+
+let truncate t =
+  t.rev <- [];
+  t.count <- 0

@@ -1,0 +1,26 @@
+(** Append-only write-ahead log for one node.
+
+    The log is kept in memory (the simulated node's "disk"): appends are
+    counted so experiments can report log traffic, and {!Recovery} replays
+    the log after a simulated crash. *)
+
+type 'v t
+
+val create : unit -> 'v t
+
+val append : 'v t -> 'v Record.t -> unit
+
+val length : _ t -> int
+
+val records : 'v t -> 'v Record.t list
+(** In append order. *)
+
+val records_rev : 'v t -> 'v Record.t list
+(** Newest first — the direction moveToFuture walks. *)
+
+val fold_rev : ('a -> 'v Record.t -> 'a) -> 'a -> 'v t -> 'a
+(** Fold newest-to-oldest. *)
+
+val truncate : _ t -> unit
+(** Discard all records (used after a checkpoint in long experiments so logs
+    do not grow without bound). *)

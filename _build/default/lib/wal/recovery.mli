@@ -1,0 +1,35 @@
+(** Crash recovery by log replay.
+
+    A simulated crash discards a node's volatile state: the transaction
+    counters (the paper notes they restart at zero because in-flight
+    transactions are aborted during recovery) and any uncommitted work.
+    What survives is the log; {!replay} rebuilds the versioned store and the
+    node's version numbers from it.
+
+    Updates of a committed transaction are applied at the {e final} version
+    carried by its commit record — exactly why the paper puts the final
+    version number in that record. *)
+
+type versions = {
+  update_version : int;  (** last logged [Advance_update], or the initial 1 *)
+  query_version : int;  (** last logged [Advance_query], or the initial 0 *)
+  collected_version : int;  (** last logged [Collect], or -1 *)
+}
+
+val checkpoint :
+  'v Log.t -> store:'v Vstore.Store.t -> u:int -> q:int -> g:int -> unit
+(** Truncate the log and write a checkpoint record capturing the store and
+    the node's version numbers.  Only valid at a quiescent point: no update
+    transaction may be active (its earlier log records would be lost). *)
+
+val replay :
+  'v Log.t -> ?bound:int -> ?gc_renumber:bool -> unit -> 'v Vstore.Store.t * versions
+(** Rebuild a store (with the given version bound, default unbounded) and
+    recover the node's version numbers. *)
+
+val committed_transactions : _ Log.t -> int list
+(** Transactions with a commit record, in commit order. *)
+
+val in_flight_transactions : _ Log.t -> int list
+(** Transactions with a begin record but neither commit nor abort — the
+    ones a crash kills. *)

@@ -1,0 +1,1 @@
+lib/workload/db_intf.ml:

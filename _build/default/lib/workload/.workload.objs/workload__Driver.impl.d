@@ -1,0 +1,1 @@
+lib/workload/driver.ml: Db_intf Format Histogram Keyspace List Option Sim

@@ -1,0 +1,1 @@
+lib/workload/driver.mli: Db_intf Format Histogram Keyspace Sim

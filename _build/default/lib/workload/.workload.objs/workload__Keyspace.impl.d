@@ -1,0 +1,1 @@
+lib/workload/keyspace.ml: List Printf Sim Zipf

@@ -1,0 +1,1 @@
+lib/workload/keyspace.mli: Sim

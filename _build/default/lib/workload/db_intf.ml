@@ -1,0 +1,18 @@
+type op =
+  | Read of { node : int; key : string }
+  | Write of { node : int; key : string; value : int }
+
+type update_outcome = Committed | Aborted
+
+type query_outcome = { q_latency : float; q_staleness : float option }
+
+module type DB = sig
+  type t
+
+  val name : string
+  val node_count : t -> int
+  val submit_update : t -> root:int -> ops:op list -> update_outcome
+  val submit_query : t -> root:int -> reads:(int * string) list -> query_outcome option
+  val max_versions_ever : t -> int
+  val extra_stats : t -> (string * float) list
+end

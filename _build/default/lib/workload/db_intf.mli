@@ -1,0 +1,40 @@
+(** Protocol-neutral database interface the workload driver runs against.
+
+    AVA3 and every baseline protocol provide an adapter implementing
+    {!DB}, so all of them face identical generated workloads. *)
+
+type op =
+  | Read of { node : int; key : string }
+  | Write of { node : int; key : string; value : int }
+
+type update_outcome = Committed | Aborted
+
+type query_outcome = {
+  q_latency : float;
+  q_staleness : float option;
+      (** age of the snapshot read, when the protocol can tell *)
+}
+
+module type DB = sig
+  type t
+
+  val name : string
+
+  val node_count : t -> int
+
+  val submit_update : t -> root:int -> ops:op list -> update_outcome
+  (** Execute one update transaction (inside a simulation process).  The
+      implementation applies its own retry policy for transient aborts; the
+      returned outcome is final. *)
+
+  val submit_query : t -> root:int -> reads:(int * string) list -> query_outcome option
+  (** Execute one read-only query; [None] if it failed. *)
+
+  val max_versions_ever : t -> int
+  (** High-water mark of live versions of any single item — the headline
+      space metric (AVA3: ≤ 3; unbounded MVCC: grows). *)
+
+  val extra_stats : t -> (string * float) list
+  (** Protocol-specific counters worth reporting (lock waits, aborts,
+      moveToFutures, version-chain lengths, ...). *)
+end

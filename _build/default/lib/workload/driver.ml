@@ -1,0 +1,155 @@
+type spec = {
+  duration : float;
+  update_rate : float;
+  query_rate : float;
+  ops_per_update : int * int;
+  update_write_fraction : float;
+  reads_per_query : int * int;
+  remote_fraction : float;
+  long_query_period : float;
+  long_query_reads : int;
+}
+
+let default_spec =
+  {
+    duration = 1000.0;
+    update_rate = 0.5;
+    query_rate = 0.2;
+    ops_per_update = (2, 6);
+    update_write_fraction = 0.7;
+    reads_per_query = (2, 8);
+    remote_fraction = 0.3;
+    long_query_period = 0.0;
+    long_query_reads = 50;
+  }
+
+type report = {
+  committed : int;
+  aborted : int;
+  queries_ok : int;
+  queries_failed : int;
+  update_latency : Histogram.t;
+  query_latency : Histogram.t;
+  long_query_latency : Histogram.t;
+  staleness : Histogram.t;
+  generated_duration : float;
+}
+
+let update_throughput r =
+  if r.generated_duration <= 0.0 then 0.0
+  else float_of_int r.committed /. r.generated_duration
+
+let query_throughput r =
+  if r.generated_duration <= 0.0 then 0.0
+  else float_of_int (r.queries_ok + r.queries_failed) /. r.generated_duration
+
+(* Poisson arrival times over [0, duration). *)
+let arrival_times rng ~rate ~duration =
+  if rate <= 0.0 then []
+  else begin
+    let rec collect t acc =
+      let t = t +. Sim.Rng.exponential rng ~mean:(1.0 /. rate) in
+      if t >= duration then List.rev acc else collect t (t :: acc)
+    in
+    collect 0.0 []
+  end
+
+let run (type db) (module Db : Db_intf.DB with type t = db) (db : db) ~engine
+    ~rng ~keyspace ~spec =
+  let nodes = Keyspace.nodes keyspace in
+  let committed = ref 0 and aborted = ref 0 in
+  let queries_ok = ref 0 and queries_failed = ref 0 in
+  let update_latency = Histogram.create () in
+  let query_latency = Histogram.create () in
+  let long_query_latency = Histogram.create () in
+  let staleness = Histogram.create () in
+  let pick_node root =
+    if Sim.Rng.chance rng spec.remote_fraction then Sim.Rng.int rng nodes
+    else root
+  in
+  let gen_update_ops root =
+    let lo, hi = spec.ops_per_update in
+    let n = Sim.Rng.int_in rng lo hi in
+    List.init n (fun _ ->
+        let node = pick_node root in
+        let key = Keyspace.draw_at keyspace rng ~node in
+        if Sim.Rng.chance rng spec.update_write_fraction then
+          Db_intf.Write { node; key; value = Sim.Rng.int rng 1_000_000 }
+        else Db_intf.Read { node; key })
+  in
+  let gen_query_reads () =
+    let lo, hi = spec.reads_per_query in
+    let n = Sim.Rng.int_in rng lo hi in
+    List.init n (fun _ -> Keyspace.draw keyspace rng)
+  in
+  (* Update stream. *)
+  List.iter
+    (fun at ->
+      let root = Sim.Rng.int rng nodes in
+      let ops = gen_update_ops root in
+      Sim.Engine.schedule engine ~delay:at (fun () ->
+          let t0 = Sim.Engine.now engine in
+          match Db.submit_update db ~root ~ops with
+          | Db_intf.Committed ->
+              incr committed;
+              Histogram.add update_latency (Sim.Engine.now engine -. t0)
+          | Db_intf.Aborted -> incr aborted))
+    (arrival_times rng ~rate:spec.update_rate ~duration:spec.duration);
+  (* Query stream. *)
+  let submit_query ~root ~reads ~latency_hist =
+    let t0 = Sim.Engine.now engine in
+    match Db.submit_query db ~root ~reads with
+    | Some outcome ->
+        incr queries_ok;
+        Histogram.add latency_hist (Sim.Engine.now engine -. t0);
+        Option.iter (Histogram.add staleness) outcome.Db_intf.q_staleness
+    | None -> incr queries_failed
+  in
+  List.iter
+    (fun at ->
+      let root = Sim.Rng.int rng nodes in
+      let reads = gen_query_reads () in
+      Sim.Engine.schedule engine ~delay:at (fun () ->
+          submit_query ~root ~reads ~latency_hist:query_latency))
+    (arrival_times rng ~rate:spec.query_rate ~duration:spec.duration);
+  (* Long decision-support queries: sweep many keys across every node. *)
+  if spec.long_query_period > 0.0 then begin
+    let rec schedule_long at =
+      if at < spec.duration then begin
+        let root = Sim.Rng.int rng nodes in
+        let reads =
+          List.init spec.long_query_reads (fun i ->
+              let node = i mod nodes in
+              (node, Keyspace.draw_at keyspace rng ~node))
+        in
+        Sim.Engine.schedule engine ~delay:at (fun () ->
+            submit_query ~root ~reads ~latency_hist:long_query_latency);
+        schedule_long (at +. spec.long_query_period)
+      end
+    in
+    schedule_long spec.long_query_period
+  end;
+  Sim.Engine.run engine;
+  {
+    committed = !committed;
+    aborted = !aborted;
+    queries_ok = !queries_ok;
+    queries_failed = !queries_failed;
+    update_latency;
+    query_latency;
+    long_query_latency;
+    staleness;
+    generated_duration = spec.duration;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>committed=%d aborted=%d queries=%d (failed %d)@,\
+     update latency: %s@,query latency: %s@,long-query latency: %s@,\
+     staleness: %s@,throughput: %.2f upd/t %.2f qry/t@]"
+    r.committed r.aborted r.queries_ok r.queries_failed
+    (Histogram.summary r.update_latency)
+    (Histogram.summary r.query_latency)
+    (Histogram.summary r.long_query_latency)
+    (Histogram.summary r.staleness)
+    (update_throughput r) (query_throughput r)

@@ -1,0 +1,51 @@
+(** Open-loop workload driver.
+
+    Generates Poisson arrivals of update transactions and read-only queries
+    over a partitioned, Zipf-skewed keyspace, plus (optionally) periodic
+    long-running decision-support queries — the telephone-call /
+    credit-card mix that motivates the paper.  The same driver runs against
+    AVA3 and every baseline through {!Db_intf.DB}. *)
+
+type spec = {
+  duration : float;  (** virtual time to generate arrivals for *)
+  update_rate : float;  (** mean update transactions per time unit *)
+  query_rate : float;
+  ops_per_update : int * int;  (** inclusive range, uniform *)
+  update_write_fraction : float;  (** fraction of update ops that write *)
+  reads_per_query : int * int;
+  remote_fraction : float;
+      (** probability an update op touches a node other than the root *)
+  long_query_period : float;  (** 0 disables the long-query stream *)
+  long_query_reads : int;
+}
+
+val default_spec : spec
+
+type report = {
+  committed : int;
+  aborted : int;
+  queries_ok : int;
+  queries_failed : int;
+  update_latency : Histogram.t;
+  query_latency : Histogram.t;
+  long_query_latency : Histogram.t;
+  staleness : Histogram.t;  (** snapshot age observed by queries *)
+  generated_duration : float;
+}
+
+val update_throughput : report -> float
+val query_throughput : report -> float
+
+val run :
+  (module Db_intf.DB with type t = 'db) ->
+  'db ->
+  engine:Sim.Engine.t ->
+  rng:Sim.Rng.t ->
+  keyspace:Keyspace.t ->
+  spec:spec ->
+  report
+(** Schedule all arrivals, drive the engine until quiescence, and report.
+    Any processes the caller scheduled beforehand (periodic advancement,
+    crash injection) run concurrently. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,23 @@
+type t = { node_count : int; per_node : int; zipf : Zipf.t }
+
+let create ~nodes ~keys_per_node ~theta =
+  if nodes <= 0 then invalid_arg "Keyspace.create: nodes must be positive";
+  {
+    node_count = nodes;
+    per_node = keys_per_node;
+    zipf = Zipf.create ~n:keys_per_node ~theta;
+  }
+
+let nodes t = t.node_count
+let keys_per_node t = t.per_node
+
+let key_name ~node ~rank = Printf.sprintf "n%d-k%d" node rank
+
+let draw t rng =
+  let node = Sim.Rng.int rng t.node_count in
+  let rank = Zipf.sample t.zipf rng in
+  (node, key_name ~node ~rank)
+
+let draw_at t rng ~node = key_name ~node ~rank:(Zipf.sample t.zipf rng)
+
+let all_keys t ~node = List.init t.per_node (fun rank -> key_name ~node ~rank)

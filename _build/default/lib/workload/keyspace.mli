@@ -1,0 +1,23 @@
+(** Partitioned keyspace with skewed access.
+
+    Each node owns [keys_per_node] items named ["n<node>-k<rank>"]; a draw
+    picks a node uniformly and a rank from a Zipf distribution, modelling
+    hot records (recent calls, active accounts) in a partitioned database. *)
+
+type t
+
+val create : nodes:int -> keys_per_node:int -> theta:float -> t
+
+val nodes : t -> int
+val keys_per_node : t -> int
+
+val key_name : node:int -> rank:int -> string
+
+val draw : t -> Sim.Rng.t -> int * string
+(** A random (node, key) pair. *)
+
+val draw_at : t -> Sim.Rng.t -> node:int -> string
+(** A random key on a specific node. *)
+
+val all_keys : t -> node:int -> string list
+(** Every key a node owns (for preloading). *)

@@ -1,0 +1,29 @@
+type t = { count : int; skew : float; cumulative : float array }
+
+let create ~n ~theta =
+  if n <= 0 then invalid_arg "Zipf.create: n must be positive";
+  if theta < 0.0 then invalid_arg "Zipf.create: theta must be >= 0";
+  let cumulative = Array.make n 0.0 in
+  let total = ref 0.0 in
+  for rank = 0 to n - 1 do
+    total := !total +. (1.0 /. Float.pow (float_of_int (rank + 1)) theta);
+    cumulative.(rank) <- !total
+  done;
+  (* Normalise so the last entry is exactly 1. *)
+  for rank = 0 to n - 1 do
+    cumulative.(rank) <- cumulative.(rank) /. !total
+  done;
+  { count = n; skew = theta; cumulative }
+
+let n t = t.count
+let theta t = t.skew
+
+let sample t rng =
+  let u = Sim.Rng.float rng 1.0 in
+  (* First index whose cumulative weight is >= u. *)
+  let lo = ref 0 and hi = ref (t.count - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cumulative.(mid) >= u then hi := mid else lo := mid + 1
+  done;
+  !lo

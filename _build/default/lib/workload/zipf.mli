@@ -1,0 +1,17 @@
+(** Zipfian key-popularity distribution.
+
+    The classic skewed-access model for OLTP workloads: item rank [r] (from
+    1) is drawn with probability proportional to [1 / r^theta].  Sampling is
+    O(log n) by binary search over precomputed cumulative weights. *)
+
+type t
+
+val create : n:int -> theta:float -> t
+(** [n] items with skew [theta] ([theta = 0.] is uniform; common benchmark
+    values are 0.8–1.2). *)
+
+val n : t -> int
+val theta : t -> float
+
+val sample : t -> Sim.Rng.t -> int
+(** A rank in [\[0, n)] (0 = most popular). *)

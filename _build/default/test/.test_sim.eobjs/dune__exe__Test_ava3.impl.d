@@ -1,0 +1,1 @@
+test/test_ava3.ml: Alcotest Ava3 Int64 List Net Option Printf QCheck QCheck_alcotest Sim String Vstore Wal

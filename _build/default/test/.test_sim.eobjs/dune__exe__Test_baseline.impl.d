@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Ava3 Baseline Char List Net Sim String Workload

@@ -1,0 +1,1 @@
+test/test_centralized.ml: Alcotest Ava3 Option Sim

@@ -1,0 +1,1 @@
+test/test_dbsim.ml: Alcotest Dbsim Float Int64 List QCheck QCheck_alcotest String Wal

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Ava3 Baseline Dbsim Int64 List Option Printf QCheck QCheck_alcotest Sim String Vstore Wal Workload

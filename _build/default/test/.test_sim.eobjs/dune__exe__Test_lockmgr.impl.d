@@ -1,0 +1,1 @@
+test/test_lockmgr.ml: Alcotest Gen List Lockmgr Printf QCheck QCheck_alcotest Sim

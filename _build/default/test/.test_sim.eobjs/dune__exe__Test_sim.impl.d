@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Buffer Int64 List Printf QCheck QCheck_alcotest Sim String

@@ -1,0 +1,1 @@
+test/test_subtxn.ml: Alcotest Ava3 Lockmgr Sim Vstore

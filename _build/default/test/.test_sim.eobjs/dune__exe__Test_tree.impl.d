@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Ava3 Int64 List Net Printf QCheck QCheck_alcotest Sim Vstore

@@ -1,0 +1,1 @@
+test/test_vstore.ml: Alcotest List Option Printf QCheck QCheck_alcotest Vstore

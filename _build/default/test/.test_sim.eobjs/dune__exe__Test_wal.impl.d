@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest List Printf QCheck QCheck_alcotest Vstore Wal

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Baseline Dbsim Gen List QCheck QCheck_alcotest Sim String Workload

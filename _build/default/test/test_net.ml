@@ -1,0 +1,222 @@
+(* Tests for the simulated network: latency models, per-link FIFO delivery,
+   RPC exception propagation, and node-down behaviour. *)
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_latency_models () =
+  let rng = Sim.Rng.create 3L in
+  for _ = 1 to 500 do
+    check_float "constant" 2.5 (Net.Latency.sample (Net.Latency.Constant 2.5) rng);
+    let u = Net.Latency.sample (Net.Latency.Uniform { lo = 1.0; hi = 3.0 }) rng in
+    check_bool "uniform in range" true (u >= 1.0 && u <= 3.0);
+    let e =
+      Net.Latency.sample (Net.Latency.Exponential { mean = 5.0; floor = 1.0 }) rng
+    in
+    check_bool "exponential above floor" true (e >= 1.0)
+  done;
+  check_float "uniform mean" 2.0 (Net.Latency.mean (Net.Latency.Uniform { lo = 1.0; hi = 3.0 }))
+
+let test_send_delivers () =
+  let e = Sim.Engine.create () in
+  let net : string Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 3.0) ()
+  in
+  let received = ref [] in
+  Net.Network.set_handler net ~node:1 (fun ~src msg ->
+      received := (src, msg, Sim.Engine.now e) :: !received);
+  Net.Network.set_handler net ~node:0 (fun ~src:_ _ -> ());
+  Net.Network.send net ~src:0 ~dst:1 "hello";
+  Sim.Engine.run e;
+  match !received with
+  | [ (0, "hello", t) ] -> check_float "latency applied" 3.0 t
+  | _ -> Alcotest.fail "message not delivered exactly once"
+
+let test_fifo_per_link () =
+  (* Even with highly variable latency, two sends on the same link arrive
+     in order. *)
+  let e = Sim.Engine.create ~seed:9L () in
+  let net : int Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2
+      ~latency:(Net.Latency.Uniform { lo = 0.1; hi = 10.0 })
+      ()
+  in
+  let received = ref [] in
+  Net.Network.set_handler net ~node:1 (fun ~src:_ msg ->
+      received := msg :: !received);
+  Net.Network.set_handler net ~node:0 (fun ~src:_ _ -> ());
+  for i = 1 to 50 do
+    Net.Network.send net ~src:0 ~dst:1 i
+  done;
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "in order" (List.init 50 (fun i -> i + 1))
+    (List.rev !received)
+
+let test_self_latency_zero () =
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:1 ~latency:(Net.Latency.Constant 5.0) ()
+  in
+  let at = ref nan in
+  Net.Network.set_handler net ~node:0 (fun ~src:_ () -> at := Sim.Engine.now e);
+  Net.Network.send net ~src:0 ~dst:0 ();
+  Sim.Engine.run e;
+  check_float "self delivery immediate" 0.0 !at
+
+let test_broadcast () =
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:4 () in
+  let hits = ref 0 in
+  for n = 0 to 3 do
+    Net.Network.set_handler net ~node:n (fun ~src:_ () -> incr hits)
+  done;
+  Net.Network.broadcast net ~src:2 ();
+  Sim.Engine.run e;
+  check_int "all nodes including self" 4 !hits;
+  check_int "counted" 4 (Net.Network.messages_sent net)
+
+let test_call_roundtrip () =
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 2.0) ()
+  in
+  let result = ref 0 and finished = ref nan in
+  Sim.Engine.spawn e (fun () ->
+      result := Net.Network.call net ~src:0 ~dst:1 (fun () -> 21 * 2);
+      finished := Sim.Engine.now e);
+  Sim.Engine.run e;
+  check_int "result returned" 42 !result;
+  check_float "two latencies" 4.0 !finished
+
+exception Boom
+
+let test_call_propagates_exception () =
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:2 () in
+  let caught = ref false in
+  Sim.Engine.spawn e (fun () ->
+      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> raise Boom))
+      with Boom -> caught := true);
+  Sim.Engine.run e;
+  check_bool "exception surfaced at caller" true !caught
+
+let test_down_node_drops () =
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:2 () in
+  let hits = ref 0 in
+  Net.Network.set_handler net ~node:1 (fun ~src:_ () -> incr hits);
+  Net.Network.set_down net ~node:1 true;
+  Net.Network.send net ~src:0 ~dst:1 ();
+  Sim.Engine.run e;
+  check_int "dropped" 0 !hits;
+  check_int "counted as dropped" 1 (Net.Network.messages_dropped net);
+  (* Recovery: traffic flows again. *)
+  Net.Network.set_down net ~node:1 false;
+  Net.Network.send net ~src:0 ~dst:1 ();
+  Sim.Engine.run e;
+  check_int "delivered after recovery" 1 !hits
+
+let test_call_to_down_node () =
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:2 () in
+  Net.Network.set_down net ~node:1 true;
+  let raised = ref false in
+  Sim.Engine.spawn e (fun () ->
+      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ()))
+      with Net.Network.Node_down 1 -> raised := true);
+  Sim.Engine.run e;
+  check_bool "Node_down raised" true !raised
+
+let test_call_node_dies_mid_flight () =
+  (* The destination goes down after the request is sent but before it is
+     processed: the caller still gets Node_down, not a hang. *)
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 5.0) ()
+  in
+  let raised = ref false in
+  Sim.Engine.spawn e (fun () ->
+      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ()))
+      with Net.Network.Node_down 1 -> raised := true);
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> Net.Network.set_down net ~node:1 true);
+  Sim.Engine.run e;
+  check_bool "mid-flight crash surfaces" true !raised
+
+let test_link_partition () =
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:2 () in
+  let hits = ref 0 in
+  Net.Network.set_handler net ~node:1 (fun ~src:_ () -> incr hits);
+  Net.Network.set_link_down net ~src:0 ~dst:1 true;
+  Net.Network.send net ~src:0 ~dst:1 ();
+  Sim.Engine.run e;
+  check_int "dropped on partitioned link" 0 !hits;
+  check_bool "reported down" true (Net.Network.link_is_down net ~src:0 ~dst:1);
+  (* The reverse direction still works. *)
+  Net.Network.set_handler net ~node:0 (fun ~src:_ () -> incr hits);
+  Net.Network.send net ~src:1 ~dst:0 ();
+  Sim.Engine.run e;
+  check_int "reverse link unaffected" 1 !hits;
+  (* Heal. *)
+  Net.Network.set_link_down net ~src:0 ~dst:1 false;
+  Net.Network.send net ~src:0 ~dst:1 ();
+  Sim.Engine.run e;
+  check_int "healed" 2 !hits
+
+let test_call_on_partitioned_link () =
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:2 () in
+  Net.Network.set_link_down net ~src:1 ~dst:0 true;
+  (* The reply path is down: the call must fail, not hang. *)
+  let raised = ref false in
+  Sim.Engine.spawn e (fun () ->
+      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ()))
+      with Net.Network.Node_down _ -> raised := true);
+  Sim.Engine.run e;
+  check_bool "call fails on half-open link" true !raised
+
+let test_link_stats () =
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:3 () in
+  for n = 0 to 2 do
+    Net.Network.set_handler net ~node:n (fun ~src:_ () -> ())
+  done;
+  Net.Network.send net ~src:0 ~dst:1 ();
+  Net.Network.send net ~src:0 ~dst:1 ();
+  Net.Network.send net ~src:1 ~dst:2 ();
+  Sim.Engine.run e;
+  check_int "link 0->1" 2 (Net.Network.link_count net ~src:0 ~dst:1);
+  check_int "link 1->2" 1 (Net.Network.link_count net ~src:1 ~dst:2);
+  check_int "link 2->0" 0 (Net.Network.link_count net ~src:2 ~dst:0)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "latency",
+        [ Alcotest.test_case "models" `Quick test_latency_models ] );
+      ( "delivery",
+        [
+          Alcotest.test_case "send delivers" `Quick test_send_delivers;
+          Alcotest.test_case "fifo per link" `Quick test_fifo_per_link;
+          Alcotest.test_case "self latency zero" `Quick test_self_latency_zero;
+          Alcotest.test_case "broadcast" `Quick test_broadcast;
+          Alcotest.test_case "link stats" `Quick test_link_stats;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_call_roundtrip;
+          Alcotest.test_case "exception propagation" `Quick
+            test_call_propagates_exception;
+        ] );
+      ( "failures",
+        [
+          Alcotest.test_case "down node drops" `Quick test_down_node_drops;
+          Alcotest.test_case "call to down node" `Quick test_call_to_down_node;
+          Alcotest.test_case "dies mid-flight" `Quick
+            test_call_node_dies_mid_flight;
+          Alcotest.test_case "link partition" `Quick test_link_partition;
+          Alcotest.test_case "call on partitioned link" `Quick
+            test_call_on_partitioned_link;
+        ] );
+    ]

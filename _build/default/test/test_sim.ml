@@ -1,0 +1,366 @@
+(* Unit and property tests for the discrete-event simulation kernel. *)
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Rng} *)
+
+let test_rng_deterministic () =
+  let a = Sim.Rng.create 42L and b = Sim.Rng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Sim.Rng.bits64 a) (Sim.Rng.bits64 b)
+  done
+
+let test_rng_bounds () =
+  let r = Sim.Rng.create 7L in
+  for _ = 1 to 1000 do
+    let v = Sim.Rng.int r 10 in
+    check_bool "in range" true (v >= 0 && v < 10);
+    let f = Sim.Rng.float r 3.5 in
+    check_bool "float range" true (f >= 0.0 && f < 3.5);
+    let x = Sim.Rng.int_in r (-5) 5 in
+    check_bool "int_in range" true (x >= -5 && x <= 5)
+  done
+
+let test_rng_split_independent () =
+  let r = Sim.Rng.create 1L in
+  let s = Sim.Rng.split r in
+  let v1 = Sim.Rng.bits64 s in
+  (* Drawing from the parent must not affect the child's future. *)
+  let r' = Sim.Rng.create 1L in
+  let s' = Sim.Rng.split r' in
+  ignore (Sim.Rng.bits64 r' : int64);
+  Alcotest.(check int64) "child stream stable" v1 (Sim.Rng.bits64 s')
+
+let test_rng_exponential_mean () =
+  let r = Sim.Rng.create 9L in
+  let n = 20_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Sim.Rng.exponential r ~mean:5.0
+  done;
+  let mean = !sum /. float_of_int n in
+  check_bool "mean close to 5" true (abs_float (mean -. 5.0) < 0.25)
+
+(* {1 Heap} *)
+
+let test_heap_orders () =
+  let h = Sim.Heap.create () in
+  let r = Sim.Rng.create 3L in
+  let n = 500 in
+  for i = 1 to n do
+    Sim.Heap.push h ~time:(Sim.Rng.float r 100.0) ~seq:i i
+  done;
+  let last = ref neg_infinity in
+  let count = ref 0 in
+  let rec drain () =
+    match Sim.Heap.pop h with
+    | None -> ()
+    | Some (t, _, _) ->
+        check_bool "non-decreasing" true (t >= !last);
+        last := t;
+        incr count;
+        drain ()
+  in
+  drain ();
+  check_int "drained all" n !count
+
+let test_heap_fifo_ties () =
+  let h = Sim.Heap.create () in
+  for i = 1 to 10 do
+    Sim.Heap.push h ~time:1.0 ~seq:i i
+  done;
+  for i = 1 to 10 do
+    match Sim.Heap.pop h with
+    | Some (_, _, v) -> check_int "fifo at equal time" i v
+    | None -> Alcotest.fail "heap empty early"
+  done
+
+(* {1 Engine} *)
+
+let test_sleep_ordering () =
+  let e = Sim.Engine.create () in
+  let order = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.sleep 10.0;
+      order := "b" :: !order);
+  Sim.Engine.spawn e (fun () ->
+      Sim.Engine.sleep 5.0;
+      order := "a" :: !order);
+  Sim.Engine.run e;
+  Alcotest.(check (list string)) "order" [ "a"; "b" ] (List.rev !order);
+  check_float "clock at last event" 10.0 (Sim.Engine.now e)
+
+let test_run_until () =
+  let e = Sim.Engine.create () in
+  let hits = ref 0 in
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> incr hits);
+  Sim.Engine.schedule e ~delay:2.0 (fun () -> incr hits);
+  Sim.Engine.schedule e ~delay:50.0 (fun () -> incr hits);
+  Sim.Engine.run ~until:10.0 e;
+  check_int "only events before limit ran" 2 !hits;
+  check_float "clock clamped" 10.0 (Sim.Engine.now e);
+  Sim.Engine.run e;
+  check_int "remaining event ran" 3 !hits
+
+let test_spawn_nested () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      log := "outer-start" :: !log;
+      let eng = Sim.Engine.current () in
+      Sim.Engine.spawn eng (fun () ->
+          Sim.Engine.sleep 1.0;
+          log := "inner" :: !log);
+      Sim.Engine.sleep 2.0;
+      log := "outer-end" :: !log);
+  Sim.Engine.run e;
+  Alcotest.(check (list string))
+    "interleaving" [ "outer-start"; "inner"; "outer-end" ] (List.rev !log)
+
+let test_not_in_process () =
+  Alcotest.check_raises "sleep outside" Sim.Engine.Not_in_process (fun () ->
+      Sim.Engine.sleep 1.0)
+
+let test_yield_fairness () =
+  let e = Sim.Engine.create () in
+  let log = ref [] in
+  Sim.Engine.spawn e (fun () ->
+      log := 1 :: !log;
+      Sim.Engine.yield ();
+      log := 3 :: !log);
+  Sim.Engine.spawn e (fun () -> log := 2 :: !log);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "yield lets peer run" [ 1; 2; 3 ] (List.rev !log)
+
+
+let test_engine_stop () =
+  let e = Sim.Engine.create () in
+  let hits = ref 0 in
+  for i = 1 to 10 do
+    Sim.Engine.schedule e ~delay:(float_of_int i) (fun () ->
+        incr hits;
+        if i = 3 then Sim.Engine.stop e)
+  done;
+  Sim.Engine.run e;
+  check_int "stopped after third event" 3 !hits;
+  check_int "rest still queued" 7 (Sim.Engine.pending_events e);
+  Sim.Engine.run e;
+  check_int "resumable" 10 !hits
+
+let test_negative_delay_clamped () =
+  let e = Sim.Engine.create () in
+  let at = ref nan in
+  Sim.Engine.schedule e ~delay:(-5.0) (fun () -> at := Sim.Engine.now e);
+  Sim.Engine.run e;
+  check_float "clamped to now" 0.0 !at
+
+let test_trace_toggle () =
+  let e = Sim.Engine.create ~trace:false () in
+  Sim.Engine.emit e ~tag:"t" "dropped";
+  check_int "disabled trace records nothing" 0
+    (List.length (Sim.Trace.entries (Sim.Engine.trace e)));
+  Sim.Trace.set_enabled (Sim.Engine.trace e) true;
+  Sim.Engine.emit e ~tag:"t" "kept";
+  check_int "enabled trace records" 1
+    (List.length (Sim.Trace.entries (Sim.Engine.trace e)));
+  Sim.Trace.clear (Sim.Engine.trace e);
+  check_int "clear empties" 0 (List.length (Sim.Trace.entries (Sim.Engine.trace e)))
+
+let test_rng_shuffle_pick () =
+  let r = Sim.Rng.create 11L in
+  let a = Array.init 50 (fun i -> i) in
+  let before = Array.copy a in
+  Sim.Rng.shuffle r a;
+  check_bool "permutation" true
+    (List.sort compare (Array.to_list a) = Array.to_list before);
+  check_bool "actually shuffled" true (a <> before);
+  for _ = 1 to 100 do
+    let v = Sim.Rng.pick r a in
+    check_bool "picked member" true (Array.exists (fun x -> x = v) a)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Sim.Rng.pick r [||]))
+
+let test_rng_copy_diverges_from_parent () =
+  let r = Sim.Rng.create 13L in
+  let c = Sim.Rng.copy r in
+  Alcotest.(check int64) "copies start equal" (Sim.Rng.bits64 r) (Sim.Rng.bits64 c);
+  ignore (Sim.Rng.bits64 r);
+  (* c is now one draw behind; streams have diverged. *)
+  check_bool "independent evolution" true (Sim.Rng.bits64 r <> Sim.Rng.bits64 c)
+
+let test_suspended_count_tracks () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create () in
+  for _ = 1 to 3 do
+    Sim.Engine.spawn e (fun () -> Sim.Condition.await c)
+  done;
+  Sim.Engine.schedule e ~delay:1.0 (fun () ->
+      check_int "three parked" 3 (Sim.Engine.suspended_count e);
+      Sim.Condition.broadcast c);
+  Sim.Engine.run e;
+  check_int "all resumed" 0 (Sim.Engine.suspended_count e)
+
+(* {1 Condition} *)
+
+let test_condition_signal () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create () in
+  let woke = ref [] in
+  for i = 1 to 3 do
+    Sim.Engine.spawn e (fun () ->
+        Sim.Condition.await c;
+        woke := i :: !woke)
+  done;
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> Sim.Condition.signal c);
+  Sim.Engine.schedule e ~delay:2.0 (fun () -> Sim.Condition.broadcast c);
+  Sim.Engine.run e;
+  Alcotest.(check (list int)) "fifo then rest" [ 1; 2; 3 ] (List.rev !woke)
+
+let test_condition_await_until () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create () in
+  let flag = ref false in
+  let done_ = ref false in
+  Sim.Engine.spawn e (fun () ->
+      Sim.Condition.await_until c ~pred:(fun () -> !flag);
+      done_ := true);
+  (* Spurious broadcast: predicate still false, waiter must re-park. *)
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> Sim.Condition.broadcast c);
+  Sim.Engine.schedule e ~delay:2.0 (fun () ->
+      flag := true;
+      Sim.Condition.broadcast c);
+  Sim.Engine.run e;
+  check_bool "woke after predicate" true !done_
+
+let test_condition_timeout () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create () in
+  let outcome = ref `Signaled in
+  Sim.Engine.spawn e (fun () ->
+      outcome := Sim.Condition.await_timeout c ~timeout:5.0);
+  Sim.Engine.run e;
+  check_bool "timed out" true (!outcome = `Timeout);
+  check_float "time advanced to timeout" 5.0 (Sim.Engine.now e)
+
+let test_condition_timeout_signal_first () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create () in
+  let outcome = ref `Timeout in
+  Sim.Engine.spawn e (fun () ->
+      outcome := Sim.Condition.await_timeout c ~timeout:5.0);
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> Sim.Condition.signal c);
+  Sim.Engine.run e;
+  check_bool "signaled" true (!outcome = `Signaled)
+
+let test_dead_waiter_does_not_eat_signal () =
+  let e = Sim.Engine.create () in
+  let c = Sim.Condition.create () in
+  let first = ref `Signaled and second = ref false in
+  Sim.Engine.spawn e (fun () ->
+      first := Sim.Condition.await_timeout c ~timeout:1.0);
+  Sim.Engine.spawn e (fun () ->
+      Sim.Condition.await c;
+      second := true);
+  (* Signal after the first waiter timed out: must reach the second. *)
+  Sim.Engine.schedule e ~delay:2.0 (fun () -> Sim.Condition.signal c);
+  Sim.Engine.run e;
+  check_bool "first timed out" true (!first = `Timeout);
+  check_bool "second woke" true !second
+
+(* {1 Trace} *)
+
+let test_trace_records () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~delay:3.0 (fun () ->
+      Sim.Engine.emit e ~tag:"t" "hello");
+  Sim.Engine.run e;
+  match Sim.Trace.find (Sim.Engine.trace e) ~tag:"t" with
+  | [ entry ] ->
+      check_float "stamped with virtual time" 3.0 entry.Sim.Trace.time;
+      Alcotest.(check string) "message" "hello" entry.Sim.Trace.message
+  | _ -> Alcotest.fail "expected exactly one entry"
+
+(* {1 Properties} *)
+
+let prop_engine_deterministic =
+  QCheck.Test.make ~name:"engine runs are deterministic under a seed"
+    ~count:50
+    QCheck.(pair (int_bound 1000) small_int)
+    (fun (seed, nproc) ->
+      let run_once () =
+        let e = Sim.Engine.create ~seed:(Int64.of_int seed) () in
+        let r = Sim.Rng.split (Sim.Engine.rng e) in
+        let log = Buffer.create 64 in
+        for i = 0 to min nproc 20 do
+          let delay = Sim.Rng.float r 100.0 in
+          Sim.Engine.schedule e ~delay (fun () ->
+              Buffer.add_string log (Printf.sprintf "%d@%f;" i (Sim.Engine.now e)))
+        done;
+        Sim.Engine.run e;
+        Buffer.contents log
+      in
+      String.equal (run_once ()) (run_once ()))
+
+let prop_heap_sorted =
+  QCheck.Test.make ~name:"heap pops in key order" ~count:200
+    QCheck.(list (pair (float_bound_inclusive 1000.0) small_int))
+    (fun items ->
+      let h = Sim.Heap.create () in
+      List.iteri (fun i (t, v) -> Sim.Heap.push h ~time:t ~seq:i v) items;
+      let rec drain last acc =
+        match Sim.Heap.pop h with
+        | None -> acc
+        | Some (t, _, _) -> t >= last && drain t acc
+      in
+      drain neg_infinity true)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "sim"
+    [
+      ( "rng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_rng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_rng_bounds;
+          Alcotest.test_case "split independent" `Quick test_rng_split_independent;
+          Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
+          Alcotest.test_case "shuffle and pick" `Quick test_rng_shuffle_pick;
+          Alcotest.test_case "copy diverges" `Quick test_rng_copy_diverges_from_parent;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "orders" `Quick test_heap_orders;
+          Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sleep ordering" `Quick test_sleep_ordering;
+          Alcotest.test_case "run until" `Quick test_run_until;
+          Alcotest.test_case "spawn nested" `Quick test_spawn_nested;
+          Alcotest.test_case "not in process" `Quick test_not_in_process;
+          Alcotest.test_case "yield fairness" `Quick test_yield_fairness;
+          Alcotest.test_case "stop and resume" `Quick test_engine_stop;
+          Alcotest.test_case "negative delay clamped" `Quick
+            test_negative_delay_clamped;
+          Alcotest.test_case "suspended count" `Quick test_suspended_count_tracks;
+        ] );
+      ( "condition",
+        [
+          Alcotest.test_case "signal and broadcast" `Quick test_condition_signal;
+          Alcotest.test_case "await_until" `Quick test_condition_await_until;
+          Alcotest.test_case "timeout" `Quick test_condition_timeout;
+          Alcotest.test_case "signal before timeout" `Quick
+            test_condition_timeout_signal_first;
+          Alcotest.test_case "dead waiter skipped" `Quick
+            test_dead_waiter_does_not_eat_signal;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "records" `Quick test_trace_records;
+          Alcotest.test_case "toggle and clear" `Quick test_trace_toggle;
+        ] );
+      ("properties", qc [ prop_engine_deterministic; prop_heap_sorted ]);
+    ]

@@ -1,0 +1,181 @@
+(* Unit tests of the shared subtransaction layer (lib/core/subtxn.ml) —
+   the machinery under both the flat and the tree executor. *)
+
+module Sub = Ava3.Subtxn
+module Ns = Ava3.Node_state
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let vopt = Alcotest.(option int)
+
+(* A one-node cluster-state sandbox. *)
+let with_state ?(config = Ava3.Config.default) body =
+  let engine = Sim.Engine.create ~seed:3L () in
+  let cs : int Ava3.Cluster_state.t =
+    Ava3.Cluster_state.create ~engine ~config ~nodes:1 ()
+  in
+  Sim.Engine.spawn engine (fun () -> body cs (Ava3.Cluster_state.node cs 0));
+  Sim.Engine.run engine;
+  cs
+
+let start cs nd ?(txn = 900) () =
+  Sub.start cs ~txn_id:txn ~state:(ref Sub.Running) ~node:nd ~carried:0
+
+let test_start_counts () =
+  let _ =
+    with_state (fun cs nd ->
+        let sub = start cs nd () in
+        check_int "occupies the update counter" 1 (Ns.update_count nd ~version:1);
+        check_int "starts at u" 1 (Sub.version sub);
+        Sub.commit cs sub ~final_version:1;
+        check_int "counter released" 0 (Ns.update_count nd ~version:1);
+        check_bool "finished" true (Sub.finished sub))
+  in
+  ()
+
+let test_read_write_cycle () =
+  let _ =
+    with_state (fun cs nd ->
+        Vstore.Store.write (Ns.store nd) "x" 0 5;
+        let sub = start cs nd () in
+        Alcotest.check vopt "reads version 0 data" (Some 5) (Sub.read cs sub "x");
+        Sub.write cs sub "x" 50;
+        Alcotest.check vopt "reads own write" (Some 50) (Sub.read cs sub "x");
+        Sub.delete cs sub "x";
+        Alcotest.check vopt "reads own delete" None (Sub.read cs sub "x");
+        Sub.commit cs sub ~final_version:1)
+  in
+  ()
+
+let test_abort_idempotent () =
+  let _ =
+    with_state (fun cs nd ->
+        let sub = start cs nd () in
+        Sub.write cs sub "x" 1;
+        Sub.abort cs sub;
+        check_int "counter released once" 0 (Ns.update_count nd ~version:1);
+        (* A second abort must not double-decrement. *)
+        Sub.abort cs sub;
+        check_int "still zero" 0 (Ns.update_count nd ~version:1))
+  in
+  ()
+
+let test_abort_after_commit_noop () =
+  let _ =
+    with_state (fun cs nd ->
+        let sub = start cs nd () in
+        Sub.write cs sub "x" 7;
+        Sub.commit cs sub ~final_version:1;
+        Sub.abort cs sub (* past the point of no return: no-op *);
+        Alcotest.check vopt "commit survived" (Some 7)
+          (Vstore.Store.read_le (Ns.store nd) "x" 1))
+  in
+  ()
+
+let test_catch_up_on_later_version () =
+  let _ =
+    with_state (fun cs nd ->
+        Vstore.Store.write (Ns.store nd) "x" 0 5;
+        let sub = start cs nd () in
+        (* Another (committed) transaction raced ahead: x exists in v2 and
+           the node advanced. *)
+        Ns.set_u nd 2;
+        Vstore.Store.write (Ns.store nd) "x" 2 55;
+        Alcotest.check vopt "reads the later version after moving" (Some 55)
+          (Sub.read cs sub "x");
+        check_int "session moved to u" 2 (Sub.version sub);
+        Sub.commit cs sub ~final_version:2)
+  in
+  ()
+
+let test_eager_handoff_moves_counter () =
+  let config = { Ava3.Config.default with eager_counter_handoff = true } in
+  let _ =
+    with_state ~config (fun cs nd ->
+        Vstore.Store.write (Ns.store nd) "x" 0 5;
+        let sub = start cs nd () in
+        Ns.set_u nd 2;
+        Vstore.Store.write (Ns.store nd) "x" 2 55;
+        ignore (Sub.read cs sub "x") (* triggers moveToFuture *);
+        check_int "old slot released" 0 (Ns.update_count nd ~version:1);
+        check_int "new slot occupied" 1 (Ns.update_count nd ~version:2);
+        Sub.commit cs sub ~final_version:2;
+        check_int "new slot released at commit" 0 (Ns.update_count nd ~version:2))
+  in
+  ()
+
+let test_sibling_abort_cancels () =
+  (* Once the shared transaction state flips to Aborting, further
+     operations fail fast instead of touching data. *)
+  let _ =
+    with_state (fun cs nd ->
+        let state = ref Sub.Running in
+        let sub = Sub.start cs ~txn_id:901 ~state ~node:nd ~carried:0 in
+        state := Sub.Aborting;
+        (match Sub.read cs sub "x" with
+        | exception Sub.Txn_abort _ -> ()
+        | _ -> Alcotest.fail "operation on aborting transaction succeeded");
+        Sub.abort cs sub)
+  in
+  ()
+
+let test_mismatch_abort_mode () =
+  let config = { Ava3.Config.default with abort_on_version_mismatch = true } in
+  let _ =
+    with_state ~config (fun cs nd ->
+        Vstore.Store.write (Ns.store nd) "x" 0 5;
+        let sub = start cs nd () in
+        Ns.set_u nd 2;
+        Vstore.Store.write (Ns.store nd) "x" 2 55;
+        (match Sub.read cs sub "x" with
+        | exception Sub.Txn_abort `Version_mismatch -> ()
+        | _ -> Alcotest.fail "synchronous mode should abort on mismatch");
+        Sub.abort cs sub)
+  in
+  ()
+
+let test_prepare_releases_shared_only () =
+  let _ =
+    with_state (fun cs nd ->
+        Vstore.Store.write (Ns.store nd) "r" 0 1;
+        let sub = start cs nd () in
+        ignore (Sub.read cs sub "r");
+        Sub.write cs sub "w" 9;
+        let v = Sub.prepare cs sub in
+        check_int "prepared version" 1 v;
+        let locks = Ns.locks nd in
+        check_bool "shared lock released" true
+          (Lockmgr.Lock_table.holds locks ~owner:900 ~key:"r" = None);
+        check_bool "exclusive lock kept" true
+          (Lockmgr.Lock_table.holds locks ~owner:900 ~key:"w"
+          = Some Lockmgr.Lock_table.Exclusive);
+        Sub.commit cs sub ~final_version:1;
+        check_bool "all released at commit" true
+          (Lockmgr.Lock_table.holds locks ~owner:900 ~key:"w" = None))
+  in
+  ()
+
+let () =
+  Alcotest.run "subtxn"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "start counts" `Quick test_start_counts;
+          Alcotest.test_case "read/write/delete" `Quick test_read_write_cycle;
+          Alcotest.test_case "abort idempotent" `Quick test_abort_idempotent;
+          Alcotest.test_case "abort after commit" `Quick
+            test_abort_after_commit_noop;
+          Alcotest.test_case "prepare releases shared" `Quick
+            test_prepare_releases_shared_only;
+        ] );
+      ( "versions",
+        [
+          Alcotest.test_case "catch up on later version" `Quick
+            test_catch_up_on_later_version;
+          Alcotest.test_case "eager hand-off" `Quick
+            test_eager_handoff_moves_counter;
+          Alcotest.test_case "sibling abort cancels" `Quick
+            test_sibling_abort_cancels;
+          Alcotest.test_case "mismatch abort mode" `Quick test_mismatch_abort_mode;
+        ] );
+    ]

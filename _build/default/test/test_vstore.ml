@@ -1,0 +1,352 @@
+(* Tests for the versioned storage engine, including the Phase-3 GC rules. *)
+
+module Store = Vstore.Store
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let vopt = Alcotest.(option int)
+
+let test_write_read () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  check_bool "exists in 0" true (Store.exists_in s "x" 0);
+  check_bool "not in 1" false (Store.exists_in s "x" 1);
+  Alcotest.check vopt "read_le 0" (Some 10) (Store.read_le s "x" 0);
+  Alcotest.check vopt "read_le 5 sees v0" (Some 10) (Store.read_le s "x" 5);
+  Alcotest.check vopt "unknown item" None (Store.read_le s "y" 5)
+
+let test_version_visibility () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  Store.write s "x" 1 11;
+  Store.write s "x" 2 12;
+  Alcotest.check vopt "v0" (Some 10) (Store.read_le s "x" 0);
+  Alcotest.check vopt "v1" (Some 11) (Store.read_le s "x" 1);
+  Alcotest.check vopt "v2" (Some 12) (Store.read_le s "x" 2);
+  Alcotest.check vopt "v9" (Some 12) (Store.read_le s "x" 9);
+  check_int "maxV" 2 (Option.get (Store.max_version s "x"));
+  Alcotest.(check (list int)) "versions" [ 0; 1; 2 ] (Store.versions_of s "x")
+
+let test_bound_enforced () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 0;
+  Store.write s "x" 1 1;
+  Store.write s "x" 2 2;
+  check_int "high water" 3 (Store.high_water_versions s);
+  Alcotest.check_raises "fourth version rejected"
+    (Store.Version_bound_exceeded { key = "x"; versions = [ 0; 1; 2; 3 ] })
+    (fun () -> Store.write s "x" 3 3)
+
+let test_unbounded () =
+  let s : int Store.t = Store.create () in
+  for v = 0 to 99 do
+    Store.write s "x" v v
+  done;
+  check_int "100 versions" 100 (Store.live_versions s "x");
+  check_int "high water" 100 (Store.high_water_versions s)
+
+let test_overwrite_same_version () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 1 10;
+  Store.write s "x" 1 20;
+  check_int "still one version" 1 (Store.live_versions s "x");
+  Alcotest.check vopt "latest value" (Some 20) (Store.read_le s "x" 1)
+
+let test_tombstone_visibility () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  Store.delete s "x" 1;
+  Alcotest.check vopt "old version still readable" (Some 10)
+    (Store.read_le s "x" 0);
+  Alcotest.check vopt "deleted as of v1" None (Store.read_le s "x" 1);
+  check_bool "tombstone exists_in" true (Store.exists_in s "x" 1)
+
+let test_lone_tombstone_kept_until_gc () =
+  (* Tombstones persist at delete time (uncommitted transactions may still
+     reference them); garbage collection removes fully-deleted items. *)
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.delete s "x" 1;
+  check_int "tombstone retained" 1 (Store.live_versions s "x");
+  Alcotest.check vopt "reads as absent" None (Store.read_le s "x" 5);
+  Store.write s "y" 1 5;
+  Store.delete s "y" 1;
+  check_int "tombstone overwrites value" 1 (Store.live_versions s "y");
+  Store.gc s ~collect:1 ~query:2;
+  check_int "gc removes deleted items" 0 (Store.item_count s)
+
+let test_copy_forward () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  Store.copy_forward s "x" ~src:0 ~dst:2;
+  Alcotest.check vopt "copied value" (Some 10) (Store.read_exact s "x" 2);
+  Alcotest.check_raises "copy of missing source" Not_found (fun () ->
+      Store.copy_forward s "z" ~src:0 ~dst:1)
+
+let test_remove_version () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  Store.write s "x" 1 11;
+  Store.remove_version s "x" 1;
+  check_int "one left" 1 (Store.live_versions s "x");
+  Alcotest.check vopt "v1 read falls back" (Some 10) (Store.read_le s "x" 1);
+  Store.remove_version s "x" 7 (* absent version: no-op *);
+  check_int "still one" 1 (Store.live_versions s "x")
+
+(* Phase-3 GC: item exists in the query version -> the collected version is
+   dropped. *)
+let test_gc_drops_collected () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  Store.write s "x" 1 11;
+  Store.gc s ~collect:0 ~query:1;
+  Alcotest.(check (list int)) "only v1 remains" [ 1 ] (Store.versions_of s "x");
+  Alcotest.check vopt "v1 value intact" (Some 11) (Store.read_le s "x" 1)
+
+(* Phase-3 GC: item absent from the query version -> its old entry is
+   renumbered to the query version. *)
+let test_gc_renumbers () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  Store.gc s ~collect:0 ~query:1;
+  Alcotest.(check (list int)) "renumbered to 1" [ 1 ] (Store.versions_of s "x");
+  Alcotest.check vopt "value preserved" (Some 10) (Store.read_le s "x" 1);
+  Alcotest.check vopt "old version gone" None (Store.read_le s "x" 0)
+
+let test_gc_removes_deleted_items () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  Store.delete s "x" 1;
+  Store.gc s ~collect:0 ~query:1;
+  check_int "deleted item fully removed" 0 (Store.item_count s)
+
+let test_gc_preserves_newer () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  Store.write s "x" 2 12;
+  (* x does not exist in version 1 (the query version): renumber v0 -> v1,
+     keep v2 untouched. *)
+  Store.gc s ~collect:0 ~query:1;
+  Alcotest.(check (list int)) "v1 and v2" [ 1; 2 ] (Store.versions_of s "x");
+  Alcotest.check vopt "renumbered" (Some 10) (Store.read_le s "x" 1);
+  Alcotest.check vopt "newest" (Some 12) (Store.read_le s "x" 2)
+
+let test_histogram () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "a" 0 1;
+  Store.write s "b" 0 1;
+  Store.write s "b" 1 2;
+  Alcotest.(check (list (pair int int)))
+    "histogram" [ (1, 1); (2, 1) ] (Store.version_histogram s)
+
+
+let test_range_basic () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  List.iter (fun (k, v) -> Store.write s k 0 v)
+    [ ("b", 2); ("a", 1); ("d", 4); ("c", 3); ("f", 6) ];
+  Alcotest.(check (list (pair string int)))
+    "ordered inclusive range"
+    [ ("b", 2); ("c", 3); ("d", 4) ]
+    (Store.range s ~lo:"b" ~hi:"d" 0);
+  Alcotest.(check (list (pair string int)))
+    "open-ended bounds match nothing extra"
+    [ ("a", 1) ]
+    (Store.range s ~lo:"" ~hi:"a" 0);
+  Alcotest.(check (list (pair string int))) "empty range" []
+    (Store.range s ~lo:"x" ~hi:"z" 0);
+  Alcotest.(check (list (pair string int))) "inverted range" []
+    (Store.range s ~lo:"d" ~hi:"b" 0)
+
+let test_range_versions () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "a" 0 1;
+  Store.write s "b" 0 2;
+  Store.write s "b" 1 20;
+  Store.delete s "a" 1;
+  (* At version 0: both original; at version 1: a deleted, b updated. *)
+  Alcotest.(check (list (pair string int)))
+    "v0 snapshot" [ ("a", 1); ("b", 2) ]
+    (Store.range s ~lo:"a" ~hi:"z" 0);
+  Alcotest.(check (list (pair string int)))
+    "v1 snapshot" [ ("b", 20) ]
+    (Store.range s ~lo:"a" ~hi:"z" 1)
+
+let test_range_after_gc () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "a" 0 1;
+  Store.write s "b" 1 2;
+  Store.gc s ~collect:0 ~query:1;
+  Alcotest.(check (list (pair string int)))
+    "renumbered entries still scannable" [ ("a", 1); ("b", 2) ]
+    (Store.range s ~lo:"a" ~hi:"z" 1)
+
+(* Properties *)
+
+let key_gen = QCheck.Gen.(map (Printf.sprintf "k%d") (int_bound 20))
+
+let ops_gen =
+  QCheck.Gen.(
+    list_size (int_bound 200)
+      (oneof
+         [
+           map2 (fun k v -> `Write (k, v)) key_gen (int_bound 1000);
+           map (fun k -> `Delete k) key_gen;
+         ]))
+
+let arbitrary_ops = QCheck.make ops_gen
+
+(* After any sequence of single-version writes followed by repeated rounds
+   of (write at v+1; gc v), the number of live versions never exceeds 2. *)
+let prop_gc_keeps_two_versions =
+  QCheck.Test.make ~name:"gc keeps at most two live versions" ~count:100
+    arbitrary_ops (fun ops ->
+      let s : int Store.t = Store.create ~bound:3 () in
+      let apply v = function
+        | `Write (k, value) -> Store.write s k v value
+        | `Delete k -> Store.delete s k v
+      in
+      List.iter (apply 0) ops;
+      let ok = ref true in
+      for round = 1 to 4 do
+        List.iter (apply round) ops;
+        Store.gc s ~collect:(round - 1) ~query:round;
+        if Store.max_live_versions_now s > 2 then ok := false
+      done;
+      !ok)
+
+(* read_le after gc returns the same values as read_le before gc at the
+   query version: garbage collection is invisible to readers of the
+   surviving snapshot. *)
+let prop_gc_preserves_query_snapshot =
+  QCheck.Test.make ~name:"gc preserves the query-version snapshot" ~count:100
+    arbitrary_ops (fun ops ->
+      let s : int Store.t = Store.create () in
+      let keys = List.map (function `Write (k, _) | `Delete k -> k) ops in
+      List.iter
+        (fun op ->
+          match op with
+          | `Write (k, v) -> Store.write s k 0 v
+          | `Delete k -> Store.delete s k 0)
+        ops;
+      (* A few version-1 writes on alternating keys. *)
+      List.iteri (fun i k -> if i mod 3 = 0 then Store.write s k 1 (i * 7)) keys;
+      let before = List.map (fun k -> (k, Store.read_le s k 1)) keys in
+      Store.gc s ~collect:0 ~query:1;
+      let after = List.map (fun k -> (k, Store.read_le s k 1)) keys in
+      before = after)
+
+(* The version index stays consistent with the items under arbitrary
+   write/delete/gc interleavings: items_in_version v counts exactly the
+   items with an entry at v. *)
+let prop_version_index_consistent =
+  let op_gen =
+    QCheck.Gen.(
+      list_size (int_bound 150)
+        (pair key_gen (oneof [ return `W; return `D; return `R ])))
+  in
+  QCheck.Test.make ~name:"version index matches item entries" ~count:100
+    (QCheck.make op_gen) (fun ops ->
+      let s : int Store.t = Store.create () in
+      let version = ref 0 in
+      List.iteri
+        (fun i (k, op) ->
+          (match op with
+          | `W -> Store.write s k !version i
+          | `D -> Store.delete s k !version
+          | `R -> Store.remove_version s k !version);
+          if i mod 17 = 16 then begin
+            Store.gc s ~collect:!version ~query:(!version + 1);
+            incr version
+          end)
+        ops;
+      (* Recount from the ground truth. *)
+      let ok = ref true in
+      for v = 0 to !version + 1 do
+        let actual = ref 0 in
+        Store.iter
+          (fun _ entries ->
+            if List.exists (fun (ev, _) -> ev = v) entries then incr actual)
+          s;
+        if Store.items_in_version s v <> !actual then ok := false
+      done;
+      !ok)
+
+(* The in-place GC rule is read-equivalent to the paper's renumbering rule:
+   after any protocol-shaped history (writes at the current update version,
+   one GC per round), read_le agrees at every version >= the query
+   version. *)
+let prop_gc_rules_read_equivalent =
+  let op_gen =
+    QCheck.Gen.(
+      list_size (int_bound 120)
+        (pair key_gen (oneof [ return `W; return `D ])))
+  in
+  QCheck.Test.make ~name:"renumber and in-place gc are read-equivalent"
+    ~count:100 (QCheck.make op_gen) (fun ops ->
+      let run renumber =
+        let s : int Store.t = Store.create ~gc_renumber:renumber () in
+        let u = ref 1 in
+        List.iteri
+          (fun i (k, op) ->
+            (match op with
+            | `W -> Store.write s k !u i
+            | `D -> Store.delete s k !u);
+            if i mod 13 = 12 then begin
+              (* One advancement round: updates move to !u + 1, version
+                 !u - 1 is collected with query version !u. *)
+              Store.gc s ~collect:(!u - 1) ~query:!u;
+              incr u
+            end)
+          ops;
+        let keys = List.sort_uniq compare (List.map fst ops) in
+        List.map (fun k -> (k, Store.read_le s k !u, Store.read_le s k max_int)) keys
+      in
+      run true = run false)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "vstore"
+    [
+      ( "basics",
+        [
+          Alcotest.test_case "write and read" `Quick test_write_read;
+          Alcotest.test_case "version visibility" `Quick test_version_visibility;
+          Alcotest.test_case "bound enforced" `Quick test_bound_enforced;
+          Alcotest.test_case "unbounded mode" `Quick test_unbounded;
+          Alcotest.test_case "overwrite same version" `Quick
+            test_overwrite_same_version;
+        ] );
+      ( "deletion",
+        [
+          Alcotest.test_case "tombstone visibility" `Quick
+            test_tombstone_visibility;
+          Alcotest.test_case "lone tombstone kept until gc" `Quick
+            test_lone_tombstone_kept_until_gc;
+        ] );
+      ( "versions",
+        [
+          Alcotest.test_case "copy forward" `Quick test_copy_forward;
+          Alcotest.test_case "remove version" `Quick test_remove_version;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "range basic" `Quick test_range_basic;
+          Alcotest.test_case "range versions" `Quick test_range_versions;
+          Alcotest.test_case "range after gc" `Quick test_range_after_gc;
+        ] );
+      ( "gc",
+        [
+          Alcotest.test_case "drops collected" `Quick test_gc_drops_collected;
+          Alcotest.test_case "renumbers survivors" `Quick test_gc_renumbers;
+          Alcotest.test_case "removes deleted items" `Quick
+            test_gc_removes_deleted_items;
+          Alcotest.test_case "preserves newer versions" `Quick
+            test_gc_preserves_newer;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_gc_keeps_two_versions;
+            prop_gc_preserves_query_snapshot;
+            prop_version_index_consistent;
+            prop_gc_rules_read_equivalent;
+          ] );
+    ]
+

@@ -1,0 +1,166 @@
+(* Tests for the workload driver, histograms under edge cases, and the
+   report renderer. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Histogram edge cases} *)
+
+let test_histogram_empty () =
+  let h = Workload.Histogram.create () in
+  check_int "count" 0 (Workload.Histogram.count h);
+  Alcotest.(check (float 0.0)) "mean" 0.0 (Workload.Histogram.mean h);
+  Alcotest.(check (float 0.0)) "p99" 0.0 (Workload.Histogram.percentile h 0.99);
+  Alcotest.(check string) "summary" "n=0" (Workload.Histogram.summary h)
+
+let test_histogram_single () =
+  let h = Workload.Histogram.create () in
+  Workload.Histogram.add h 7.0;
+  Alcotest.(check (float 1e-9)) "p50" 7.0 (Workload.Histogram.percentile h 0.5);
+  Alcotest.(check (float 1e-9)) "p0 clamps" 7.0 (Workload.Histogram.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p>1 clamps" 7.0 (Workload.Histogram.percentile h 2.0)
+
+let test_histogram_merge () =
+  let a = Workload.Histogram.create () and b = Workload.Histogram.create () in
+  List.iter (Workload.Histogram.add a) [ 1.0; 2.0 ];
+  List.iter (Workload.Histogram.add b) [ 3.0; 4.0 ];
+  let m = Workload.Histogram.merge a b in
+  check_int "merged count" 4 (Workload.Histogram.count m);
+  Alcotest.(check (float 1e-9)) "merged mean" 2.5 (Workload.Histogram.mean m);
+  (* Sources unchanged. *)
+  check_int "a intact" 2 (Workload.Histogram.count a)
+
+let prop_histogram_percentiles_ordered =
+  QCheck.Test.make ~name:"percentiles are monotone" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 50) (float_bound_inclusive 1000.0))
+    (fun samples ->
+      let h = Workload.Histogram.create () in
+      List.iter (Workload.Histogram.add h) samples;
+      let p q = Workload.Histogram.percentile h q in
+      p 0.1 <= p 0.5 && p 0.5 <= p 0.9 && p 0.9 <= p 1.0
+      && p 1.0 = Workload.Histogram.max_value h)
+
+(* {1 Driver} *)
+
+let run_once seed =
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let db =
+    Baseline.Ava3_db.create ~engine ~advancement_period:60.0
+      ~advancement_until:300.0 ~nodes:2 ()
+  in
+  let ks = Workload.Keyspace.create ~nodes:2 ~keys_per_node:30 ~theta:0.7 in
+  for n = 0 to 1 do
+    Baseline.Ava3_db.load db ~node:n
+      (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:n))
+  done;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let spec =
+    {
+      Workload.Driver.default_spec with
+      duration = 300.0;
+      update_rate = 0.3;
+      query_rate = 0.2;
+      long_query_period = 90.0;
+      long_query_reads = 10;
+    }
+  in
+  Workload.Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec
+
+let test_driver_deterministic () =
+  let fingerprint (r : Workload.Driver.report) =
+    ( r.Workload.Driver.committed,
+      r.Workload.Driver.queries_ok,
+      Workload.Histogram.mean r.Workload.Driver.update_latency,
+      Workload.Histogram.mean r.Workload.Driver.staleness )
+  in
+  check_bool "same seed, same report" true
+    (fingerprint (run_once 5L) = fingerprint (run_once 5L));
+  check_bool "different seed differs" true
+    (fingerprint (run_once 5L) <> fingerprint (run_once 6L))
+
+let test_driver_rates_scale () =
+  let r = run_once 5L in
+  (* Open-loop: arrivals approximate rate x duration. *)
+  let expect_updates = 0.3 *. 300.0 in
+  let total_updates = float_of_int (r.Workload.Driver.committed + r.Workload.Driver.aborted) in
+  check_bool "update arrivals near expectation" true
+    (total_updates > 0.6 *. expect_updates && total_updates < 1.5 *. expect_updates);
+  check_bool "long queries ran" true
+    (Workload.Histogram.count r.Workload.Driver.long_query_latency >= 2)
+
+let test_zero_rate_streams () =
+  let engine = Sim.Engine.create ~seed:9L ~trace:false () in
+  let db =
+    Baseline.Ava3_db.create ~engine ~advancement_period:0.0 ~nodes:1 ()
+  in
+  let ks = Workload.Keyspace.create ~nodes:1 ~keys_per_node:5 ~theta:0.0 in
+  Baseline.Ava3_db.load db ~node:0
+    (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:0));
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let spec =
+    {
+      Workload.Driver.default_spec with
+      duration = 100.0;
+      update_rate = 0.0;
+      query_rate = 0.0;
+      long_query_period = 0.0;
+    }
+  in
+  let r = Workload.Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec in
+  check_int "nothing committed" 0 r.Workload.Driver.committed;
+  check_int "nothing queried" 0 r.Workload.Driver.queries_ok
+
+(* {1 Report renderer} *)
+
+let test_report_render () =
+  let out =
+    Dbsim.Report.render
+      ~header:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "longer-name"; "22" ] ]
+  in
+  let lines = String.split_on_char '\n' out in
+  (match lines with
+  | header :: rule :: row1 :: _ ->
+      check_bool "header contains both columns" true
+        (String.length header >= String.length "longer-name  value");
+      check_bool "rule is dashes" true (String.for_all (fun c -> c = '-' || c = ' ') rule);
+      check_bool "row padded to column" true
+        (String.length row1 <= String.length rule + 2)
+  | _ -> Alcotest.fail "unexpected shape");
+  (* No trailing spaces on any line. *)
+  List.iter
+    (fun l ->
+      if String.length l > 0 then
+        check_bool "no trailing space" true (l.[String.length l - 1] <> ' '))
+    lines
+
+let test_report_ragged_rows () =
+  (* Rows shorter than the header must not crash the renderer. *)
+  let out =
+    Dbsim.Report.render ~header:[ "a"; "b"; "c" ] ~rows:[ [ "x" ]; [ "y"; "z" ] ]
+  in
+  check_bool "rendered" true (String.length out > 0)
+
+let () =
+  let qc = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "workload"
+    [
+      ( "histogram",
+        [
+          Alcotest.test_case "empty" `Quick test_histogram_empty;
+          Alcotest.test_case "single sample" `Quick test_histogram_single;
+          Alcotest.test_case "merge" `Quick test_histogram_merge;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
+          Alcotest.test_case "rates scale" `Quick test_driver_rates_scale;
+          Alcotest.test_case "zero rates" `Quick test_zero_rate_streams;
+        ] );
+      ( "report",
+        [
+          Alcotest.test_case "render" `Quick test_report_render;
+          Alcotest.test_case "ragged rows" `Quick test_report_ragged_rows;
+        ] );
+      ("properties", qc [ prop_histogram_percentiles_ordered ]);
+    ]
