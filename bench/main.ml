@@ -13,10 +13,20 @@
      scalability  — E9: advancement latency and messages vs cluster size
      micro        — bechamel microbenchmarks of the core operations
 
-   Pass one of those names as the single argument to run it alone. *)
+   Pass one of those names as the single argument to run it alone.
+   `--json` additionally writes BENCH_micro.json (micro ns/run plus
+   per-suite wall-clock) for machine consumption.
+
+   Experiment sweeps fan out over domains (see Sim.Pool); set
+   AVA3_DOMAINS=1 to force sequential runs.  Results are identical at
+   any domain count. *)
 
 open Bechamel
 open Toolkit
+
+let json_mode = ref false
+let micro_rows : (string * float) list ref = ref []
+let suite_times : (string * float) list ref = ref []
 
 (* ------------------------------------------------------------------ *)
 (* Microbenchmarks: the primitive operations whose cost the paper
@@ -46,6 +56,27 @@ let bench_store_write =
     (Staged.stage (fun () ->
          incr i;
          Vstore.Store.write store "x" 0 !i))
+
+let bench_copy_forward =
+  let store : int Vstore.Store.t = Vstore.Store.create ~bound:3 () in
+  Vstore.Store.write store "x" 0 1;
+  Test.make ~name:"vstore copy_forward (overwrite dst slot)"
+    (Staged.stage (fun () -> Vstore.Store.copy_forward store "x" ~src:0 ~dst:1))
+
+(* Steady-state slot rotation: the advancement pattern — drop the oldest
+   version, then write the next one.  Live count stays at 3, so the
+   bounded store never spills and never raises. *)
+let bench_slot_rotate =
+  let store : int Vstore.Store.t = Vstore.Store.create ~bound:3 () in
+  let v = ref 0 in
+  Vstore.Store.write store "x" 0 0;
+  Vstore.Store.write store "x" 1 1;
+  Vstore.Store.write store "x" 2 2;
+  Test.make ~name:"vstore rotate (remove oldest + write newest)"
+    (Staged.stage (fun () ->
+         Vstore.Store.remove_version store "x" !v;
+         Vstore.Store.write store "x" (!v + 3) !v;
+         incr v))
 
 let bench_mvcc_chain_read =
   let store : int Vstore.Store.t = Vstore.Store.create () in
@@ -109,6 +140,8 @@ let micro_tests =
       bench_latch;
       bench_store_read;
       bench_store_write;
+      bench_copy_forward;
+      bench_slot_rotate;
       bench_mvcc_chain_read;
       bench_zipf;
       bench_mtf_no_undo;
@@ -127,17 +160,18 @@ let run_micro () =
   in
   let raw = Benchmark.all cfg instances micro_tests in
   let results = Analyze.all ols Instance.monotonic_clock raw in
-  let rows =
+  let estimates =
     Hashtbl.fold
       (fun name ols acc ->
-        let ns =
-          match Analyze.OLS.estimates ols with
-          | Some [ e ] -> Printf.sprintf "%.1f" e
-          | _ -> "n/a"
-        in
-        [ name; ns ] :: acc)
+        match Analyze.OLS.estimates ols with
+        | Some [ e ] -> (name, e) :: acc
+        | _ -> acc)
       results []
     |> List.sort compare
+  in
+  micro_rows := estimates;
+  let rows =
+    List.map (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ]) estimates
   in
   print_string
     (Dbsim.Report.render ~header:[ "operation"; "ns/run" ] ~rows)
@@ -186,7 +220,7 @@ let run_serializability () =
     "\n== Theorem 6.2, executable: record histories, replay the claimed \
      serial order ==";
   let rows =
-    List.map
+    Sim.Pool.map
       (fun seed ->
         let v = Dbsim.Serial_check.check ~seed:(Int64.of_int seed) () in
         [
@@ -228,21 +262,74 @@ let experiments =
     ("micro", run_micro);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Driver: per-suite wall-clock, optional JSON dump                    *)
+(* ------------------------------------------------------------------ *)
+
+let timed name run =
+  let t0 = Unix.gettimeofday () in
+  run ();
+  let dt = Unix.gettimeofday () -. t0 in
+  suite_times := !suite_times @ [ (name, dt) ];
+  Printf.printf "[%s: %.2fs wall-clock]\n%!" name dt
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let write_json path =
+  let field (name, v) = Printf.sprintf "    \"%s\": %g" (json_escape name) v in
+  let obj fields = String.concat ",\n" (List.map field fields) in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"domains\": %d,\n\
+    \  \"micro_ns_per_run\": {\n%s\n  },\n\
+    \  \"suite_wall_clock_s\": {\n%s\n  }\n\
+     }\n"
+    (Sim.Pool.default_domains ())
+    (obj !micro_rows) (obj !suite_times);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let () =
-  match Sys.argv with
-  | [| _ |] ->
+  let args = List.tl (Array.to_list Sys.argv) in
+  let names, flags = List.partition (fun a -> a.[0] <> '-') args in
+  List.iter
+    (fun f ->
+      if f = "--json" then json_mode := true
+      else begin
+        Printf.eprintf "usage: %s [--json] [experiment]\n" Sys.argv.(0);
+        exit 2
+      end)
+    flags;
+  Printf.printf "parallel sweep domains: %d (override with AVA3_DOMAINS)\n%!"
+    (Sim.Pool.default_domains ());
+  (match names with
+  | [] ->
       List.iter
         (fun (name, run) ->
           Printf.printf "\n###### %s ######\n%!" name;
-          run ())
+          timed name run)
         experiments
-  | [| _; name |] -> (
+  | [ name ] -> (
       match List.assoc_opt name experiments with
-      | Some run -> run ()
+      | Some run -> timed name run
       | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" name
             (String.concat ", " (List.map fst experiments));
           exit 2)
   | _ ->
-      Printf.eprintf "usage: %s [experiment]\n" Sys.argv.(0);
-      exit 2
+      Printf.eprintf "usage: %s [--json] [experiment]\n" Sys.argv.(0);
+      exit 2);
+  if !json_mode then write_json "BENCH_micro.json"

@@ -154,6 +154,14 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree =
     Error (Printf.sprintf "invariant violations: %s" (String.concat "; " !violations))
   else Ok ()
 
+let configurations =
+  [
+    (2, false, false, false);
+    (3, true, false, false);
+    (4, false, false, true);
+    (3, false, true, false);
+  ]
+
 let () =
   let seeds = ref 200 and from = ref 1 and verbose = ref false in
   let spec =
@@ -164,34 +172,39 @@ let () =
     ]
   in
   Arg.parse spec (fun _ -> ()) "stress [--seeds N] [--from S]";
+  (* Seeds fan out over domains (AVA3_DOMAINS, see Sim.Pool); each run is a
+     self-contained engine, so outcomes are identical at any width.  Workers
+     only compute — all printing happens afterwards, in seed order. *)
+  let outcomes =
+    Sim.Pool.map
+      (fun seed ->
+        List.map
+          (fun ((nodes, crashes, partitions, use_tree) as cfg) ->
+            let outcome =
+              try run_one ~seed ~nodes ~crashes ~partitions ~use_tree
+              with e -> Error ("exception: " ^ Printexc.to_string e)
+            in
+            (seed, cfg, outcome))
+          configurations)
+      (List.init !seeds (fun i -> !from + i))
+  in
   let failures = ref 0 in
-  for seed = !from to !from + !seeds - 1 do
-    List.iter
-      (fun (nodes, crashes, partitions, use_tree) ->
-        if !verbose then
-          Printf.printf "seed %d nodes %d crashes %b partitions %b tree %b\n%!"
-            seed nodes crashes partitions use_tree;
-        match run_one ~seed ~nodes ~crashes ~partitions ~use_tree with
-        | Ok () -> ()
-        | Error msg ->
-            incr failures;
-            Printf.printf
-              "FAIL seed=%d nodes=%d crashes=%b partitions=%b tree=%b: %s\n%!"
-              seed nodes crashes partitions use_tree msg
-        | exception e ->
-            incr failures;
-            Printf.printf
-              "EXCEPTION seed=%d nodes=%d crashes=%b partitions=%b tree=%b: %s\n%!"
-              seed nodes crashes partitions use_tree (Printexc.to_string e))
-      [
-        (2, false, false, false);
-        (3, true, false, false);
-        (4, false, false, true);
-        (3, false, true, false);
-      ]
-  done;
+  List.iter
+    (List.iter (fun (seed, (nodes, crashes, partitions, use_tree), outcome) ->
+         if !verbose then
+           Printf.printf "seed %d nodes %d crashes %b partitions %b tree %b\n%!"
+             seed nodes crashes partitions use_tree;
+         match outcome with
+         | Ok () -> ()
+         | Error msg ->
+             incr failures;
+             Printf.printf
+               "FAIL seed=%d nodes=%d crashes=%b partitions=%b tree=%b: %s\n%!"
+               seed nodes crashes partitions use_tree msg))
+    outcomes;
   if !failures = 0 then
-    Printf.printf "stress: %d seeds x 4 configurations clean\n" !seeds
+    Printf.printf "stress: %d seeds x %d configurations clean\n" !seeds
+      (List.length configurations)
   else begin
     Printf.printf "stress: %d failures\n" !failures;
     exit 1

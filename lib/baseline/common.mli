@@ -1,8 +1,9 @@
 (** Shared plumbing for the baseline protocols. *)
 
 val fresh_txn_id : unit -> int
-(** Process-wide transaction id allocator for baselines (ids only need to be
-    unique within one engine run; a global counter is simplest). *)
+(** Domain-wide transaction id allocator for baselines (ids only need to be
+    unique within one engine run, and every engine run executes on a single
+    domain; a domain-local counter keeps parallel sweeps race-free). *)
 
 val retry :
   max_attempts:int ->

@@ -162,7 +162,7 @@ let retransmit cs k ~newu =
         loop ()
     | _ -> ()
   in
-  Sim.Engine.spawn cs.engine loop
+  Sim.Engine.spawn cs.engine ~name:"advancement-resend" loop
 
 let start_round cs k ~newu =
   let n = node_count cs in

@@ -66,7 +66,7 @@ let start_periodic_advancement cs ~coordinator ~period ~until =
       loop ()
     end
   in
-  Sim.Engine.spawn cs.Cluster_state.engine loop
+  Sim.Engine.spawn cs.Cluster_state.engine ~name:"periodic-advancement" loop
 
 (* §8 limiting mode: run advancements back to back — initiate, wait until
    the new version is readable everywhere, immediately initiate again.
@@ -81,7 +81,7 @@ let start_continuous_advancement cs ~coordinator ~until =
       loop ()
     end
   in
-  Sim.Engine.spawn cs.Cluster_state.engine loop
+  Sim.Engine.spawn cs.Cluster_state.engine ~name:"continuous-advancement" loop
 
 let checkpoint cs ~node:i =
   let nd = Cluster_state.node cs i in
@@ -109,7 +109,7 @@ let start_periodic_checkpoints cs ~period ~until ?(min_log = 64) () =
       loop ()
     end
   in
-  Sim.Engine.spawn cs.Cluster_state.engine loop
+  Sim.Engine.spawn cs.Cluster_state.engine ~name:"periodic-checkpoints" loop
 
 let crash cs ~node:i =
   let nd = Cluster_state.node cs i in

@@ -2,6 +2,12 @@ module Update = Ava3.Update_exec
 module Driver = Workload.Driver
 module Histogram = Workload.Histogram
 
+(* Every run below builds its own engine, RNG, keyspace and store, so the
+   sweeps are share-nothing and fan out across domains via [Sim.Pool.map]
+   (gated by AVA3_DOMAINS; results come back in input order, so the
+   printed tables are identical at any domain count). *)
+let pmap = Sim.Pool.map
+
 (* ------------------------------------------------------------------ *)
 (* E3 — §6.2 invariants under load                                     *)
 (* ------------------------------------------------------------------ *)
@@ -68,7 +74,7 @@ let invariants ?(seed = 17L) ~nodes ~duration () =
 
 let print_invariants () =
   let rows =
-    List.map
+    pmap
       (fun nodes ->
         let r = invariants ~nodes ~duration:1500.0 () in
         [
@@ -140,8 +146,8 @@ let staleness_one ?(seed = 23L) ~period ~eager () =
   }
 
 let staleness_sweep ?(seed = 23L) ?(periods = [ 25.0; 50.0; 100.0; 200.0; 400.0 ])
-    ~eager () =
-  List.map (fun period -> staleness_one ~seed ~period ~eager ()) periods
+    ?domains ~eager () =
+  pmap ?domains (fun period -> staleness_one ~seed ~period ~eager ()) periods
 
 type staleness_bound = {
   long_txn_duration : float;
@@ -208,11 +214,12 @@ let publish_lag ~seed ~long_txn_duration ~eager =
   !published -. !started
 
 let staleness_bound ?(seed = 29L) ?(long_txn_duration = 100.0) () =
-  {
-    long_txn_duration;
-    publish_lag_plain = publish_lag ~seed ~long_txn_duration ~eager:false;
-    publish_lag_eager = publish_lag ~seed ~long_txn_duration ~eager:true;
-  }
+  match
+    pmap (fun eager -> publish_lag ~seed ~long_txn_duration ~eager) [ false; true ]
+  with
+  | [ publish_lag_plain; publish_lag_eager ] ->
+      { long_txn_duration; publish_lag_plain; publish_lag_eager }
+  | _ -> assert false
 
 type continuous_point = {
   query_duration : float;  (* measured mean query duration, network included *)
@@ -275,8 +282,9 @@ let continuous_one ?(seed = 47L) ~query_duration () =
     rounds = stats.Ava3.Cluster.advancements;
   }
 
-let continuous_staleness ?(seed = 47L) ?(durations = [ 5.0; 20.0; 60.0 ]) () =
-  List.map (fun d -> continuous_one ~seed ~query_duration:d ()) durations
+let continuous_staleness ?(seed = 47L) ?(durations = [ 5.0; 20.0; 60.0 ]) ?domains
+    () =
+  pmap ?domains (fun d -> continuous_one ~seed ~query_duration:d ()) durations
 
 let print_staleness () =
   let render eager =
@@ -357,7 +365,7 @@ let comparison_spec duration =
     long_query_reads = 60;
   }
 
-let comparison ?(seed = 31L) ?(duration = 2000.0) () =
+let comparison ?(seed = 31L) ?(duration = 2000.0) ?domains () =
   let spec = comparison_spec duration in
   let keyspace () = Workload.Keyspace.create ~nodes:3 ~keys_per_node:60 ~theta:0.9 in
   let run_one (type db) (module Db : Workload.Db_intf.DB with type t = db)
@@ -388,40 +396,48 @@ let comparison ?(seed = 31L) ?(duration = 2000.0) () =
       interference_metric = interference_of extra;
     }
   in
-  [
-    run_one
-      (module Baseline.Ava3_db)
-      (fun engine ->
-        Baseline.Ava3_db.create ~engine ~advancement_period:100.0
-          ~advancement_until:duration ~nodes:3 ())
-      Baseline.Ava3_db.load
-      ~interference_of:(fun _ -> 0.0);
-    run_one
-      (module Baseline.S2pl)
-      (fun engine -> Baseline.S2pl.create ~engine ~nodes:3 ())
-      Baseline.S2pl.load
-      ~interference_of:(fun extra ->
-        Option.value (List.assoc_opt "lock_wait_time" extra) ~default:0.0);
-    run_one
-      (module Baseline.Two_version)
-      (fun engine -> Baseline.Two_version.create ~engine ~nodes:3 ())
-      Baseline.Two_version.load
-      ~interference_of:(fun extra ->
-        Option.value (List.assoc_opt "commit_delay" extra) ~default:0.0);
-    run_one
-      (module Baseline.Mvcc)
-      (fun engine -> Baseline.Mvcc.create ~engine ~nodes:3 ())
-      Baseline.Mvcc.load
-      ~interference_of:(fun _ -> 0.0);
-    run_one
-      (module Baseline.Four_version)
-      (fun engine ->
-        Baseline.Four_version.create ~engine ~advancement_period:100.0
-          ~advancement_until:duration ~nodes:3 ())
-      Baseline.Four_version.load
-      ~interference_of:(fun extra ->
-        Option.value (List.assoc_opt "mismatch_aborts" extra) ~default:0.0);
-  ]
+  (* One thunk per protocol so the five runs fan out across domains. *)
+  pmap ?domains
+    (fun run -> run ())
+    [
+      (fun () ->
+        run_one
+          (module Baseline.Ava3_db)
+          (fun engine ->
+            Baseline.Ava3_db.create ~engine ~advancement_period:100.0
+              ~advancement_until:duration ~nodes:3 ())
+          Baseline.Ava3_db.load
+          ~interference_of:(fun _ -> 0.0));
+      (fun () ->
+        run_one
+          (module Baseline.S2pl)
+          (fun engine -> Baseline.S2pl.create ~engine ~nodes:3 ())
+          Baseline.S2pl.load
+          ~interference_of:(fun extra ->
+            Option.value (List.assoc_opt "lock_wait_time" extra) ~default:0.0));
+      (fun () ->
+        run_one
+          (module Baseline.Two_version)
+          (fun engine -> Baseline.Two_version.create ~engine ~nodes:3 ())
+          Baseline.Two_version.load
+          ~interference_of:(fun extra ->
+            Option.value (List.assoc_opt "commit_delay" extra) ~default:0.0));
+      (fun () ->
+        run_one
+          (module Baseline.Mvcc)
+          (fun engine -> Baseline.Mvcc.create ~engine ~nodes:3 ())
+          Baseline.Mvcc.load
+          ~interference_of:(fun _ -> 0.0));
+      (fun () ->
+        run_one
+          (module Baseline.Four_version)
+          (fun engine ->
+            Baseline.Four_version.create ~engine ~advancement_period:100.0
+              ~advancement_until:duration ~nodes:3 ())
+          Baseline.Four_version.load
+          ~interference_of:(fun extra ->
+            Option.value (List.assoc_opt "mismatch_aborts" extra) ~default:0.0));
+    ]
 
 let print_comparison () =
   let rows =
@@ -475,7 +491,7 @@ type mtf_row = {
   items_copied : int;
 }
 
-let move_to_future ?(seed = 37L) ?(duration = 2000.0) () =
+let move_to_future ?(seed = 37L) ?(duration = 2000.0) ?domains () =
   let run ~scheme ~piggyback ~period =
     let engine = Sim.Engine.create ~seed ~trace:false () in
     let config =
@@ -514,15 +530,16 @@ let move_to_future ?(seed = 37L) ?(duration = 2000.0) () =
       items_copied = stats.Ava3.Cluster.mtf_items_copied;
     }
   in
-  List.concat_map
-    (fun period ->
-      List.concat_map
-        (fun scheme ->
-          List.map
-            (fun piggyback -> run ~scheme ~piggyback ~period)
-            [ false; true ])
-        [ Wal.Scheme.No_undo; Wal.Scheme.Undo_redo ])
-    [ 50.0; 200.0 ]
+  let cells =
+    List.concat_map
+      (fun period ->
+        List.concat_map
+          (fun scheme ->
+            List.map (fun piggyback -> (scheme, piggyback, period)) [ false; true ])
+          [ Wal.Scheme.No_undo; Wal.Scheme.Undo_redo ])
+      [ 50.0; 200.0 ]
+  in
+  pmap ?domains (fun (scheme, piggyback, period) -> run ~scheme ~piggyback ~period) cells
 
 (* Targeted §10 piggyback scenario: the root subtransaction is dragged to
    the new version by a data access, then dispatches a child to a node that
@@ -582,9 +599,10 @@ let piggyback_targeted ?(seed = 53L) () =
     let stats = Ava3.Cluster.stats db in
     (staged, stats.Ava3.Cluster.mtf_commit_time)
   in
-  let staged, plain = run ~piggyback:false in
-  let _, piggy = run ~piggyback:true in
-  { staged; commit_mtf_plain = plain; commit_mtf_piggyback = piggy }
+  match pmap (fun piggyback -> run ~piggyback) [ false; true ] with
+  | [ (staged, plain); (_, piggy) ] ->
+      { staged; commit_mtf_plain = plain; commit_mtf_piggyback = piggy }
+  | _ -> assert false
 
 let print_move_to_future () =
   let rows =
@@ -709,11 +727,10 @@ let centralized_variant ~seed ~retain_extra () =
     advancements = !advancements;
   }
 
-let centralized ?(seed = 41L) () =
-  [
-    centralized_variant ~seed ~retain_extra:false ();
-    centralized_variant ~seed ~retain_extra:true ();
-  ]
+let centralized ?(seed = 41L) ?domains () =
+  pmap ?domains
+    (fun retain_extra -> centralized_variant ~seed ~retain_extra ())
+    [ false; true ]
 
 type sync_aborts = {
   ava3_aborts_from_advancement : int;
@@ -736,44 +753,57 @@ let sync_advancement_aborts ?(seed = 43L) () =
     }
   in
   let ks () = Workload.Keyspace.create ~nodes:3 ~keys_per_node:80 ~theta:0.85 in
-  (* AVA3 *)
-  let engine = Sim.Engine.create ~seed ~trace:false () in
-  let ava3 =
-    Baseline.Ava3_db.create ~engine ~advancement_period:40.0
-      ~advancement_until:duration ~nodes:3 ()
-  in
-  let keyspace = ks () in
-  for n = 0 to 2 do
-    Baseline.Ava3_db.load ava3 ~node:n
-      (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys keyspace ~node:n))
-  done;
-  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
-  let _ = Driver.run (module Baseline.Ava3_db) ava3 ~engine ~rng ~keyspace ~spec in
-  let ava3_stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster ava3) in
-  (* Four-version synchronous *)
-  let engine2 = Sim.Engine.create ~seed ~trace:false () in
-  let fourv =
-    Baseline.Four_version.create ~engine:engine2 ~advancement_period:40.0
-      ~advancement_until:duration ~nodes:3 ()
-  in
-  let keyspace2 = ks () in
-  for n = 0 to 2 do
-    Baseline.Four_version.load fourv ~node:n
-      (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys keyspace2 ~node:n))
-  done;
-  let rng2 = Sim.Rng.split (Sim.Engine.rng engine2) in
-  let _ =
-    Driver.run (module Baseline.Four_version) fourv ~engine:engine2 ~rng:rng2
-      ~keyspace:keyspace2 ~spec
-  in
-  {
+  let ava3_run () =
+    let engine = Sim.Engine.create ~seed ~trace:false () in
+    let ava3 =
+      Baseline.Ava3_db.create ~engine ~advancement_period:40.0
+        ~advancement_until:duration ~nodes:3 ()
+    in
+    let keyspace = ks () in
+    for n = 0 to 2 do
+      Baseline.Ava3_db.load ava3 ~node:n
+        (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys keyspace ~node:n))
+    done;
+    let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    let _ = Driver.run (module Baseline.Ava3_db) ava3 ~engine ~rng ~keyspace ~spec in
+    let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster ava3) in
     (* AVA3 aborts only come from deadlocks; advancement adds none.  Report
        aborts minus deadlock victims (which exist in both systems). *)
-    ava3_aborts_from_advancement =
-      ava3_stats.Ava3.Cluster.aborts - ava3_stats.Ava3.Cluster.deadlocks;
-    fourv_mismatch_aborts = Baseline.Four_version.mismatch_aborts fourv;
-    advancements_during_run = ava3_stats.Ava3.Cluster.advancements;
-  }
+    ( stats.Ava3.Cluster.aborts - stats.Ava3.Cluster.deadlocks,
+      stats.Ava3.Cluster.advancements )
+  in
+  let fourv_run () =
+    let engine = Sim.Engine.create ~seed ~trace:false () in
+    let fourv =
+      Baseline.Four_version.create ~engine ~advancement_period:40.0
+        ~advancement_until:duration ~nodes:3 ()
+    in
+    let keyspace = ks () in
+    for n = 0 to 2 do
+      Baseline.Four_version.load fourv ~node:n
+        (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys keyspace ~node:n))
+    done;
+    let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+    let _ =
+      Driver.run (module Baseline.Four_version) fourv ~engine ~rng ~keyspace ~spec
+    in
+    Baseline.Four_version.mismatch_aborts fourv
+  in
+  match
+    pmap
+      (fun run -> run ())
+      [
+        (fun () -> `Ava3 (ava3_run ()));
+        (fun () -> `Fourv (fourv_run ()));
+      ]
+  with
+  | [ `Ava3 (ava3_aborts, advancements); `Fourv mismatch ] ->
+      {
+        ava3_aborts_from_advancement = ava3_aborts;
+        fourv_mismatch_aborts = mismatch;
+        advancements_during_run = advancements;
+      }
+  | _ -> assert false
 
 let print_centralized () =
   let rows =
@@ -816,7 +846,7 @@ type ablation_row = {
   abl_staleness : float;
 }
 
-let ablations ?(seed = 59L) ?(duration = 1500.0) () =
+let ablations ?(seed = 59L) ?(duration = 1500.0) ?domains () =
   let run ~name ~config =
     let engine = Sim.Engine.create ~seed ~trace:false () in
     let db =
@@ -854,18 +884,16 @@ let ablations ?(seed = 59L) ?(duration = 1500.0) () =
     }
   in
   let base = Ava3.Config.default in
-  [
-    run ~name:"base protocol" ~config:base;
-    run ~name:"+eager hand-off (§8)"
-      ~config:{ base with eager_counter_handoff = true };
-    run ~name:"+piggyback (§10)" ~config:{ base with piggyback_version = true };
-    run ~name:"+root-only counters (§10)"
-      ~config:{ base with root_only_query_counters = true };
-    run ~name:"+shared counters (§10)"
-      ~config:{ base with shared_transaction_counters = true };
-    run ~name:"+overlap gc (§8)" ~config:{ base with overlap_gc = true };
-    run ~name:"all optimisations"
-      ~config:
+  pmap ?domains
+    (fun (name, config) -> run ~name ~config)
+    [
+      ("base protocol", base);
+      ("+eager hand-off (§8)", { base with eager_counter_handoff = true });
+      ("+piggyback (§10)", { base with piggyback_version = true });
+      ("+root-only counters (§10)", { base with root_only_query_counters = true });
+      ("+shared counters (§10)", { base with shared_transaction_counters = true });
+      ("+overlap gc (§8)", { base with overlap_gc = true });
+      ( "all optimisations",
         {
           base with
           eager_counter_handoff = true;
@@ -873,8 +901,8 @@ let ablations ?(seed = 59L) ?(duration = 1500.0) () =
           root_only_query_counters = true;
           shared_transaction_counters = true;
           overlap_gc = true;
-        };
-  ]
+        } );
+    ]
 
 type gc_cost_row = {
   gc_rule : string;
@@ -925,8 +953,8 @@ let gc_cost_one ?(seed = 61L) ~renumber () =
     full_scan_equivalent = items * !rounds;
   }
 
-let gc_cost ?seed () =
-  [ gc_cost_one ?seed ~renumber:true (); gc_cost_one ?seed ~renumber:false () ]
+let gc_cost ?seed ?domains () =
+  pmap ?domains (fun renumber -> gc_cost_one ?seed ~renumber ()) [ true; false ]
 
 let print_ablations () =
   let rows =
@@ -984,7 +1012,7 @@ type scalability_row = {
    protocol cost is measured on an idle cluster (a loaded one would conflate
    transaction RPC traffic); throughput and staleness come from a loaded
    run of the same size. *)
-let scalability ?(seed = 67L) () =
+let scalability ?(seed = 67L) ?domains () =
   let idle_round_cost nodes =
     let engine = Sim.Engine.create ~seed ~trace:false () in
     let db : int Ava3.Cluster.t = Ava3.Cluster.create ~engine ~nodes () in
@@ -1076,7 +1104,7 @@ let scalability ?(seed = 67L) () =
       sc_staleness = Histogram.mean staleness;
     }
   in
-  List.map run [ 1; 2; 4; 8; 16 ]
+  pmap ?domains run [ 1; 2; 4; 8; 16 ]
 
 let print_scalability () =
   let rows =
@@ -1107,7 +1135,7 @@ type tree_vs_flat_row = {
 (* The R* tree model runs children concurrently; the flat executor ships
    operations one at a time.  With f remote nodes and latency L, flat pays
    ~2fL of network time where the tree pays ~2L. *)
-let tree_vs_flat ?(seed = 71L) () =
+let tree_vs_flat ?(seed = 71L) ?domains () =
   let run ~fanout ~use_tree =
     let engine = Sim.Engine.create ~seed ~trace:false () in
     let config =
@@ -1158,7 +1186,7 @@ let tree_vs_flat ?(seed = 71L) () =
     Sim.Engine.run engine;
     Histogram.mean latencies
   in
-  List.map
+  pmap ?domains
     (fun fanout ->
       {
         fanout;

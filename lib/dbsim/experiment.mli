@@ -30,7 +30,14 @@ type staleness_point = {
 }
 
 val staleness_sweep :
-  ?seed:int64 -> ?periods:float list -> eager:bool -> unit -> staleness_point list
+  ?seed:int64 ->
+  ?periods:float list ->
+  ?domains:int ->
+  eager:bool ->
+  unit ->
+  staleness_point list
+(** Each period runs in its own engine; the sweep fans out over [domains]
+    workers (default {!Sim.Pool.default_domains}). *)
 
 type staleness_bound = {
   long_txn_duration : float;
@@ -51,7 +58,7 @@ type continuous_point = {
 }
 
 val continuous_staleness :
-  ?seed:int64 -> ?durations:float list -> unit -> continuous_point list
+  ?seed:int64 -> ?durations:float list -> ?domains:int -> unit -> continuous_point list
 (** §8 limiting mode: with advancements running back to back, a query's
     snapshot is stale by at most (roughly) the age of the longest query
     running when it started. *)
@@ -75,7 +82,8 @@ type comparison_row = {
           version-based protocols *)
 }
 
-val comparison : ?seed:int64 -> ?duration:float -> unit -> comparison_row list
+val comparison :
+  ?seed:int64 -> ?duration:float -> ?domains:int -> unit -> comparison_row list
 val print_comparison : unit -> unit
 
 (** {1 E6 — moveToFuture frequency and cost} *)
@@ -91,7 +99,8 @@ type mtf_row = {
   items_copied : int;
 }
 
-val move_to_future : ?seed:int64 -> ?duration:float -> unit -> mtf_row list
+val move_to_future :
+  ?seed:int64 -> ?duration:float -> ?domains:int -> unit -> mtf_row list
 
 type piggyback_run = {
   staged : int;  (** transactions engineered to straddle an advancement *)
@@ -115,7 +124,7 @@ type centralized_row = {
   advancements : int;
 }
 
-val centralized : ?seed:int64 -> unit -> centralized_row list
+val centralized : ?seed:int64 -> ?domains:int -> unit -> centralized_row list
 
 type sync_aborts = {
   ava3_aborts_from_advancement : int;
@@ -137,7 +146,8 @@ type ablation_row = {
   abl_staleness : float;
 }
 
-val ablations : ?seed:int64 -> ?duration:float -> unit -> ablation_row list
+val ablations :
+  ?seed:int64 -> ?duration:float -> ?domains:int -> unit -> ablation_row list
 (** The same workload under each optimisation flag (and all together). *)
 
 type gc_cost_row = {
@@ -148,7 +158,7 @@ type gc_cost_row = {
   full_scan_equivalent : int;
 }
 
-val gc_cost : ?seed:int64 -> unit -> gc_cost_row list
+val gc_cost : ?seed:int64 -> ?domains:int -> unit -> gc_cost_row list
 (** Phase-3 garbage-collection work under the paper's renumbering rule and
     the read-equivalent in-place rule, both version-indexed, against the
     naive full-scan cost. *)
@@ -165,7 +175,7 @@ type scalability_row = {
   sc_staleness : float;
 }
 
-val scalability : ?seed:int64 -> unit -> scalability_row list
+val scalability : ?seed:int64 -> ?domains:int -> unit -> scalability_row list
 (** Advancement latency and message cost as the cluster grows (per-node
     workload held constant): messages grow linearly (5n per round), latency
     stays bounded by in-flight transaction residuals, not by n. *)
@@ -178,7 +188,7 @@ type tree_vs_flat_row = {
   tree_latency : float;
 }
 
-val tree_vs_flat : ?seed:int64 -> unit -> tree_vs_flat_row list
+val tree_vs_flat : ?seed:int64 -> ?domains:int -> unit -> tree_vs_flat_row list
 (** Transaction latency of the sequential flat executor vs the concurrent
     R*-style tree executor as the number of remote participants grows. *)
 

@@ -6,6 +6,9 @@ type t = {
   trace_rec : Trace.t;
   mutable running : bool;
   mutable suspended : int;
+  mutable current_name : string option;
+      (* name of the process whose code is executing right now; threaded
+         into trace entries so per-process events are attributable *)
 }
 
 exception Not_in_process
@@ -25,50 +28,70 @@ let create ?(seed = 0x5EEDL) ?(trace = true) () =
     trace_rec = Trace.create ~enabled:trace ();
     running = false;
     suspended = 0;
+    current_name = None;
   }
 
 let now t = t.clock
 let rng t = t.root_rng
 let trace t = t.trace_rec
-let emit t ~tag message = Trace.emit t.trace_rec ~time:t.clock ~tag message
+let current_process t = t.current_name
+
+let emit t ~tag message =
+  Trace.emit t.trace_rec ~time:t.clock ?process:t.current_name ~tag message
 
 let schedule_at t ~time fn =
   t.seq <- t.seq + 1;
   Heap.push t.queue ~time ~seq:t.seq fn
 
+(* Execute one segment of a (possibly named) process: the name is active
+   while its code runs, so trace entries emitted by the process carry it;
+   it is restored on suspension, completion, or escape. *)
+let run_named t name f =
+  match name with
+  | None -> f ()
+  | Some _ ->
+      let saved = t.current_name in
+      t.current_name <- name;
+      Fun.protect ~finally:(fun () -> t.current_name <- saved) f
+
 (* Run [fn] as a process: a deep handler interprets the suspension effects.
    The handler stays installed across resumptions, so a process suspended in
-   a Condition resumes under the same engine. *)
-let run_process t fn =
+   a Condition resumes under the same engine.  [name] is re-established
+   around every resumption segment. *)
+let run_process t ?name fn =
   let open Effect.Deep in
-  match_with fn ()
-    {
-      retc = (fun () -> ());
-      exnc = (fun e -> raise e);
-      effc =
-        (fun (type a) (eff : a Effect.t) ->
-          match eff with
-          | Suspend register ->
-              Some
-                (fun (k : (a, _) continuation) ->
-                  t.suspended <- t.suspended + 1;
-                  register (fun v ->
-                      t.suspended <- t.suspended - 1;
-                      schedule_at t ~time:t.clock (fun () -> continue k v)))
-          | Sleep delay ->
-              Some
-                (fun (k : (a, _) continuation) ->
-                  let delay = if delay < 0.0 then 0.0 else delay in
-                  schedule_at t ~time:(t.clock +. delay) (fun () ->
-                      continue k ()))
-          | Current_engine ->
-              Some (fun (k : (a, _) continuation) -> continue k t)
-          | _ -> None);
-    }
+  run_named t name (fun () ->
+      match_with fn ()
+        {
+          retc = (fun () -> ());
+          exnc = (fun e -> raise e);
+          effc =
+            (fun (type a) (eff : a Effect.t) ->
+              match eff with
+              | Suspend register ->
+                  Some
+                    (fun (k : (a, _) continuation) ->
+                      t.suspended <- t.suspended + 1;
+                      register (fun v ->
+                          t.suspended <- t.suspended - 1;
+                          schedule_at t ~time:t.clock (fun () ->
+                              run_named t name (fun () -> continue k v))))
+              | Sleep delay ->
+                  Some
+                    (fun (k : (a, _) continuation) ->
+                      let delay = if delay < 0.0 then 0.0 else delay in
+                      schedule_at t ~time:(t.clock +. delay) (fun () ->
+                          run_named t name (fun () -> continue k ())))
+              | Current_engine ->
+                  Some (fun (k : (a, _) continuation) -> continue k t)
+              | _ -> None);
+        })
 
 let spawn t ?name fn =
-  ignore name;
-  schedule_at t ~time:t.clock (fun () -> run_process t fn)
+  (match name with
+  | Some n -> Trace.emit t.trace_rec ~time:t.clock ~process:n ~tag:"spawn" n
+  | None -> ());
+  schedule_at t ~time:t.clock (fun () -> run_process t ?name fn)
 
 let schedule t ~delay fn =
   let delay = if delay < 0.0 then 0.0 else delay in

@@ -39,7 +39,14 @@ val emit : t -> tag:string -> string -> unit
 
 val spawn : t -> ?name:string -> (unit -> unit) -> unit
 (** Start a new process at the current time (it runs when the engine next
-    reaches the event queue, after the caller yields). *)
+    reaches the event queue, after the caller yields).  When [name] is
+    given and tracing is on, a ["spawn"]-tagged entry is recorded and
+    every trace entry emitted while the process runs (across suspensions)
+    carries the name in its [process] field. *)
+
+val current_process : t -> string option
+(** Name of the process whose code is currently executing, if it was
+    spawned with [~name]. *)
 
 val schedule : t -> delay:float -> (unit -> unit) -> unit
 (** Start a new process after [delay] units of virtual time. *)

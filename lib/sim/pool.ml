@@ -1,0 +1,64 @@
+let env_domains () =
+  match Sys.getenv_opt "AVA3_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> Some n
+      | _ -> None)
+
+let default_domains () =
+  match env_domains () with
+  | Some n -> n
+  | None -> max 1 (Domain.recommended_domain_count ())
+
+(* Per-domain flag marking pool workers; a nested [map] sees it and runs
+   sequentially instead of spawning domains from inside a domain. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let inside_pool () = Domain.DLS.get in_worker
+
+let map ?domains f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let width =
+    let requested =
+      match domains with Some d -> d | None -> default_domains ()
+    in
+    min requested n
+  in
+  if width <= 1 || inside_pool () then List.map f xs
+  else begin
+    let results : ('b, exn * Printexc.raw_backtrace) result option array =
+      Array.make n None
+    in
+    (* Work-stealing by atomic index: each worker repeatedly claims the
+       next unclaimed element.  Every slot is written by exactly one
+       worker, and [Domain.join] publishes the writes to the caller. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set in_worker true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set in_worker false)
+        (fun () ->
+          let rec loop () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              results.(i) <-
+                Some
+                  (try Ok (f items.(i))
+                   with e -> Error (e, Printexc.get_raw_backtrace ()));
+              loop ()
+            end
+          in
+          loop ())
+    in
+    let helpers = Array.init (width - 1) (fun _ -> Domain.spawn worker) in
+    (* The calling domain is the pool's first worker. *)
+    worker ();
+    Array.iter Domain.join helpers;
+    Array.to_list results
+    |> List.map (function
+         | Some (Ok v) -> v
+         | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+         | None -> assert false (* every index < n was claimed *))
+  end

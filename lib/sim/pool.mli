@@ -1,0 +1,36 @@
+(** Domain-based work pool for embarrassingly parallel sweeps.
+
+    The experiment harness runs many independent single-threaded
+    simulations (one engine, one RNG, one store per run); {!map} fans them
+    out across OCaml 5 domains while keeping the results in input order,
+    so a parallel sweep prints exactly the same tables as a sequential
+    one.  Parallelism is an execution detail only: callers must pass
+    share-nothing closures (each building its own engine and state).
+
+    The domain count defaults to the [AVA3_DOMAINS] environment variable,
+    falling back to [Domain.recommended_domain_count].  [AVA3_DOMAINS=1]
+    forces fully sequential execution everywhere. *)
+
+val default_domains : unit -> int
+(** The pool width used when [?domains] is omitted: [AVA3_DOMAINS] if set
+    to a positive integer, otherwise [Domain.recommended_domain_count ()].
+    Always at least 1. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f xs] applies [f] to every element of [xs] and returns the
+    results in input order.
+
+    With [domains > 1] (default {!default_domains}) the elements are
+    dispatched to a pool of that many domains (capped at the list
+    length); the calling domain participates as a worker.  With
+    [domains <= 1], fewer than two elements, or when called from inside
+    a pool worker (nested sweeps), it degrades to plain [List.map] — so
+    nesting never oversubscribes or deadlocks.
+
+    If any application raises, the exception of the smallest-indexed
+    failing element is re-raised (with its backtrace) after all workers
+    finish; the remaining results are discarded. *)
+
+val inside_pool : unit -> bool
+(** True while executing inside a pool worker (including the calling
+    domain while it participates in a {!map}). *)

@@ -1,4 +1,9 @@
-type entry = { time : float; tag : string; message : string }
+type entry = {
+  time : float;
+  tag : string;
+  message : string;
+  process : string option;
+}
 
 type t = { mutable rev_entries : entry list; mutable enabled : bool }
 
@@ -7,8 +12,9 @@ let create ?(enabled = true) () = { rev_entries = []; enabled }
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
 
-let emit t ~time ~tag message =
-  if t.enabled then t.rev_entries <- { time; tag; message } :: t.rev_entries
+let emit t ~time ?process ~tag message =
+  if t.enabled then
+    t.rev_entries <- { time; tag; message; process } :: t.rev_entries
 
 let entries t = List.rev t.rev_entries
 
@@ -17,4 +23,7 @@ let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
 let clear t = t.rev_entries <- []
 
 let pp_entry ppf e =
-  Format.fprintf ppf "[%8.2f] %-12s %s" e.time e.tag e.message
+  match e.process with
+  | None -> Format.fprintf ppf "[%8.2f] %-12s %s" e.time e.tag e.message
+  | Some name ->
+      Format.fprintf ppf "[%8.2f] %-12s <%s> %s" e.time e.tag name e.message

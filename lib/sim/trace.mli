@@ -3,7 +3,14 @@
     Traces back the human-readable reproductions of the paper's Table 1 and
     Figure 1: protocol code emits tagged lines, experiments render them. *)
 
-type entry = { time : float; tag : string; message : string }
+type entry = {
+  time : float;
+  tag : string;
+  message : string;
+  process : string option;
+      (** name of the simulation process that emitted the entry, when it
+          was spawned with [Engine.spawn ~name] *)
+}
 
 type t
 
@@ -12,8 +19,9 @@ val create : ?enabled:bool -> unit -> t
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 
-val emit : t -> time:float -> tag:string -> string -> unit
-(** Record one entry (no-op when disabled). *)
+val emit : t -> time:float -> ?process:string -> tag:string -> string -> unit
+(** Record one entry (no-op when disabled).  [process] attributes the
+    entry to a named simulation process. *)
 
 val entries : t -> entry list
 (** All recorded entries in emission order. *)

@@ -2,12 +2,28 @@ type version = int
 
 exception Version_bound_exceeded of { key : string; versions : version list }
 
+type 'v body = Value of 'v | Tombstone
 type 'v entry = { version : version; body : 'v body }
-and 'v body = Value of 'v | Tombstone
 
-(* Entries are kept sorted by version, descending (newest first); items have
-   very few versions (<= 3 for AVA3) so list operations are cheap. *)
-type 'v item = { mutable entries : 'v entry list }
+(* AVA3's central claim is "at most three live versions per item", so the
+   item representation is three inline slots sorted by version, descending
+   (slot 0 = newest).  Reads, writes and copy-forwards on a bounded store
+   touch only these mutable fields: no list cells are allocated and no
+   polymorphic comparisons run on the hot path.  Stores without a bound
+   (the unbounded-MVCC baseline) spill entries older than slot 2 into
+   [spill], also descending — the slots always hold the newest three.
+   [Tombstone] doubles as the filler body of unused slots ([n] is the
+   number of live slots). *)
+type 'v item = {
+  mutable n : int; (* live slots, 0..3 *)
+  mutable v0 : version;
+  mutable b0 : 'v body;
+  mutable v1 : version;
+  mutable b1 : 'v body;
+  mutable v2 : version;
+  mutable b2 : 'v body;
+  mutable spill : 'v entry list; (* entries older than slot 2, descending *)
+}
 
 module String_set = Set.Make (String)
 
@@ -57,7 +73,7 @@ let index_remove t version key =
       Hashtbl.remove s key;
       if Hashtbl.length s = 0 then Hashtbl.remove t.by_version version
 
-(* Re-derive an item's index membership after its entry list changed. *)
+(* Re-derive an item's index membership after its entries changed. *)
 let reindex t key ~before ~after =
   List.iter
     (fun v -> if not (List.mem v after) then index_remove t v key)
@@ -70,62 +86,195 @@ let bound t = t.bound
 
 let find_item t key = Hashtbl.find_opt t.items key
 
-let versions_of_item item = List.rev_map (fun e -> e.version) item.entries
+(* {2 Slot/list conversions — used by the cold paths (GC, snapshots)} *)
+
+let entries_desc item =
+  let tail = if item.n > 2 then { version = item.v2; body = item.b2 } :: item.spill else item.spill in
+  let tail = if item.n > 1 then { version = item.v1; body = item.b1 } :: tail else tail in
+  if item.n > 0 then { version = item.v0; body = item.b0 } :: tail else tail
+
+(* Refill the slots from a descending entry list. *)
+let set_entries item desc =
+  item.n <- 0;
+  item.spill <- [];
+  item.b0 <- Tombstone;
+  item.b1 <- Tombstone;
+  item.b2 <- Tombstone;
+  match desc with
+  | [] -> ()
+  | e0 :: rest -> (
+      item.v0 <- e0.version;
+      item.b0 <- e0.body;
+      item.n <- 1;
+      match rest with
+      | [] -> ()
+      | e1 :: rest -> (
+          item.v1 <- e1.version;
+          item.b1 <- e1.body;
+          item.n <- 2;
+          match rest with
+          | [] -> ()
+          | e2 :: rest ->
+              item.v2 <- e2.version;
+              item.b2 <- e2.body;
+              item.n <- 3;
+              item.spill <- rest))
+
+let desc_compare a b = Int.compare b.version a.version
+
+let live_count item = item.n + List.length item.spill
+
+let versions_desc item = List.map (fun e -> e.version) (entries_desc item)
+
+let versions_of_item item = List.rev (versions_desc item)
 
 let exists_in t key v =
   match find_item t key with
   | None -> false
-  | Some item -> List.exists (fun e -> e.version = v) item.entries
+  | Some item ->
+      (item.n > 0 && item.v0 = v)
+      || (item.n > 1 && item.v1 = v)
+      || (item.n > 2 && item.v2 = v)
+      || List.exists (fun e -> e.version = v) item.spill
 
 let max_version t key =
   match find_item t key with
-  | None | Some { entries = [] } -> None
-  | Some { entries = newest :: _ } -> Some newest.version
+  | None -> None
+  | Some item -> if item.n = 0 then None else Some item.v0
 
 let versions_of t key =
   match find_item t key with None -> [] | Some item -> versions_of_item item
 
+let value_of = function Value value -> Some value | Tombstone -> None
+
+let rec spill_le spill v =
+  match spill with
+  | [] -> None
+  | e :: rest -> if e.version <= v then value_of e.body else spill_le rest v
+
 let read_le t key v =
   match find_item t key with
   | None -> None
-  | Some item -> (
-      match List.find_opt (fun e -> e.version <= v) item.entries with
-      | None | Some { body = Tombstone; _ } -> None
-      | Some { body = Value value; _ } -> Some value)
+  | Some item ->
+      (* Slots are descending: the first slot with version <= v wins. *)
+      if item.n > 0 && item.v0 <= v then value_of item.b0
+      else if item.n > 1 && item.v1 <= v then value_of item.b1
+      else if item.n > 2 && item.v2 <= v then value_of item.b2
+      else spill_le item.spill v
+
+let rec spill_exact spill v =
+  match spill with
+  | [] -> None
+  | e :: rest ->
+      if e.version = v then value_of e.body
+      else if e.version < v then None
+      else spill_exact rest v
 
 let read_exact t key v =
   match find_item t key with
   | None -> None
-  | Some item -> (
-      match List.find_opt (fun e -> e.version = v) item.entries with
-      | None | Some { body = Tombstone; _ } -> None
-      | Some { body = Value value; _ } -> Some value)
+  | Some item ->
+      if item.n > 0 && item.v0 = v then value_of item.b0
+      else if item.n > 1 && item.v1 = v then value_of item.b1
+      else if item.n > 2 && item.v2 = v then value_of item.b2
+      else spill_exact item.spill v
 
 let note_size t key item =
-  let n = List.length item.entries in
+  let n = live_count item in
   if n > t.high_water then t.high_water <- n;
   match t.bound with
   | Some b when n > b ->
       raise (Version_bound_exceeded { key; versions = versions_of_item item })
   | _ -> ()
 
-(* Insert or replace the entry for [e.version], keeping descending order. *)
-let put_entry t key item e =
-  let rec insert = function
-    | [] -> [ e ]
-    | x :: rest when x.version = e.version -> e :: rest
-    | x :: rest when x.version < e.version -> e :: x :: rest
-    | x :: rest -> x :: insert rest
-  in
-  item.entries <- insert item.entries;
-  index_add t e.version key;
+(* Insert a new entry at [version] (known absent), keeping slots and spill
+   descending.  The common case — a bounded item with a free slot — only
+   shifts the inline fields. *)
+let insert_new item version body =
+  if item.n > 0 && version > item.v0 then begin
+    (* Newest: shift everything down one position. *)
+    if item.n > 2 then
+      item.spill <- { version = item.v2; body = item.b2 } :: item.spill;
+    if item.n > 1 then begin
+      item.v2 <- item.v1;
+      item.b2 <- item.b1
+    end;
+    item.v1 <- item.v0;
+    item.b1 <- item.b0;
+    item.v0 <- version;
+    item.b0 <- body;
+    if item.n < 3 then item.n <- item.n + 1
+  end
+  else if item.n > 1 && version > item.v1 then begin
+    if item.n > 2 then
+      item.spill <- { version = item.v2; body = item.b2 } :: item.spill;
+    item.v2 <- item.v1;
+    item.b2 <- item.b1;
+    item.v1 <- version;
+    item.b1 <- body;
+    if item.n < 3 then item.n <- item.n + 1
+  end
+  else if item.n > 2 && version > item.v2 then begin
+    item.spill <- { version = item.v2; body = item.b2 } :: item.spill;
+    item.v2 <- version;
+    item.b2 <- body
+  end
+  else if item.n < 3 then begin
+    (* Free slot at the tail. *)
+    (match item.n with
+    | 0 ->
+        item.v0 <- version;
+        item.b0 <- body
+    | 1 ->
+        item.v1 <- version;
+        item.b1 <- body
+    | _ ->
+        item.v2 <- version;
+        item.b2 <- body);
+    item.n <- item.n + 1
+  end
+  else begin
+    (* Older than every slot of a full item: sorted insert into the
+       spill (unbounded stores, or the entry that triggers the bound
+       check right after). *)
+    let rec insert = function
+      | [] -> [ { version; body } ]
+      | e :: rest when e.version < version -> { version; body } :: e :: rest
+      | e :: rest -> e :: insert rest
+    in
+    item.spill <- insert item.spill
+  end
+
+(* Insert or replace the entry for [version]. *)
+let put_entry t key item version body =
+  if item.n > 0 && item.v0 = version then item.b0 <- body
+  else if item.n > 1 && item.v1 = version then item.b1 <- body
+  else if item.n > 2 && item.v2 = version then item.b2 <- body
+  else if List.exists (fun e -> e.version = version) item.spill then
+    item.spill <-
+      List.map
+        (fun e -> if e.version = version then { version; body } else e)
+        item.spill
+  else insert_new item version body;
+  index_add t version key;
   note_size t key item
 
 let get_or_create_item t key =
   match find_item t key with
   | Some item -> item
   | None ->
-      let item = { entries = [] } in
+      let item =
+        {
+          n = 0;
+          v0 = 0;
+          b0 = Tombstone;
+          v1 = 0;
+          b1 = Tombstone;
+          v2 = 0;
+          b2 = Tombstone;
+          spill = [];
+        }
+      in
       Hashtbl.replace t.items key item;
       t.key_order <- String_set.add key t.key_order;
       item
@@ -136,26 +285,34 @@ let remove_item t key =
 
 let write t key v value =
   let item = get_or_create_item t key in
-  put_entry t key item { version = v; body = Value value }
+  put_entry t key item v (Value value)
+
+let find_body item v =
+  if item.n > 0 && item.v0 = v then Some item.b0
+  else if item.n > 1 && item.v1 = v then Some item.b1
+  else if item.n > 2 && item.v2 = v then Some item.b2
+  else
+    match List.find_opt (fun e -> e.version = v) item.spill with
+    | Some e -> Some e.body
+    | None -> None
 
 let copy_forward t key ~src ~dst =
   match find_item t key with
   | None -> raise Not_found
   | Some item -> (
-      match List.find_opt (fun e -> e.version = src) item.entries with
+      match find_body item src with
       | None -> raise Not_found
-      | Some e -> put_entry t key item { version = dst; body = e.body })
+      | Some body -> put_entry t key item dst body)
 
-let drop_item_if_empty t key item =
-  if item.entries = [] then remove_item t key
+let drop_item_if_empty t key item = if item.n = 0 then remove_item t key
 
 (* An item whose only remaining entry is a tombstone can be removed outright
    (paper: once all earlier versions are gone, the deleted item itself may
    be removed). *)
 let drop_lone_tombstone t key item =
-  match item.entries with
-  | [ { body = Tombstone; version } ] ->
-      index_remove t version key;
+  match (item.n, item.spill, item.b0) with
+  | 1, [], Tombstone ->
+      index_remove t item.v0 key;
       remove_item t key
   | _ -> drop_item_if_empty t key item
 
@@ -166,48 +323,83 @@ let drop_lone_tombstone t key item =
    does. *)
 let delete t key v =
   let item = get_or_create_item t key in
-  put_entry t key item { version = v; body = Tombstone }
+  put_entry t key item v Tombstone
 
 let remove_version t key v =
   match find_item t key with
   | None -> ()
   | Some item ->
-      item.entries <- List.filter (fun e -> e.version <> v) item.entries;
+      (if item.n > 0 && item.v0 = v then begin
+         (* Shift newer slots up over the removed one. *)
+         item.v0 <- item.v1;
+         item.b0 <- item.b1;
+         item.v1 <- item.v2;
+         item.b1 <- item.b2;
+         match item.spill with
+         | e :: rest ->
+             item.v2 <- e.version;
+             item.b2 <- e.body;
+             item.spill <- rest
+         | [] ->
+             item.b2 <- Tombstone;
+             item.n <- item.n - 1
+       end
+       else if item.n > 1 && item.v1 = v then begin
+         item.v1 <- item.v2;
+         item.b1 <- item.b2;
+         match item.spill with
+         | e :: rest ->
+             item.v2 <- e.version;
+             item.b2 <- e.body;
+             item.spill <- rest
+         | [] ->
+             item.b2 <- Tombstone;
+             item.n <- item.n - 1
+       end
+       else if item.n > 2 && item.v2 = v then begin
+         match item.spill with
+         | e :: rest ->
+             item.v2 <- e.version;
+             item.b2 <- e.body;
+             item.spill <- rest
+         | [] ->
+             item.b2 <- Tombstone;
+             item.n <- item.n - 1
+       end
+       else item.spill <- List.filter (fun e -> e.version <> v) item.spill);
       index_remove t v key;
       drop_item_if_empty t key item
 
 let gc t ~collect ~query =
   let process key item =
     t.gc_items_visited <- t.gc_items_visited + 1;
-    let before = List.map (fun e -> e.version) item.entries in
-    if List.exists (fun e -> e.version = query) item.entries then
-      item.entries <- List.filter (fun e -> e.version > collect) item.entries
-    else if t.gc_renumber then begin
-      (* Paper rule: no incarnation at [query] — renumber the newest entry
-         at or below [collect] so readers of [query] still find the item. *)
-      match List.find_opt (fun e -> e.version <= collect) item.entries with
-      | None -> ()
-      | Some e ->
-          item.entries <-
-            List.filter (fun x -> x.version > collect) item.entries
-            @ [ { e with version = query } ];
-          (* Restore descending order: renumbered entry belongs after any
-             entries with version > query, before those in (collect, query). *)
-          item.entries <-
-            List.sort (fun a b -> compare b.version a.version) item.entries
-    end
-    else begin
-      (* In-place rule: keep the newest entry <= collect (still the one
-         readers of [query] resolve to) and drop any older ones. *)
-      match List.find_opt (fun e -> e.version <= collect) item.entries with
-      | None -> ()
-      | Some newest ->
-          item.entries <-
-            List.filter
-              (fun x -> x.version > collect || x.version = newest.version)
-              item.entries
-    end;
-    reindex t key ~before ~after:(List.map (fun e -> e.version) item.entries);
+    let entries = entries_desc item in
+    let before = List.map (fun e -> e.version) entries in
+    (if List.exists (fun e -> e.version = query) entries then
+       set_entries item (List.filter (fun e -> e.version > collect) entries)
+     else if t.gc_renumber then begin
+       (* Paper rule: no incarnation at [query] — renumber the newest entry
+          at or below [collect] so readers of [query] still find the item. *)
+       match List.find_opt (fun e -> e.version <= collect) entries with
+       | None -> ()
+       | Some e ->
+           set_entries item
+             (List.sort desc_compare
+                ({ e with version = query }
+                :: List.filter (fun x -> x.version > collect) entries))
+     end
+     else begin
+       (* In-place rule: keep the newest entry <= collect (still the one
+          readers of [query] resolve to) and drop any older ones. *)
+       match List.find_opt (fun e -> e.version <= collect) entries with
+       | None -> ()
+       | Some newest ->
+           set_entries item
+             (List.filter
+                (fun x -> x.version > collect || x.version = newest.version)
+                entries)
+     end);
+    reindex t key ~before ~after:(versions_desc item);
     drop_lone_tombstone t key item
   in
   (* The version index bounds the scan.  Under the paper's renumbering rule
@@ -244,16 +436,16 @@ let prune_below t ~keep =
       match find_item t key with
       | None -> ()
       | Some item ->
-          let before = List.map (fun e -> e.version) item.entries in
-          (match List.find_opt (fun e -> e.version <= keep) item.entries with
+          let entries = entries_desc item in
+          let before = List.map (fun e -> e.version) entries in
+          (match List.find_opt (fun e -> e.version <= keep) entries with
           | None -> ()
           | Some newest_visible ->
-              item.entries <-
-                List.filter
-                  (fun e -> e.version >= newest_visible.version)
-                  item.entries);
-          reindex t key ~before
-            ~after:(List.map (fun e -> e.version) item.entries);
+              set_entries item
+                (List.filter
+                   (fun e -> e.version >= newest_visible.version)
+                   entries));
+          reindex t key ~before ~after:(versions_desc item);
           drop_lone_tombstone t key item)
     keys
 
@@ -263,15 +455,11 @@ let snapshot t =
   Hashtbl.fold
     (fun key item acc ->
       let entries =
-        List.rev_map
-          (fun e ->
-            ( e.version,
-              match e.body with Value v -> Some v | Tombstone -> None ))
-          item.entries
+        List.rev_map (fun e -> (e.version, value_of e.body)) (entries_desc item)
       in
       (key, entries) :: acc)
     t.items []
-  |> List.sort compare
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let restore ?bound ?gc_renumber snap =
   let t = create ?bound ?gc_renumber () in
@@ -287,7 +475,9 @@ let restore ?bound ?gc_renumber snap =
   t
 
 let snapshot_items snap = snap
-let snapshot_of_items items = List.sort compare items
+
+let snapshot_of_items items =
+  List.sort (fun (a, _) (b, _) -> String.compare a b) items
 
 (* Range scan at a version: keys in [lo, hi] (inclusive), ascending, with
    their value as of [version]; deleted/absent-as-of-version keys are
@@ -320,16 +510,16 @@ let iter f t =
         List.rev_map
           (fun e ->
             (e.version, match e.body with Value _ -> `Value | Tombstone -> `Tombstone))
-          item.entries
+          (entries_desc item)
       in
       f key summary)
     t.items
 
 let live_versions t key =
-  match find_item t key with None -> 0 | Some item -> List.length item.entries
+  match find_item t key with None -> 0 | Some item -> live_count item
 
 let max_live_versions_now t =
-  Hashtbl.fold (fun _ item acc -> max acc (List.length item.entries)) t.items 0
+  Hashtbl.fold (fun _ item acc -> max acc (live_count item)) t.items 0
 
 let high_water_versions t = t.high_water
 let gc_items_visited t = t.gc_items_visited
@@ -343,9 +533,9 @@ let version_histogram t =
   let tbl = Hashtbl.create 8 in
   Hashtbl.iter
     (fun _ item ->
-      let k = List.length item.entries in
+      let k = live_count item in
       let cur = Option.value (Hashtbl.find_opt tbl k) ~default:0 in
       Hashtbl.replace tbl k (cur + 1))
     t.items;
   Hashtbl.fold (fun k n acc -> (k, n) :: acc) tbl []
-  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,100 @@
+(* Sim.Pool: the domain fan-out used by every experiment sweep. *)
+
+let test_order_preserved () =
+  let xs = List.init 100 Fun.id in
+  let ys = Sim.Pool.map ~domains:4 (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "squares in input order"
+    (List.map (fun x -> x * x) xs)
+    ys
+
+exception Boom of int
+
+let test_exception_propagates () =
+  let raised =
+    try
+      ignore
+        (Sim.Pool.map ~domains:4
+           (fun x -> if x = 7 then raise (Boom x) else x)
+           (List.init 20 Fun.id));
+      None
+    with Boom n -> Some n
+  in
+  Alcotest.(check (option int)) "Boom 7 escapes the pool" (Some 7) raised
+
+let test_first_exception_by_index () =
+  (* Several items raise; the caller sees the lowest-index failure, the
+     same one a sequential List.map would have hit first. *)
+  let raised =
+    try
+      ignore
+        (Sim.Pool.map ~domains:4
+           (fun x -> if x >= 5 then raise (Boom x) else x)
+           (List.init 20 Fun.id));
+      None
+    with Boom n -> Some n
+  in
+  Alcotest.(check (option int)) "lowest-index exception wins" (Some 5) raised
+
+let test_sequential_fallback () =
+  (* With domains:1 the map runs in the calling domain, in order: the
+     side-effect log must equal the input sequence exactly. *)
+  let log = ref [] in
+  let xs = List.init 10 Fun.id in
+  let ys =
+    Sim.Pool.map ~domains:1
+      (fun x ->
+        log := x :: !log;
+        x + 1)
+      xs
+  in
+  Alcotest.(check (list int)) "results" (List.map succ xs) ys;
+  Alcotest.(check (list int)) "visited in input order" xs (List.rev !log)
+
+let test_nested_fallback () =
+  (* A map spawned from inside a pool worker must not spawn further
+     domains; it falls back to sequential and still returns correct
+     results. *)
+  let ys =
+    Sim.Pool.map ~domains:2
+      (fun x -> Sim.Pool.map ~domains:2 (fun y -> (x * 10) + y) [ 1; 2; 3 ])
+      [ 0; 1 ]
+  in
+  Alcotest.(check (list (list int)))
+    "nested map correct" [ [ 1; 2; 3 ]; [ 11; 12; 13 ] ] ys
+
+let test_empty_and_singleton () =
+  Alcotest.(check (list int)) "empty" [] (Sim.Pool.map ~domains:4 succ []);
+  Alcotest.(check (list int)) "singleton" [ 2 ] (Sim.Pool.map ~domains:4 succ [ 1 ])
+
+let test_sweep_deterministic () =
+  (* The tentpole property: an experiment sweep yields identical rows at
+     any domain count (each run owns its engine, rng, and store). *)
+  let sweep domains =
+    Dbsim.Experiment.staleness_sweep ~periods:[ 25.0; 50.0 ] ~domains
+      ~eager:false ()
+  in
+  let rows1 = sweep 1 and rows4 = sweep 4 in
+  Alcotest.(check bool) "1 domain = 4 domains" true (rows1 = rows4)
+
+let () =
+  Alcotest.run "pool"
+    [
+      ( "map",
+        [
+          Alcotest.test_case "order preserved" `Quick test_order_preserved;
+          Alcotest.test_case "exception propagates" `Quick
+            test_exception_propagates;
+          Alcotest.test_case "first exception by index" `Quick
+            test_first_exception_by_index;
+          Alcotest.test_case "domains:1 sequential" `Quick
+            test_sequential_fallback;
+          Alcotest.test_case "nested fallback" `Quick test_nested_fallback;
+          Alcotest.test_case "empty and singleton" `Quick
+            test_empty_and_singleton;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "sweep identical at any width" `Quick
+            test_sweep_deterministic;
+        ] );
+    ]

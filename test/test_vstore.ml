@@ -130,6 +130,76 @@ let test_gc_preserves_newer () =
   Alcotest.check vopt "renumbered" (Some 10) (Store.read_le s "x" 1);
   Alcotest.check vopt "newest" (Some 12) (Store.read_le s "x" 2)
 
+(* The item representation keeps three versions in inline slots and spills
+   older entries to a list; a bound above the slot capacity exercises the
+   spill path before the bound trips. *)
+let test_slot_overflow_bound () =
+  let s : int Store.t = Store.create ~bound:5 () in
+  for v = 0 to 4 do
+    Store.write s "x" v v
+  done;
+  check_int "five live versions (slots + spill)" 5 (Store.live_versions s "x");
+  Alcotest.(check (list int))
+    "all versions ascending" [ 0; 1; 2; 3; 4 ] (Store.versions_of s "x");
+  Alcotest.check vopt "oldest (spilled) readable" (Some 0)
+    (Store.read_exact s "x" 0);
+  Alcotest.check_raises "sixth version rejected"
+    (Store.Version_bound_exceeded { key = "x"; versions = [ 0; 1; 2; 3; 4; 5 ] })
+    (fun () -> Store.write s "x" 5 5)
+
+let test_range_lo_eq_hi () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  List.iter (fun (k, v) -> Store.write s k 0 v) [ ("a", 1); ("b", 2); ("c", 3) ];
+  Alcotest.(check (list (pair string int)))
+    "lo = hi hits exactly that key" [ ("b", 2) ]
+    (Store.range s ~lo:"b" ~hi:"b" 0);
+  Alcotest.(check (list (pair string int)))
+    "lo = hi on absent key" []
+    (Store.range s ~lo:"bb" ~hi:"bb" 0)
+
+let test_range_across_tombstones () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  List.iter (fun (k, v) -> Store.write s k 0 v)
+    [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ];
+  Store.delete s "b" 1;
+  Store.delete s "c" 1;
+  Alcotest.(check (list (pair string int)))
+    "tombstoned keys skipped, neighbours kept" [ ("a", 1); ("d", 4) ]
+    (Store.range s ~lo:"a" ~hi:"d" 1);
+  Alcotest.(check (list (pair string int)))
+    "v0 still sees the full row" [ ("a", 1); ("b", 2); ("c", 3); ("d", 4) ]
+    (Store.range s ~lo:"a" ~hi:"d" 0);
+  Alcotest.(check (list (pair string int)))
+    "range of only tombstones is empty" []
+    (Store.range s ~lo:"b" ~hi:"c" 1)
+
+(* The histogram must not depend on whether entries live in the inline
+   slots (bounded store) or partly in the spill list (unbounded store). *)
+let test_histogram_slot_vs_list () =
+  let fill (s : int Store.t) =
+    Store.write s "a" 0 1;
+    Store.write s "b" 0 1;
+    Store.write s "b" 1 2;
+    Store.write s "c" 0 1;
+    Store.write s "c" 1 2;
+    Store.write s "c" 2 3
+  in
+  let bounded : int Store.t = Store.create ~bound:3 () in
+  let unbounded : int Store.t = Store.create () in
+  fill bounded;
+  fill unbounded;
+  Alcotest.(check (list (pair int int)))
+    "same histogram for both representations"
+    (Store.version_histogram bounded)
+    (Store.version_histogram unbounded);
+  (* Deep chains count spilled entries too. *)
+  for v = 3 to 9 do
+    Store.write unbounded "c" v (v + 1)
+  done;
+  Alcotest.(check (list (pair int int)))
+    "spilled entries counted" [ (1, 1); (2, 1); (10, 1) ]
+    (Store.version_histogram unbounded)
+
 let test_histogram () =
   let s : int Store.t = Store.create ~bound:3 () in
   Store.write s "a" 0 1;
@@ -326,8 +396,15 @@ let () =
         [
           Alcotest.test_case "copy forward" `Quick test_copy_forward;
           Alcotest.test_case "remove version" `Quick test_remove_version;
+          Alcotest.test_case "slot overflow bound" `Quick
+            test_slot_overflow_bound;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram slot vs list" `Quick
+            test_histogram_slot_vs_list;
           Alcotest.test_case "range basic" `Quick test_range_basic;
+          Alcotest.test_case "range lo = hi" `Quick test_range_lo_eq_hi;
+          Alcotest.test_case "range across tombstones" `Quick
+            test_range_across_tombstones;
           Alcotest.test_case "range versions" `Quick test_range_versions;
           Alcotest.test_case "range after gc" `Quick test_range_after_gc;
         ] );
