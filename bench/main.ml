@@ -11,6 +11,7 @@
      serializability — Theorem 6.2 executable: histories replayed serially
      ablations    — E8: optimisation flags one by one; version-indexed GC cost
      scalability  — E9: advancement latency and messages vs cluster size
+     faults       — E10: availability under a deterministic fault schedule
      micro        — bechamel microbenchmarks of the core operations
 
    Pass one of those names as the single argument to run it alone.
@@ -259,6 +260,7 @@ let experiments =
     ("serializability", run_serializability);
     ("ablations", run_ablations);
     ("scalability", Dbsim.Experiment.print_scalability);
+    ("faults", Dbsim.Experiment.print_faults);
     ("micro", run_micro);
   ]
 

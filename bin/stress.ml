@@ -11,7 +11,7 @@
 module Cluster = Ava3.Cluster
 module Update = Ava3.Update_exec
 
-let run_one ~seed ~nodes ~crashes ~partitions ~use_tree =
+let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis =
   let engine = Sim.Engine.create ~seed:(Int64.of_int seed) ~trace:false () in
   let config =
     {
@@ -25,6 +25,9 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree =
       read_service_time = 0.3;
       write_service_time = 0.5;
       advancement_retry = 50.0;
+      (* Finite: configurations with crashes/partitions must detect lost
+         RPCs by timeout, not hang on them. *)
+      rpc_timeout = 25.0;
     }
   in
   let db : int Cluster.t = Cluster.create ~engine ~config ~nodes () in
@@ -87,7 +90,7 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree =
               (n, key n))
         in
         try ignore (Cluster.run_query db ~root ~reads)
-        with Net.Network.Node_down _ -> ())
+        with Net.Network.Node_down _ | Net.Network.Rpc_timeout _ -> ())
   done;
   (* Advancements from random coordinators. *)
   for _ = 1 to 5 do
@@ -105,6 +108,21 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree =
         Cluster.recover db ~node:victim);
     Sim.Engine.schedule engine ~delay:(at +. 120.0) (fun () ->
         ignore (Cluster.advance db ~coordinator:((victim + 1) mod nodes)))
+  end;
+  (* Seeded nemesis: random crash/partition/slow-link schedule with WAL
+     recovery on restart, plus a late advancement to exercise the §3.2
+     stalled-round re-initiation after mid-round faults. *)
+  if nemesis then begin
+    let plan =
+      Net.Nemesis.random_plan ~rng ~nodes ~horizon:(horizon /. 1.5)
+        ~crashes:2 ~partitions:1 ~slow_links:1 ~min_duration:20.0
+        ~max_duration:50.0 ~extra_latency:3.0 ()
+    in
+    Net.Nemesis.install ~engine (Cluster.nemesis_target db) plan;
+    Sim.Engine.schedule engine ~delay:(horizon +. 50.0) (fun () ->
+        for k = 0 to nodes - 1 do
+          ignore (Cluster.advance db ~coordinator:k)
+        done)
   end;
   (* Network partitions: cut a random directed pair both ways, heal later. *)
   if partitions then begin
@@ -156,10 +174,12 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree =
 
 let configurations =
   [
-    (2, false, false, false);
-    (3, true, false, false);
-    (4, false, false, true);
-    (3, false, true, false);
+    (* nodes, crashes, partitions, use_tree, nemesis *)
+    (2, false, false, false, false);
+    (3, true, false, false, false);
+    (4, false, false, true, false);
+    (3, false, true, false, false);
+    (3, false, false, false, true);
   ]
 
 let () =
@@ -179,9 +199,9 @@ let () =
     Sim.Pool.map
       (fun seed ->
         List.map
-          (fun ((nodes, crashes, partitions, use_tree) as cfg) ->
+          (fun ((nodes, crashes, partitions, use_tree, nemesis) as cfg) ->
             let outcome =
-              try run_one ~seed ~nodes ~crashes ~partitions ~use_tree
+              try run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis
               with e -> Error ("exception: " ^ Printexc.to_string e)
             in
             (seed, cfg, outcome))
@@ -190,17 +210,20 @@ let () =
   in
   let failures = ref 0 in
   List.iter
-    (List.iter (fun (seed, (nodes, crashes, partitions, use_tree), outcome) ->
+    (List.iter
+       (fun (seed, (nodes, crashes, partitions, use_tree, nemesis), outcome) ->
          if !verbose then
-           Printf.printf "seed %d nodes %d crashes %b partitions %b tree %b\n%!"
-             seed nodes crashes partitions use_tree;
+           Printf.printf
+             "seed %d nodes %d crashes %b partitions %b tree %b nemesis %b\n%!"
+             seed nodes crashes partitions use_tree nemesis;
          match outcome with
          | Ok () -> ()
          | Error msg ->
              incr failures;
              Printf.printf
-               "FAIL seed=%d nodes=%d crashes=%b partitions=%b tree=%b: %s\n%!"
-               seed nodes crashes partitions use_tree msg))
+               "FAIL seed=%d nodes=%d crashes=%b partitions=%b tree=%b \
+                nemesis=%b: %s\n%!"
+               seed nodes crashes partitions use_tree nemesis msg))
     outcomes;
   if !failures = 0 then
     Printf.printf "stress: %d seeds x %d configurations clean\n" !seeds

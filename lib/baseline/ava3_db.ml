@@ -81,6 +81,7 @@ let submit_query t ~root ~reads =
           q_staleness = result.Ava3.Query_exec.staleness;
         }
   | exception Net.Network.Node_down _ -> None
+  | exception Net.Network.Rpc_timeout _ -> None
 
 let max_versions_ever t = (Ava3.Cluster.stats t.db).Ava3.Cluster.max_versions_ever
 

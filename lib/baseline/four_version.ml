@@ -40,7 +40,7 @@ let submit_update t ~root ~ops =
     | Ava3.Update_exec.Aborted { reason; _ } ->
         (match reason with
         | `Version_mismatch -> t.mismatch_aborts <- t.mismatch_aborts + 1
-        | `Deadlock | `Node_down _ -> ());
+        | `Deadlock | `Node_down _ | `Rpc_timeout _ -> ());
         if n >= 10 then Workload.Db_intf.Aborted
         else begin
           Sim.Engine.sleep 5.0;
@@ -59,6 +59,7 @@ let submit_query t ~root ~reads =
           q_staleness = result.Ava3.Query_exec.staleness;
         }
   | exception Net.Network.Node_down _ -> None
+  | exception Net.Network.Rpc_timeout _ -> None
 
 let mismatch_aborts t = t.mismatch_aborts
 

@@ -142,13 +142,17 @@ let install cs =
 (* Coordinator retransmission: handlers are idempotent, so periodically
    re-send the current phase's message to nodes that have not acknowledged.
    Covers crashed-and-recovered participants (the paper assumes messages are
-   eventually delivered). *)
-let retransmit cs k ~newu =
+   eventually delivered).  The loop is pinned to [c] by physical equality:
+   if the coordinator crashes (volatile round state wiped) and later
+   re-initiates the same [newu], the new round spawns its own loop and this
+   one must die rather than double-resend. *)
+let retransmit cs k c =
   let period = cs.config.Config.advancement_retry in
+  let newu = c.c_newu in
   let rec loop () =
     Sim.Engine.sleep period;
     match cs.coords.(k) with
-    | Some c when c.c_newu = newu && not c.c_abandoned ->
+    | Some c' when c' == c && not c.c_abandoned ->
         let resend acks msg =
           Array.iteri
             (fun j acked ->
@@ -166,22 +170,27 @@ let retransmit cs k ~newu =
 
 let start_round cs k ~newu =
   let n = node_count cs in
-  cs.coords.(k) <-
-    Some
-      {
-        c_newu = newu;
-        c_phase = `Collect_u;
-        c_acks_u = Array.make n false;
-        c_acks_q = Array.make n false;
-        c_abandoned = false;
-      };
+  let c =
+    {
+      c_newu = newu;
+      c_phase = `Collect_u;
+      c_acks_u = Array.make n false;
+      c_acks_q = Array.make n false;
+      c_abandoned = false;
+    }
+  in
+  cs.coords.(k) <- Some c;
   emit cs ~tag (Printf.sprintf "node%d: initiates advancement to u=%d" k newu);
   Net.Network.broadcast cs.net ~src:k (Messages.Advance_u { newu });
-  retransmit cs k ~newu
+  retransmit cs k c
 
 let initiate cs ~coordinator:k =
   match cs.coords.(k) with
   | Some _ -> `Busy
+  | None when not (Node_state.alive (node cs k)) ->
+      (* A crashed node cannot coordinate: its broadcasts would all be
+         dropped and the retransmission loop would spin forever. *)
+      `Busy
   | None ->
       let nd = node cs k in
       let u = Node_state.u nd and q = Node_state.q nd and g = Node_state.g nd in

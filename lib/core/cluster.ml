@@ -38,7 +38,11 @@ let run_update_with_retry cs ~root ~ops ?(max_attempts = 10) ?(backoff = 5.0) ()
   let rec attempt n =
     match Update_exec.run cs ~root ~ops with
     | Update_exec.Committed _ as outcome -> (outcome, n)
-    | Update_exec.Aborted { reason = `Deadlock; _ } as outcome ->
+    | Update_exec.Aborted { reason = `Deadlock | `Rpc_timeout _; _ } as outcome
+      ->
+        (* Both are transient: deadlocks resolve as competitors drain, and a
+           timed-out participant may recover (or the partition heal) before
+           the next attempt. *)
         if n >= max_attempts then (outcome, n)
         else begin
           Sim.Engine.sleep backoff;
@@ -114,6 +118,15 @@ let start_periodic_checkpoints cs ~period ~until ?(min_log = 64) () =
 let crash cs ~node:i =
   let nd = Cluster_state.node cs i in
   Node_state.kill nd;
+  (* Coordinator round state is volatile — a crash wipes it.  Marking the
+     record abandoned (besides clearing the slot) also stops its
+     retransmission loop.  A stalled round left behind is re-initiated by
+     any node via the §3.2 path in [Advancement.initiate]. *)
+  (match cs.Cluster_state.coords.(i) with
+  | Some c ->
+      c.Cluster_state.c_abandoned <- true;
+      cs.Cluster_state.coords.(i) <- None
+  | None -> ());
   Net.Network.set_down cs.Cluster_state.net ~node:i true;
   Cluster_state.emit cs ~tag:"crash" (Printf.sprintf "node%d: crashed" i)
 
@@ -149,6 +162,19 @@ let recover cs ~node:i =
        versions.Wal.Recovery.update_version versions.Wal.Recovery.query_version
        versions.Wal.Recovery.collected_version);
   Cluster_state.note_version_change cs
+
+(* Nemesis adapter: crash/recover go through the cluster (volatile state
+   wiped, WAL replayed on the way up); partitions and slow links act on the
+   network alone. *)
+let nemesis_target cs =
+  let net = cs.Cluster_state.net in
+  {
+    Net.Nemesis.nodes = Cluster_state.node_count cs;
+    crash = (fun n -> crash cs ~node:n);
+    recover = (fun n -> recover cs ~node:n);
+    partition = (fun ~src ~dst flag -> Net.Network.set_link_down net ~src ~dst flag);
+    slow = (fun ~src ~dst extra -> Net.Network.set_link_extra net ~src ~dst extra);
+  }
 
 type stats = {
   commits : int;

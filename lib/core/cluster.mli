@@ -124,6 +124,11 @@ val recover : 'v t -> node:int -> unit
 (** Replay the node's log, rebuilding its store and version numbers;
     counters restart at zero.  The node rejoins the network. *)
 
+val nemesis_target : _ t -> Net.Nemesis.target
+(** Adapter for {!Net.Nemesis.install}: crashes and recoveries go through
+    {!crash}/{!recover} (volatile state wiped, WAL replayed on recovery);
+    partitions and slow links act on the network alone. *)
+
 (** {1 Introspection} *)
 
 type stats = {

@@ -44,7 +44,9 @@ let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
       engine;
       config;
       lock_group;
-      net = Net.Network.create ~engine ~nodes ~latency ();
+      net =
+        Net.Network.create ~engine ~nodes ~latency
+          ~call_timeout:config.Config.rpc_timeout ();
       nodes = Array.init nodes make_node;
       coords = Array.make nodes None;
       frozen_at = Hashtbl.create 16;

@@ -12,6 +12,7 @@ type t = {
   gc_renumber : bool;
   gc_item_time : float;
   advancement_retry : float;
+  rpc_timeout : float;
 }
 
 let default =
@@ -29,13 +30,14 @@ let default =
     gc_renumber = true;
     gc_item_time = 0.0;
     advancement_retry = 100.0;
+    rpc_timeout = infinity;
   }
 
 let pp ppf t =
   Format.fprintf ppf
     "{scheme=%s; eager_handoff=%b; piggyback=%b; root_only_qc=%b; \
-     overlap_gc=%b; read=%g; write=%g; gc_item=%g; retry=%g}"
+     overlap_gc=%b; read=%g; write=%g; gc_item=%g; retry=%g; rpc_timeout=%g}"
     (Wal.Scheme.kind_name t.scheme)
     t.eager_counter_handoff t.piggyback_version t.root_only_query_counters
     t.overlap_gc t.read_service_time t.write_service_time t.gc_item_time
-    t.advancement_retry
+    t.advancement_retry t.rpc_timeout

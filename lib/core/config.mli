@@ -58,6 +58,12 @@ type t = {
       (** Coordinator retransmission period for unacknowledged advancement
           messages (covers participant crashes; the paper only assumes
           eventual delivery). *)
+  rpc_timeout : float;
+      (** Default timeout (virtual seconds) for subtransaction RPCs; a call
+          whose request or reply is lost surfaces as
+          [Net.Network.Rpc_timeout] at the caller after this long.  Default
+          [infinity] — benign runs without faults never time out; set a
+          finite value when crashes or partitions are injected. *)
 }
 
 val default : t

@@ -25,6 +25,10 @@ let run cs ~root ~reads =
   let child_counters = cs.config.Config.root_only_query_counters = false in
   let touched = Hashtbl.create 4 in
   let child_nodes : 'a Node_state.t list ref = ref [] in
+  (* Set once the query released its counters: a request still in flight at
+     that point (its caller timed out) must not register fresh counters no
+     cleanup pass will ever see. *)
+  let closed = ref false in
   let read_service = cs.config.Config.read_service_time in
   let read_local nd key =
     Sim.Engine.sleep read_service;
@@ -36,7 +40,7 @@ let run cs ~root ~reads =
       let value =
         Net.Network.call cs.net ~src:root ~dst:n (fun () ->
             let nd = node cs n in
-            if not (Hashtbl.mem touched n) then begin
+            if (not !closed) && not (Hashtbl.mem touched n) then begin
               Hashtbl.replace touched n ();
               (* §3.3 step 2: the child's version is ahead of the node's
                  query version — advancement has begun but this node has
@@ -60,6 +64,7 @@ let run cs ~root ~reads =
      Children decrement before the root: the root's counter is the one
      whose drain unblocks Phase 2, and it must be last to go. *)
   let finish () =
+    closed := true;
     if child_counters then
       List.iter
         (fun nd -> Node_state.decr_query_count nd ~version:v)
@@ -96,6 +101,7 @@ let run_scan cs ~root ~ranges =
   let child_counters = not cs.config.Config.root_only_query_counters in
   let touched = Hashtbl.create 4 in
   let child_nodes : 'a Node_state.t list ref = ref [] in
+  let closed = ref false in
   let scan_local nd ~lo ~hi =
     let results = Vstore.Store.range (Node_state.store nd) ~lo ~hi v in
     (* Charge one read per item returned (plus one for the probe). *)
@@ -109,7 +115,7 @@ let run_scan cs ~root ~ranges =
       else
         Net.Network.call cs.net ~src:root ~dst:n (fun () ->
             let nd = node cs n in
-            if not (Hashtbl.mem touched n) then begin
+            if (not !closed) && not (Hashtbl.mem touched n) then begin
               Hashtbl.replace touched n ();
               if v > Node_state.q nd then begin
                 Node_state.set_q nd v;
@@ -125,6 +131,7 @@ let run_scan cs ~root ~ranges =
     List.map (fun (key, value) -> (n, key, Some value)) values
   in
   let finish () =
+    closed := true;
     if child_counters then
       List.iter (fun nd -> Node_state.decr_query_count nd ~version:v) !child_nodes;
     Node_state.decr_query_count root_node ~version:v

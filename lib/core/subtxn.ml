@@ -1,6 +1,7 @@
 open Cluster_state
 
-type abort_reason = [ `Deadlock | `Node_down of int | `Version_mismatch ]
+type abort_reason =
+  [ `Deadlock | `Node_down of int | `Rpc_timeout of int | `Version_mismatch ]
 
 exception Txn_abort of abort_reason
 

@@ -13,7 +13,8 @@
     aborts, operations of the others fail fast with {!Txn_abort} instead of
     touching data under a dead transaction. *)
 
-type abort_reason = [ `Deadlock | `Node_down of int | `Version_mismatch ]
+type abort_reason =
+  [ `Deadlock | `Node_down of int | `Rpc_timeout of int | `Version_mismatch ]
 
 exception Txn_abort of abort_reason
 

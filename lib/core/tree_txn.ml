@@ -85,6 +85,15 @@ let run cs ~plan =
           Subtxn.start cs ~txn_id ~state ~node:(node cs p.at) ~carried
         in
         Hashtbl.replace subs p.at sub;
+        (match !state with
+        | Subtxn.Running -> ()
+        | Subtxn.Aborting | Subtxn.Finished ->
+            (* Orphaned dispatch: the transaction aborted (RPC timeout)
+               while this request was in flight; [abort_all] will never
+               see this subtransaction, so roll it back here or its
+               update counter leaks and blocks future Phase 1s. *)
+            Subtxn.abort cs sub;
+            raise (Subtxn.Txn_abort `Deadlock));
         List.iter (exec_step sub) p.work;
         let own = Subtxn.version sub in
         (* Children are dispatched concurrently, each carrying the version
@@ -132,6 +141,7 @@ let run cs ~plan =
            (match reason with
            | `Deadlock -> "deadlock"
            | `Node_down n -> Printf.sprintf "node %d down" n
+           | `Rpc_timeout n -> Printf.sprintf "rpc to node %d timed out" n
            | `Version_mismatch -> "version mismatch"));
       Aborted { txn_id; reason }
     in
@@ -164,4 +174,5 @@ let run cs ~plan =
     with
     | Subtxn.Txn_abort reason -> abort_all reason
     | Net.Network.Node_down n -> abort_all (`Node_down n)
+    | Net.Network.Rpc_timeout n -> abort_all (`Rpc_timeout n)
   end

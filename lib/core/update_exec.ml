@@ -66,6 +66,16 @@ let run cs ~root ~ops =
               ~carried:(carried ())
           in
           Hashtbl.replace subs n sub;
+          (match !state with
+          | Subtxn.Running -> ()
+          | Subtxn.Aborting | Subtxn.Finished ->
+              (* Orphaned dispatch: the transaction aborted (RPC timeout)
+                 while this request was in flight, so [abort_all] has
+                 already run and will never see this subtransaction.  Roll
+                 it back here or its update counter leaks and blocks
+                 Phase 1 of every future advancement. *)
+              Subtxn.abort cs sub;
+              raise (Subtxn.Txn_abort `Deadlock));
           sub
     in
     let at_node n f =
@@ -99,6 +109,7 @@ let run cs ~root ~ops =
            (match reason with
            | `Deadlock -> "deadlock"
            | `Node_down n -> Printf.sprintf "node %d down" n
+           | `Rpc_timeout n -> Printf.sprintf "rpc to node %d timed out" n
            | `Version_mismatch -> "version mismatch"));
       Aborted { txn_id; reason }
     in
@@ -160,4 +171,5 @@ let run cs ~root ~ops =
     with
     | Subtxn.Txn_abort reason -> abort_all reason
     | Net.Network.Node_down n -> abort_all (`Node_down n)
+    | Net.Network.Rpc_timeout n -> abort_all (`Rpc_timeout n)
   end

@@ -1208,3 +1208,204 @@ let print_tree_vs_flat () =
        write per node)"
     ~header:[ "remote nodes"; "flat latency"; "tree latency" ]
     ~rows
+
+(* ------------------------------------------------------------------ *)
+(* E10 — availability and advancement latency under faults             *)
+(* ------------------------------------------------------------------ *)
+
+type faults_row = {
+  fl_scenario : string;
+  fl_commits : int;
+  fl_aborts : int;
+  fl_timeout_aborts : int;
+  fl_queries_ok : int;
+  fl_queries_failed : int;
+  fl_advancements : int;
+  fl_max_adv_gap : float;
+  fl_violations : int;
+}
+
+(* One cluster under a seeded nemesis.  Faults are drawn from the engine's
+   RNG before anything runs, so the schedule (and hence every number in
+   the row) is a pure function of [seed] — identical at any AVA3_DOMAINS
+   width.  Advancement is driven by a non-blocking initiator that always
+   picks the first *alive* node; when a coordinator dies mid-round the
+   same beat re-initiates the stalled round via the §3.2 path, so stalls
+   are bounded by the initiation period plus the repair time, and queries
+   keep reading their snapshots throughout. *)
+let faults_one ?(seed = 73L) ~scenario ~crashes ~partitions ~slow_links () =
+  let nodes = 3 and horizon = 1000.0 in
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let config =
+    {
+      Ava3.Config.default with
+      rpc_timeout = 10.0;
+      advancement_retry = 30.0;
+    }
+  in
+  let db : int Ava3.Cluster.t = Ava3.Cluster.create ~engine ~config ~nodes () in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  for n = 0 to nodes - 1 do
+    Ava3.Cluster.load db ~node:n
+      (List.init 20 (fun i -> (Printf.sprintf "n%d-k%d" n i, 0)))
+  done;
+  (* Fault schedule: all faults heal well before the horizon so the run
+     drains; crash windows are disjoint (see Nemesis.random_plan). *)
+  let plan =
+    Net.Nemesis.random_plan ~rng ~nodes ~horizon:(horizon *. 0.8) ~crashes
+      ~partitions ~slow_links ~min_duration:40.0 ~max_duration:80.0
+      ~extra_latency:4.0 ()
+  in
+  Net.Nemesis.install ~engine (Ava3.Cluster.nemesis_target db) plan;
+  let key n = Printf.sprintf "n%d-k%d" n (Sim.Rng.int rng 20) in
+  (* Advancement initiator: every beat, the first alive node initiates (or
+     re-initiates a stalled round — Advancement.initiate tells the two
+     apart from local state). *)
+  let first_alive () =
+    let rec go k =
+      if k >= nodes then None
+      else if Ava3.Node_state.alive (Ava3.Cluster.node db k) then Some k
+      else go (k + 1)
+    in
+    go 0
+  in
+  let adv_period = 50.0 in
+  let n_beats = int_of_float (horizon /. adv_period) in
+  for b = 1 to n_beats do
+    Sim.Engine.schedule engine ~delay:(float_of_int b *. adv_period) (fun () ->
+        match first_alive () with
+        | Some k -> ignore (Ava3.Cluster.advance db ~coordinator:k)
+        | None -> ())
+  done;
+  (* Updates, with retry on transient aborts (deadlock, timeout).  The
+     retry loop is inlined so timed-out *attempts* are counted even when a
+     later attempt commits — that is the work the faults cost us. *)
+  let commits = ref 0 and aborts = ref 0 and timeout_attempts = ref 0 in
+  for u = 0 to int_of_float (horizon /. 8.0) - 1 do
+    Sim.Engine.schedule engine ~delay:(float_of_int u *. 8.0) (fun () ->
+        let root = Sim.Rng.int rng nodes in
+        let ops =
+          List.init
+            (1 + Sim.Rng.int rng 3)
+            (fun _ ->
+              let n = Sim.Rng.int rng nodes in
+              Ava3.Update_exec.Write
+                { node = n; key = key n; value = Sim.Rng.int rng 1000 })
+        in
+        let rec attempt n =
+          match Ava3.Cluster.run_update db ~root ~ops with
+          | Ava3.Update_exec.Committed _ -> incr commits
+          | Ava3.Update_exec.Aborted { reason; _ } ->
+              (match reason with
+              | `Rpc_timeout _ -> incr timeout_attempts
+              | _ -> ());
+              let transient =
+                match reason with
+                | `Deadlock | `Rpc_timeout _ -> true
+                | `Node_down _ | `Version_mismatch -> false
+              in
+              if transient && n < 5 then begin
+                Sim.Engine.sleep 12.0;
+                attempt (n + 1)
+              end
+              else incr aborts
+        in
+        attempt 1)
+  done;
+  (* Queries: never blocked by advancement; they fail only when their root
+     is down or a remote read is cut off mid-fault. *)
+  let queries_ok = ref 0 and queries_failed = ref 0 in
+  for q = 0 to int_of_float (horizon /. 5.0) - 1 do
+    Sim.Engine.schedule engine ~delay:(float_of_int q *. 5.0) (fun () ->
+        let root = Sim.Rng.int rng nodes in
+        let reads =
+          List.init
+            (1 + Sim.Rng.int rng 3)
+            (fun _ ->
+              let n = Sim.Rng.int rng nodes in
+              (n, key n))
+        in
+        match Ava3.Cluster.run_query db ~root ~reads with
+        | _ -> incr queries_ok
+        | exception (Net.Network.Node_down _ | Net.Network.Rpc_timeout _) ->
+            incr queries_failed)
+  done;
+  (* Monitor: continuous invariant probes, plus the largest gap between
+     advancement completions (the availability cost of the faults). *)
+  let violations = ref 0 in
+  let max_gap = ref 0.0 in
+  let last_completion = ref 0.0 in
+  let last_count = ref 0 in
+  let n_probes = int_of_float (horizon /. 10.0) + 4 in
+  for p = 0 to n_probes - 1 do
+    Sim.Engine.schedule engine ~delay:(float_of_int p *. 10.0) (fun () ->
+        violations := !violations + List.length (Ava3.Cluster.check_invariants db);
+        let c = (Ava3.Cluster.stats db).Ava3.Cluster.advancements in
+        let now = Sim.Engine.now engine in
+        if c > !last_count then begin
+          last_count := c;
+          last_completion := now
+        end
+        else if now -. !last_completion > !max_gap then
+          max_gap := now -. !last_completion)
+  done;
+  Sim.Engine.run engine;
+  violations := !violations + List.length (Ava3.Cluster.check_invariants db);
+  let stats = Ava3.Cluster.stats db in
+  {
+    fl_scenario = scenario;
+    fl_commits = !commits;
+    fl_aborts = !aborts;
+    fl_timeout_aborts = !timeout_attempts;
+    fl_queries_ok = !queries_ok;
+    fl_queries_failed = !queries_failed;
+    fl_advancements = stats.Ava3.Cluster.advancements;
+    fl_max_adv_gap = !max_gap;
+    fl_violations = !violations;
+  }
+
+let faults ?seed ?domains () =
+  pmap ?domains
+    (fun (scenario, crashes, partitions, slow_links) ->
+      faults_one ?seed ~scenario ~crashes ~partitions ~slow_links ())
+    [
+      ("no faults", 0, 0, 0);
+      ("crashes", 2, 0, 0);
+      ("partitions", 0, 2, 0);
+      ("crash+partition+slow", 2, 1, 1);
+    ]
+
+let print_faults () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          r.fl_scenario;
+          Report.i r.fl_commits;
+          Report.i r.fl_aborts;
+          Report.i r.fl_timeout_aborts;
+          Report.i r.fl_queries_ok;
+          Report.i r.fl_queries_failed;
+          Report.i r.fl_advancements;
+          Report.f1 r.fl_max_adv_gap;
+          Report.i r.fl_violations;
+        ])
+      (faults ())
+  in
+  Report.print
+    ~title:
+      "E10: availability under faults (3 nodes, rpc timeout 10, advancement \
+       beat 50, horizon 1000)"
+    ~header:
+      [
+        "scenario";
+        "commits";
+        "aborts";
+        "timeouts";
+        "queries ok";
+        "q failed";
+        "advancements";
+        "max adv gap";
+        "violations";
+      ]
+    ~rows

@@ -193,3 +193,30 @@ val tree_vs_flat : ?seed:int64 -> ?domains:int -> unit -> tree_vs_flat_row list
     R*-style tree executor as the number of remote participants grows. *)
 
 val print_tree_vs_flat : unit -> unit
+
+(** {1 E10 — availability under faults} *)
+
+type faults_row = {
+  fl_scenario : string;
+  fl_commits : int;
+  fl_aborts : int;
+  fl_timeout_aborts : int;  (** of the aborts, those from RPC timeouts *)
+  fl_queries_ok : int;
+  fl_queries_failed : int;
+  fl_advancements : int;
+  fl_max_adv_gap : float;
+      (** largest observed gap between advancement completions — the
+          availability cost of the fault schedule *)
+  fl_violations : int;  (** §6.2 invariant violations across all probes *)
+}
+
+val faults : ?seed:int64 -> ?domains:int -> unit -> faults_row list
+(** A 3-node cluster under a seeded {!Net.Nemesis} schedule (crashes with
+    WAL recovery, partitions, slow links), timeout-based RPC failure
+    detection, and continuous invariant probes.  The fault schedule is a
+    pure function of the seed, so rows are identical at any domain
+    width.  Expected shape: queries never block on advancement,
+    advancement stalls stay bounded by the initiation beat plus the
+    repair time, and no probe ever reports a violation. *)
+
+val print_faults : unit -> unit

@@ -1,0 +1,75 @@
+(** Deterministic fault injection ("nemesis").
+
+    A nemesis run separates {e what goes wrong} from {e how it is applied}:
+
+    - a {!plan} is a pure value listing faults and their timing, typically
+      drawn from a seeded RNG with {!random_plan} before the simulation
+      starts — same seed, same plan, at any [AVA3_DOMAINS] width;
+    - {!install} turns the plan into ordinary engine processes that drive a
+      {!target} — a record of callbacks supplied by the system under test
+      (e.g. [Cluster.crash]/[Cluster.recover], which replay the WAL on the
+      way back up).
+
+    Faults always heal themselves: a crash is followed by a recovery after
+    [duration], a partition by a heal, a slow link by a restore. *)
+
+type event =
+  | Crash of { node : int; at : float; duration : float }
+      (** Node fails at [at], losing volatile state; recovers (WAL replay,
+          rejoin) [duration] later. *)
+  | Partition of { a : int; b : int; at : float; duration : float }
+      (** Both directions of the [a]-[b] link are cut, then healed. *)
+  | Slow_link of {
+      src : int;
+      dst : int;
+      at : float;
+      duration : float;
+      extra : float;
+    }
+      (** The directed link carries [extra] additional latency per message
+          while active. *)
+
+type plan = event list
+
+type target = {
+  nodes : int;
+  crash : int -> unit;
+  recover : int -> unit;
+  partition : src:int -> dst:int -> bool -> unit;
+  slow : src:int -> dst:int -> float -> unit;
+}
+(** Callbacks the nemesis drives.  [partition ~src ~dst flag] cuts
+    ([true]) or heals ([false]) one directed link; [slow ~src ~dst extra]
+    sets the link's extra latency ([0.] restores it). *)
+
+val random_plan :
+  rng:Sim.Rng.t ->
+  nodes:int ->
+  horizon:float ->
+  ?crashes:int ->
+  ?partitions:int ->
+  ?slow_links:int ->
+  ?min_duration:float ->
+  ?max_duration:float ->
+  ?extra_latency:float ->
+  unit ->
+  plan
+(** Draw a random fault schedule over [0, horizon).  Crash windows are
+    pairwise disjoint (at most one node down at a time — advancement needs
+    acks from all nodes, so disjoint repairs keep every stall bounded) and
+    every fault heals before [horizon].  Defaults: 2 crashes, 1 partition,
+    1 slow link, durations in [20, 60], +5.0 extra latency. *)
+
+val install : engine:Sim.Engine.t -> target -> plan -> unit
+(** Schedule the plan's events on the engine.  Call before
+    [Sim.Engine.run]; raises [Invalid_argument] on malformed plans
+    (unknown node, non-positive duration, self-partition). *)
+
+val network_target : _ Network.t -> target
+(** A target that manipulates only the network: crash/recover toggle
+    {!Network.set_down} without touching node state.  Systems with real
+    per-node state (WAL replay on recovery) should build their own target
+    instead. *)
+
+val describe : plan -> string list
+(** Human-readable schedule, one line per event, in time order. *)

@@ -1,14 +1,18 @@
 exception Node_down of int
+exception Rpc_timeout of int
 
 type 'm t = {
   engine : Sim.Engine.t;
   nodes : int;
   latency : Latency.t;
   self_latency : float;
+  call_timeout : float;
   rng : Sim.Rng.t;
   handlers : (src:int -> 'm -> unit) option array;
   down : bool array;
   link_down : bool array array;
+  (* Nemesis-injected extra one-way latency per (src,dst) link. *)
+  link_extra : float array array;
   (* FIFO enforcement: earliest admissible delivery time per (src,dst). *)
   link_clock : float array array;
   link_sent : int array array;
@@ -17,17 +21,19 @@ type 'm t = {
 }
 
 let create ~engine ~nodes ?(latency = Latency.Constant 1.0) ?(self_latency = 0.0)
-    () =
+    ?(call_timeout = infinity) () =
   if nodes <= 0 then invalid_arg "Network.create: need at least one node";
   {
     engine;
     nodes;
     latency;
     self_latency;
+    call_timeout;
     rng = Sim.Rng.split (Sim.Engine.rng engine);
     handlers = Array.make nodes None;
     down = Array.make nodes false;
     link_down = Array.make_matrix nodes nodes false;
+    link_extra = Array.make_matrix nodes nodes 0.0;
     link_clock = Array.make_matrix nodes nodes 0.0;
     link_sent = Array.make_matrix nodes nodes 0;
     sent = 0;
@@ -59,6 +65,12 @@ let set_link_down t ~src ~dst flag =
 
 let link_is_down t ~src ~dst = t.down.(src) || t.down.(dst) || t.link_down.(src).(dst)
 
+let set_link_extra t ~src ~dst extra =
+  check_node t src;
+  check_node t dst;
+  if extra < 0.0 then invalid_arg "Network.set_link_extra: negative latency";
+  t.link_extra.(src).(dst) <- extra
+
 let messages_sent t = t.sent
 let messages_dropped t = t.dropped
 
@@ -72,7 +84,8 @@ let link_count t ~src ~dst =
    the same link. *)
 let delivery_delay t ~src ~dst =
   let raw =
-    if src = dst then t.self_latency else Latency.sample t.latency t.rng
+    (if src = dst then t.self_latency else Latency.sample t.latency t.rng)
+    +. t.link_extra.(src).(dst)
   in
   let now = Sim.Engine.now t.engine in
   let at = now +. raw in
@@ -103,27 +116,63 @@ let broadcast t ~src msg =
     send t ~src ~dst msg
   done
 
-let call t ~src ~dst thunk =
+(* RPC with timeout-based failure detection.  The caller has no oracle: a
+   down destination, a cut link, or a crash mid-flight all look the same —
+   silence — and surface only as [Rpc_timeout] once [timeout] simulated
+   time has elapsed.  Legs that cannot be delivered (down node, cut link)
+   are counted in [messages_dropped], mirroring [send].
+
+   The timeout event fires even when the caller's own node has crashed:
+   the suspended process is a zombie whose unwinding (e.g. 2PC abort
+   cleanup) must still run to release remote locks.  Only a *successful
+   reply* is withheld from a crashed caller — that is the message a dead
+   node can no longer receive. *)
+let call ?timeout t ~src ~dst thunk =
   check_node t src;
   check_node t dst;
+  let timeout = match timeout with Some x -> x | None -> t.call_timeout in
   t.sent <- t.sent + 1;
   t.link_sent.(src).(dst) <- t.link_sent.(src).(dst) + 1;
-  if t.down.(dst) || t.link_down.(src).(dst) || t.link_down.(dst).(src) then
-    raise (Node_down dst);
-  let request_delay = delivery_delay t ~src ~dst in
+  if t.down.(src) then begin
+    (* Symmetric with [send]: a dead node cannot originate traffic. *)
+    t.dropped <- t.dropped + 1;
+    raise (Node_down src)
+  end;
+  let request_ok = not t.link_down.(src).(dst) in
+  if not request_ok then t.dropped <- t.dropped + 1;
   let outcome =
     Sim.Engine.suspend (fun resume ->
-        Sim.Engine.schedule t.engine ~delay:request_delay (fun () ->
-            (* The thunk runs at the destination; failures travel back to
-               the caller instead of crashing the engine. *)
-            let result =
-              if t.down.(dst) then Error (Node_down dst)
-              else try Ok (thunk ()) with e -> Error e
-            in
-            t.sent <- t.sent + 1;
-            t.link_sent.(dst).(src) <- t.link_sent.(dst).(src) + 1;
-            let reply_delay = delivery_delay t ~src:dst ~dst:src in
-            Sim.Engine.schedule t.engine ~delay:reply_delay (fun () ->
-                resume result)))
+        let settled = ref false in
+        let settle result =
+          if not !settled then begin
+            settled := true;
+            resume result
+          end
+        in
+        (if request_ok then
+           let request_delay = delivery_delay t ~src ~dst in
+           Sim.Engine.schedule t.engine ~delay:request_delay (fun () ->
+               if t.down.(dst) then
+                 (* Request lost in the crash; the thunk never runs. *)
+                 t.dropped <- t.dropped + 1
+               else begin
+                 (* The thunk runs at the destination; failures travel
+                    back to the caller instead of crashing the engine. *)
+                 let result = try Ok (thunk ()) with e -> Error e in
+                 t.sent <- t.sent + 1;
+                 t.link_sent.(dst).(src) <- t.link_sent.(dst).(src) + 1;
+                 if t.link_down.(dst).(src) then t.dropped <- t.dropped + 1
+                 else
+                   let reply_delay = delivery_delay t ~src:dst ~dst:src in
+                   Sim.Engine.schedule t.engine ~delay:reply_delay (fun () ->
+                       if t.down.(src) || !settled then
+                         (* Caller crashed or already timed out: the reply
+                            reaches a dead mailbox. *)
+                         t.dropped <- t.dropped + 1
+                       else settle result)
+               end));
+        if timeout < infinity then
+          Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
+              settle (Error (Rpc_timeout dst))))
   in
   match outcome with Ok v -> v | Error e -> raise e

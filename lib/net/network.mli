@@ -15,10 +15,13 @@ val create :
   nodes:int ->
   ?latency:Latency.t ->
   ?self_latency:float ->
+  ?call_timeout:float ->
   unit ->
   'm t
 (** [latency] defaults to [Constant 1.0]; [self_latency] (messages a node
-    sends to itself) defaults to [0.]. *)
+    sends to itself) defaults to [0.].  [call_timeout] is the default
+    timeout for {!call} (simulated seconds); it defaults to [infinity],
+    i.e. callers wait forever unless they pass an explicit [?timeout]. *)
 
 val engine : _ t -> Sim.Engine.t
 val node_count : _ t -> int
@@ -34,13 +37,31 @@ val broadcast : 'm t -> src:int -> 'm -> unit
 (** Send to every node, including [src] itself (the paper's advancement
     messages go "to every node, including itself"). *)
 
-val call : _ t -> src:int -> dst:int -> (unit -> 'r) -> 'r
+val call : ?timeout:float -> _ t -> src:int -> dst:int -> (unit -> 'r) -> 'r
 (** Remote procedure call: after one network latency the thunk runs at the
     destination (in its own process); after another latency the caller
-    resumes with the result.  The caller must be inside a process.  Raises
-    [Node_down] at the caller if the destination is down. *)
+    resumes with the result.  The caller must be inside a process.
+
+    Failure detection is timeout-based — there is no oracle.  If the
+    request or reply leg is lost (destination down when the request lands,
+    link cut in either direction, caller down when the reply lands) the
+    caller hears nothing and [Rpc_timeout dst] is raised after [timeout]
+    simulated seconds ([?timeout] overrides the network's [call_timeout];
+    with an infinite timeout a lost call suspends the caller forever).
+    Lost legs are counted in {!messages_dropped}.  The only synchronous
+    error is [Node_down src], raised when the {e caller's own} node is
+    marked down at send time — local knowledge, mirroring {!send}.
+
+    The timeout fires even if the caller's node crashes mid-call, so that
+    the suspended process can unwind and release any remote resources it
+    holds; a successful reply, by contrast, is never delivered to a
+    crashed or already-timed-out caller. *)
 
 exception Node_down of int
+
+exception Rpc_timeout of int
+(** [Rpc_timeout dst] — a {!call} to [dst] got no reply within the
+    timeout.  The callee may or may not have executed the request. *)
 
 val set_down : _ t -> node:int -> bool -> unit
 val is_down : _ t -> node:int -> bool
@@ -51,6 +72,11 @@ val set_link_down : _ t -> src:int -> dst:int -> bool -> unit
     untouched — this models a network partition rather than a crash. *)
 
 val link_is_down : _ t -> src:int -> dst:int -> bool
+
+val set_link_extra : _ t -> src:int -> dst:int -> float -> unit
+(** Add [extra] one-way latency to every subsequent message on the
+    directed link (0. restores normal speed).  Used by the nemesis to
+    model slow links without cutting them. *)
 
 (** {1 Statistics} *)
 

@@ -22,7 +22,7 @@ type _ Effect.t +=
 let create ?(seed = 0x5EEDL) ?(trace = true) () =
   {
     clock = 0.0;
-    queue = Heap.create ();
+    queue = Heap.create ~dummy:(fun () -> ()) ();
     seq = 0;
     root_rng = Rng.create seed;
     trace_rec = Trace.create ~enabled:trace ();

@@ -1,8 +1,17 @@
 type 'a entry = { time : float; seq : int; payload : 'a }
 
-type 'a t = { mutable data : 'a entry array; mutable len : int }
+type 'a t = {
+  mutable data : 'a entry array;
+  mutable len : int;
+  vacant : 'a entry;
+      (* written into every slot the heap no longer owns, so popped events
+         (and the closures they carry) become collectable immediately
+         instead of living until the slot is overwritten by a later push *)
+}
 
-let create () = { data = [||]; len = 0 }
+let create ~dummy () =
+  { data = [||]; len = 0; vacant = { time = nan; seq = -1; payload = dummy } }
+
 let is_empty t = t.len = 0
 let size t = t.len
 
@@ -11,14 +20,14 @@ let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 let grow t =
   let cap = Array.length t.data in
   let new_cap = if cap = 0 then 16 else cap * 2 in
-  let fresh = Array.make new_cap t.data.(0) in
+  let fresh = Array.make new_cap t.vacant in
   Array.blit t.data 0 fresh 0 t.len;
   t.data <- fresh
 
 let push t ~time ~seq payload =
   let entry = { time; seq; payload } in
-  if Array.length t.data = 0 then t.data <- Array.make 16 entry
-  else if t.len = Array.length t.data then grow t;
+  if Array.length t.data = 0 then t.data <- Array.make 16 t.vacant;
+  if t.len = Array.length t.data then grow t;
   t.data.(t.len) <- entry;
   t.len <- t.len + 1;
   (* Sift up. *)
@@ -43,6 +52,7 @@ let pop t =
     t.len <- t.len - 1;
     if t.len > 0 then begin
       t.data.(0) <- t.data.(t.len);
+      t.data.(t.len) <- t.vacant;
       (* Sift down. *)
       let i = ref 0 in
       let continue = ref true in
@@ -59,8 +69,12 @@ let pop t =
           i := !smallest
         end
       done
-    end;
+    end
+    else t.data.(0) <- t.vacant;
     Some (top.time, top.seq, top.payload)
   end
 
 let peek_time t = if t.len = 0 then None else Some t.data.(0).time
+
+let slot_is_vacant t i =
+  i >= Array.length t.data || t.data.(i) == t.vacant

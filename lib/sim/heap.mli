@@ -1,11 +1,19 @@
 (** Minimal binary min-heap keyed by [(time, sequence)].
 
     The sequence number breaks ties between events scheduled for the same
-    simulated instant, giving the engine a deterministic FIFO order. *)
+    simulated instant, giving the engine a deterministic FIFO order.
+
+    Vacated slots are overwritten with a dummy entry so popped payloads
+    (typically closures) become garbage-collectable immediately; a
+    long-running simulation would otherwise retain every dead event closure
+    until its array slot happened to be reused. *)
 
 type 'a t
 
-val create : unit -> 'a t
+val create : dummy:'a -> unit -> 'a t
+(** [dummy] is a throwaway payload used to scrub slots the heap no longer
+    owns; it is never returned by {!pop}. *)
+
 val is_empty : 'a t -> bool
 val size : 'a t -> int
 
@@ -16,3 +24,8 @@ val pop : 'a t -> (float * int * 'a) option
 
 val peek_time : 'a t -> float option
 (** Time key of the minimum element without removing it. *)
+
+val slot_is_vacant : 'a t -> int -> bool
+(** [slot_is_vacant t i] is true when backing slot [i] holds no live entry
+    (it is past the array, or was scrubbed after a pop).  Exposed so tests
+    can assert the no-leak property; not useful to ordinary clients. *)

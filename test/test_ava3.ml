@@ -481,8 +481,11 @@ let test_crash_recovery_preserves_committed () =
   no_violations db
 
 let test_crash_aborts_inflight () =
+  (* Failure detection is timeout-based: the transaction's RPC to the
+     crashed participant gets no reply and aborts with Rpc_timeout. *)
+  let config = { Ava3.Config.default with rpc_timeout = 30.0 } in
   let db =
-    with_cluster (fun db ->
+    with_cluster ~config (fun db ->
         Cluster.load db ~node:1 [ ("y", 1) ];
         let eng = Cluster.engine db in
         let outcome = ref None in
@@ -501,7 +504,7 @@ let test_crash_aborts_inflight () =
             Cluster.recover db ~node:1);
         Sim.Engine.sleep 300.0;
         (match !outcome with
-        | Some (Update.Aborted { reason = `Node_down 1; _ }) -> ()
+        | Some (Update.Aborted { reason = `Rpc_timeout 1; _ }) -> ()
         | Some _ -> Alcotest.fail "transaction should have aborted on crash"
         | None -> Alcotest.fail "transaction never finished");
         (* The uncommitted write must not survive recovery. *)

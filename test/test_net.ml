@@ -118,30 +118,110 @@ let test_down_node_drops () =
   check_int "delivered after recovery" 1 !hits
 
 let test_call_to_down_node () =
+  (* No oracle: the caller learns about the dead destination only through
+     the timeout, after [timeout] simulated seconds. *)
   let e = Sim.Engine.create () in
   let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:2 () in
   Net.Network.set_down net ~node:1 true;
-  let raised = ref false in
+  let raised = ref nan in
   Sim.Engine.spawn e (fun () ->
-      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ()))
-      with Net.Network.Node_down 1 -> raised := true);
+      try ignore (Net.Network.call ~timeout:7.0 net ~src:0 ~dst:1 (fun () -> ()))
+      with Net.Network.Rpc_timeout 1 -> raised := Sim.Engine.now e);
   Sim.Engine.run e;
-  check_bool "Node_down raised" true !raised
+  check_float "Rpc_timeout after the full timeout" 7.0 !raised;
+  check_int "lost request counted" 1 (Net.Network.messages_dropped net)
 
 let test_call_node_dies_mid_flight () =
   (* The destination goes down after the request is sent but before it is
-     processed: the caller still gets Node_down, not a hang. *)
+     processed: the request is lost, the thunk never runs, and the caller
+     gets Rpc_timeout, not a hang. *)
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 5.0)
+      ~call_timeout:20.0 ()
+  in
+  let raised = ref false and ran = ref false in
+  Sim.Engine.spawn e (fun () ->
+      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ran := true))
+      with Net.Network.Rpc_timeout 1 -> raised := true);
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> Net.Network.set_down net ~node:1 true);
+  Sim.Engine.run e;
+  check_bool "mid-flight crash surfaces as timeout" true !raised;
+  check_bool "thunk never ran" false !ran
+
+let test_call_src_down_at_send () =
+  (* Regression: [call] used to skip the [down.(src)] check that plain
+     [send] performs, letting a crashed node originate RPCs for free. *)
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:2 () in
+  Net.Network.set_down net ~node:0 true;
+  let raised = ref false and ran = ref false in
+  Sim.Engine.spawn e (fun () ->
+      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ran := true))
+      with Net.Network.Node_down 0 -> raised := true);
+  Sim.Engine.run e;
+  check_bool "Node_down src raised" true !raised;
+  check_bool "thunk never ran" false !ran;
+  check_int "dropped leg counted" 1 (Net.Network.messages_dropped net)
+
+let test_call_caller_crashes_before_reply () =
+  (* Regression: the scheduled reply used to resume the caller even when
+     its node crashed between request and reply.  Now the reply is dropped
+     — with an infinite timeout the zombie caller never resumes. *)
   let e = Sim.Engine.create () in
   let net : unit Net.Network.t =
     Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 5.0) ()
   in
-  let raised = ref false in
+  let resumed = ref false and ran = ref false in
   Sim.Engine.spawn e (fun () ->
-      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ()))
-      with Net.Network.Node_down 1 -> raised := true);
-  Sim.Engine.schedule e ~delay:1.0 (fun () -> Net.Network.set_down net ~node:1 true);
+      ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ran := true));
+      resumed := true);
+  (* Crash the caller while the request (t in [0,5]) or reply (t in [5,10])
+     is in flight; the thunk itself runs at t=5. *)
+  Sim.Engine.schedule e ~delay:6.0 (fun () -> Net.Network.set_down net ~node:0 true);
   Sim.Engine.run e;
-  check_bool "mid-flight crash surfaces" true !raised
+  check_bool "thunk ran at destination" true !ran;
+  check_bool "crashed caller never resumed" false !resumed;
+  check_int "dropped reply counted" 1 (Net.Network.messages_dropped net)
+
+let test_call_timeout_resumes_crashed_caller () =
+  (* A finite timeout fires even when the caller's node is down, so the
+     suspended process can unwind (release locks, abort 2PC) — but the
+     successful result itself is lost. *)
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 5.0) ()
+  in
+  let outcome = ref `Pending in
+  Sim.Engine.spawn e (fun () ->
+      match Net.Network.call ~timeout:30.0 net ~src:0 ~dst:1 (fun () -> 7) with
+      | _ -> outcome := `Replied
+      | exception Net.Network.Rpc_timeout _ -> outcome := `Timed_out);
+  Sim.Engine.schedule e ~delay:6.0 (fun () -> Net.Network.set_down net ~node:0 true);
+  Sim.Engine.run e;
+  check_bool "zombie caller unwound via timeout" true (!outcome = `Timed_out)
+
+let test_call_slow_link_extra_latency () =
+  (* Nemesis latency injection: extra one-way delay stretches the
+     round-trip; clearing it restores normal speed. *)
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 1.0) ()
+  in
+  Net.Network.set_link_extra net ~src:0 ~dst:1 10.0;
+  let finished = ref nan in
+  Sim.Engine.spawn e (fun () ->
+      ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ()));
+      finished := Sim.Engine.now e);
+  Sim.Engine.run e;
+  check_float "request slowed, reply normal" 12.0 !finished;
+  Net.Network.set_link_extra net ~src:0 ~dst:1 0.0;
+  Sim.Engine.spawn e (fun () ->
+      let t0 = Sim.Engine.now e in
+      ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ()));
+      finished := Sim.Engine.now e -. t0);
+  Sim.Engine.run e;
+  check_float "healed link back to normal" 2.0 !finished
 
 let test_link_partition () =
   let e = Sim.Engine.create () in
@@ -166,15 +246,19 @@ let test_link_partition () =
 
 let test_call_on_partitioned_link () =
   let e = Sim.Engine.create () in
-  let net : unit Net.Network.t = Net.Network.create ~engine:e ~nodes:2 () in
+  let net : unit Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~call_timeout:15.0 ()
+  in
   Net.Network.set_link_down net ~src:1 ~dst:0 true;
-  (* The reply path is down: the call must fail, not hang. *)
-  let raised = ref false in
+  (* The reply path is down: the thunk still executes at the destination,
+     but the reply is lost and the caller times out. *)
+  let raised = ref false and ran = ref false in
   Sim.Engine.spawn e (fun () ->
-      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ()))
-      with Net.Network.Node_down _ -> raised := true);
+      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ran := true))
+      with Net.Network.Rpc_timeout _ -> raised := true);
   Sim.Engine.run e;
-  check_bool "call fails on half-open link" true !raised
+  check_bool "call times out on half-open link" true !raised;
+  check_bool "request still executed" true !ran
 
 let test_link_stats () =
   let e = Sim.Engine.create () in
@@ -218,5 +302,13 @@ let () =
           Alcotest.test_case "link partition" `Quick test_link_partition;
           Alcotest.test_case "call on partitioned link" `Quick
             test_call_on_partitioned_link;
+          Alcotest.test_case "src down at send" `Quick
+            test_call_src_down_at_send;
+          Alcotest.test_case "caller crashes before reply" `Quick
+            test_call_caller_crashes_before_reply;
+          Alcotest.test_case "timeout resumes crashed caller" `Quick
+            test_call_timeout_resumes_crashed_caller;
+          Alcotest.test_case "slow link extra latency" `Quick
+            test_call_slow_link_extra_latency;
         ] );
     ]

@@ -46,7 +46,7 @@ let test_rng_exponential_mean () =
 (* {1 Heap} *)
 
 let test_heap_orders () =
-  let h = Sim.Heap.create () in
+  let h = Sim.Heap.create ~dummy:0 () in
   let r = Sim.Rng.create 3L in
   let n = 500 in
   for i = 1 to n do
@@ -67,7 +67,7 @@ let test_heap_orders () =
   check_int "drained all" n !count
 
 let test_heap_fifo_ties () =
-  let h = Sim.Heap.create () in
+  let h = Sim.Heap.create ~dummy:0 () in
   for i = 1 to 10 do
     Sim.Heap.push h ~time:1.0 ~seq:i i
   done;
@@ -76,6 +76,44 @@ let test_heap_fifo_ties () =
     | Some (_, _, v) -> check_int "fifo at equal time" i v
     | None -> Alcotest.fail "heap empty early"
   done
+
+(* Popped slots must not keep referencing their payloads: a long simulation
+   would otherwise retain every dead event closure until its array slot
+   happened to be overwritten by a later push. *)
+let test_heap_pop_clears_slot () =
+  let h = Sim.Heap.create ~dummy:(ref 0) () in
+  let w = Weak.create 1 in
+  (* Push and pop inside helpers so the payload is never rooted by this
+     frame's locals — after [drain] returns, only the heap's backing array
+     could still reference it. *)
+  let fill () =
+    let payload = ref 42 in
+    Weak.set w 0 (Some payload);
+    for i = 1 to 8 do
+      Sim.Heap.push h ~time:(float_of_int i) ~seq:i
+        (if i = 1 then payload else ref i)
+    done
+  in
+  let drain () =
+    (match Sim.Heap.pop h with
+    | Some (_, _, p) -> check_int "popped payload" 42 !p
+    | None -> Alcotest.fail "heap empty early");
+    (* The slot vacated by the pop (old last position) is scrubbed. *)
+    check_bool "vacated slot scrubbed" true (Sim.Heap.slot_is_vacant h 7);
+    for _ = 1 to 7 do
+      ignore (Sim.Heap.pop h)
+    done
+  in
+  fill ();
+  drain ();
+  (* Fully drained: every backing slot is vacant, including the root. *)
+  for i = 0 to 15 do
+    check_bool (Printf.sprintf "slot %d vacant after drain" i) true
+      (Sim.Heap.slot_is_vacant h i)
+  done;
+  (* And the payload really is collectable: only [h] could still hold it. *)
+  Gc.full_major ();
+  check_bool "popped payload collected" true (Weak.get w 0 = None)
 
 (* {1 Engine} *)
 
@@ -308,7 +346,7 @@ let prop_heap_sorted =
   QCheck.Test.make ~name:"heap pops in key order" ~count:200
     QCheck.(list (pair (float_bound_inclusive 1000.0) small_int))
     (fun items ->
-      let h = Sim.Heap.create () in
+      let h = Sim.Heap.create ~dummy:0 () in
       List.iteri (fun i (t, v) -> Sim.Heap.push h ~time:t ~seq:i v) items;
       let rec drain last acc =
         match Sim.Heap.pop h with
@@ -334,6 +372,7 @@ let () =
         [
           Alcotest.test_case "orders" `Quick test_heap_orders;
           Alcotest.test_case "fifo ties" `Quick test_heap_fifo_ties;
+          Alcotest.test_case "pop clears slot" `Quick test_heap_pop_clears_slot;
         ] );
       ( "engine",
         [
