@@ -15,8 +15,9 @@
      micro        — bechamel microbenchmarks of the core operations
 
    Pass one of those names as the single argument to run it alone.
-   `--json` additionally writes BENCH_micro.json (micro ns/run plus
-   per-suite wall-clock) for machine consumption.
+   `--json` additionally writes BENCH_micro.json (micro ns/run, per-suite
+   wall-clock, and the per-node metrics registry of every experiment
+   configuration under "experiments") for machine consumption.
 
    Experiment sweeps fan out over domains (see Sim.Pool); set
    AVA3_DOMAINS=1 to force sequential runs.  Results are identical at
@@ -293,14 +294,21 @@ let write_json path =
   let field (name, v) = Printf.sprintf "    \"%s\": %g" (json_escape name) v in
   let obj fields = String.concat ",\n" (List.map field fields) in
   let oc = open_out path in
+  (* Per-node protocol metrics (commits/aborts by reason, moveToFutures,
+     advancement phase durations, RPC latency histograms) for every
+     experiment configuration that ran, sorted — see Dbsim.Report. *)
+  let metrics_json =
+    Dbsim.Report.metrics_to_json (Dbsim.Report.metrics_records ())
+  in
   Printf.fprintf oc
     "{\n\
     \  \"domains\": %d,\n\
     \  \"micro_ns_per_run\": {\n%s\n  },\n\
-    \  \"suite_wall_clock_s\": {\n%s\n  }\n\
+    \  \"suite_wall_clock_s\": {\n%s\n  },\n\
+    \  \"experiments\": %s\n\
      }\n"
     (Sim.Pool.default_domains ())
-    (obj !micro_rows) (obj !suite_times);
+    (obj !micro_rows) (obj !suite_times) metrics_json;
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 

@@ -151,26 +151,33 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis =
   Sim.Engine.run ~until:wall engine;
   let pending = Sim.Engine.pending_events engine in
   violations := Cluster.check_invariants db @ !violations;
-  if pending > 0 then begin
-    let buf = Buffer.create 256 in
-    Buffer.add_string buf
-      (Printf.sprintf "livelock: %d events still pending at t=%.0f;" pending wall);
-    for n = 0 to nodes - 1 do
-      let nd = Cluster.node db n in
+  let metrics = Cluster.metrics_snapshot db in
+  let outcome =
+    if pending > 0 then begin
+      let buf = Buffer.create 256 in
       Buffer.add_string buf
-        (Printf.sprintf " node%d{u=%d q=%d g=%d upd=%d qry(q)=%d wait=%d}" n
-           (Ava3.Node_state.u nd) (Ava3.Node_state.q nd) (Ava3.Node_state.g nd)
-           (Ava3.Node_state.active_update_transactions nd)
-           (Ava3.Node_state.query_count nd ~version:(Ava3.Node_state.q nd))
-           (Lockmgr.Lock_table.waiting_requests (Ava3.Node_state.locks nd)))
-    done;
-    Buffer.add_string buf
-      (Printf.sprintf " in_progress=%b" (Cluster.advancement_in_progress db));
-    Error (Buffer.contents buf)
-  end
-  else if !violations <> [] then
-    Error (Printf.sprintf "invariant violations: %s" (String.concat "; " !violations))
-  else Ok ()
+        (Printf.sprintf "livelock: %d events still pending at t=%.0f;" pending
+           wall);
+      for n = 0 to nodes - 1 do
+        let nd = Cluster.node db n in
+        Buffer.add_string buf
+          (Printf.sprintf " node%d{u=%d q=%d g=%d upd=%d qry(q)=%d wait=%d}" n
+             (Ava3.Node_state.u nd) (Ava3.Node_state.q nd) (Ava3.Node_state.g nd)
+             (Ava3.Node_state.active_update_transactions nd)
+             (Ava3.Node_state.query_count nd ~version:(Ava3.Node_state.q nd))
+             (Lockmgr.Lock_table.waiting_requests (Ava3.Node_state.locks nd)))
+      done;
+      Buffer.add_string buf
+        (Printf.sprintf " in_progress=%b" (Cluster.advancement_in_progress db));
+      Error (Buffer.contents buf)
+    end
+    else if !violations <> [] then
+      Error
+        (Printf.sprintf "invariant violations: %s"
+           (String.concat "; " !violations))
+    else Ok ()
+  in
+  (outcome, metrics)
 
 let configurations =
   [
@@ -200,18 +207,41 @@ let () =
       (fun seed ->
         List.map
           (fun ((nodes, crashes, partitions, use_tree, nemesis) as cfg) ->
-            let outcome =
+            let outcome, metrics =
               try run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis
-              with e -> Error ("exception: " ^ Printexc.to_string e)
+              with e -> (Error ("exception: " ^ Printexc.to_string e), [])
             in
-            (seed, cfg, outcome))
+            (seed, cfg, outcome, metrics))
           configurations)
       (List.init !seeds (fun i -> !from + i))
   in
   let failures = ref 0 in
+  (* Aggregate protocol totals across every run, from the per-run
+     metrics snapshots. *)
+  let commits = ref 0
+  and aborts = ref 0
+  and root_down = ref 0
+  and queries = ref 0
+  and mtf = ref 0
+  and advancements = ref 0
+  and rpc_calls = ref 0
+  and rpc_timeouts = ref 0 in
   List.iter
     (List.iter
-       (fun (seed, (nodes, crashes, partitions, use_tree, nemesis), outcome) ->
+       (fun
+         (seed, (nodes, crashes, partitions, use_tree, nemesis), outcome, metrics)
+       ->
+         List.iter
+           (fun (n : Sim.Metrics.node_snapshot) ->
+             commits := !commits + n.commits;
+             aborts := !aborts + Sim.Metrics.aborts_total n;
+             root_down := !root_down + n.root_down_rejections;
+             queries := !queries + n.queries;
+             mtf := !mtf + n.mtf_data_access + n.mtf_commit_time;
+             advancements := !advancements + n.advancements;
+             rpc_calls := !rpc_calls + n.rpc_calls;
+             rpc_timeouts := !rpc_timeouts + n.rpc_timeouts)
+           metrics;
          if !verbose then
            Printf.printf
              "seed %d nodes %d crashes %b partitions %b tree %b nemesis %b\n%!"
@@ -225,6 +255,11 @@ let () =
                 nemesis=%b: %s\n%!"
                seed nodes crashes partitions use_tree nemesis msg))
     outcomes;
+  Printf.printf
+    "stress metrics: commits=%d aborts=%d root-down=%d queries=%d mtf=%d \
+     advancements=%d rpc=%d timeouts=%d\n"
+    !commits !aborts !root_down !queries !mtf !advancements !rpc_calls
+    !rpc_timeouts;
   if !failures = 0 then
     Printf.printf "stress: %d seeds x %d configurations clean\n" !seeds
       (List.length configurations)

@@ -86,7 +86,7 @@ let () =
           in
           match Cluster.run_update_with_retry db ~root:origin ~ops () with
           | Update.Committed _, _ -> incr calls_recorded
-          | Update.Aborted _, _ -> incr calls_failed);
+          | (Update.Aborted _ | Update.Root_down _), _ -> incr calls_failed);
       schedule_calls (at +. Sim.Rng.exponential rng ~mean:1.0)
     end
   in

@@ -45,7 +45,8 @@ let () =
       | Update.Committed c ->
           Printf.printf "[%.1f] transfer committed in version %d\n"
             (Sim.Engine.now engine) c.Update.final_version
-      | Update.Aborted _ -> print_endline "transfer aborted");
+      | Update.Aborted _ | Update.Root_down _ ->
+          print_endline "transfer aborted");
 
       (* Queries read a consistent snapshot without locks.  Before any
          version advancement they still see version 0. *)

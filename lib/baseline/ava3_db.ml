@@ -60,7 +60,8 @@ let submit_update t ~root ~ops =
       | Ava3.Tree_txn.Aborted _ when n < 10 ->
           Sim.Engine.sleep 5.0;
           attempt (n + 1)
-      | Ava3.Tree_txn.Aborted _ -> Workload.Db_intf.Aborted
+      | Ava3.Tree_txn.Aborted _ | Ava3.Tree_txn.Root_down _ ->
+          Workload.Db_intf.Aborted
     in
     attempt 1
   end
@@ -69,7 +70,8 @@ let submit_update t ~root ~ops =
       Ava3.Cluster.run_update_with_retry t.db ~root ~ops:(List.map to_op ops) ()
     with
     | Ava3.Update_exec.Committed _, _ -> Workload.Db_intf.Committed
-    | Ava3.Update_exec.Aborted _, _ -> Workload.Db_intf.Aborted
+    | (Ava3.Update_exec.Aborted _ | Ava3.Update_exec.Root_down _), _ ->
+        Workload.Db_intf.Aborted
 
 let submit_query t ~root ~reads =
   match Ava3.Cluster.run_query t.db ~root ~reads with
@@ -84,6 +86,7 @@ let submit_query t ~root ~reads =
   | exception Net.Network.Rpc_timeout _ -> None
 
 let max_versions_ever t = (Ava3.Cluster.stats t.db).Ava3.Cluster.max_versions_ever
+let metrics_snapshot t = Some (Ava3.Cluster.metrics_snapshot t.db)
 
 let extra_stats t =
   let s = Ava3.Cluster.stats t.db in

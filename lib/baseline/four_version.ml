@@ -46,6 +46,7 @@ let submit_update t ~root ~ops =
           Sim.Engine.sleep 5.0;
           go (n + 1)
         end
+    | Ava3.Update_exec.Root_down _ -> Workload.Db_intf.Aborted
   in
   go 1
 
@@ -64,6 +65,7 @@ let submit_query t ~root ~reads =
 let mismatch_aborts t = t.mismatch_aborts
 
 let max_versions_ever t = (Ava3.Cluster.stats t.db).Ava3.Cluster.max_versions_ever
+let metrics_snapshot t = Some (Ava3.Cluster.metrics_snapshot t.db)
 
 let extra_stats t =
   let s = Ava3.Cluster.stats t.db in

@@ -148,3 +148,5 @@ let extra_stats t =
     ("commits", float_of_int t.commits);
     ("aborts", float_of_int t.aborts);
   ]
+
+let metrics_snapshot _ = None

@@ -75,6 +75,9 @@ let handle_ack_advance_u cs k ~src ~newu =
            will ever write it again. *)
         freeze_version cs (newu - 1);
         c.c_phase <- `Collect_q;
+        c.c_phase1_done <- now cs;
+        Sim.Metrics.record_phase1_duration cs.metrics ~node:k
+          (c.c_phase1_done -. c.c_started);
         let newq = newu - 1 in
         emit cs ~tag
           (Printf.sprintf "node%d: phase 1 complete, advance-q(%d)" k newq);
@@ -89,7 +92,9 @@ let handle_ack_advance_q cs k ~src ~newq =
       c.c_acks_q.(src) <- true;
       if all_acked c.c_acks_q then begin
         cs.coords.(k) <- None;
-        cs.advancements_completed <- cs.advancements_completed + 1;
+        Sim.Metrics.record_advancement cs.metrics ~node:k;
+        Sim.Metrics.record_phase2_duration cs.metrics ~node:k
+          (now cs -. c.c_phase1_done);
         let newg = newq - 1 in
         emit cs ~tag
           (Printf.sprintf "node%d: phase 2 complete, garbage-collect(%d)" k
@@ -173,7 +178,9 @@ let start_round cs k ~newu =
   let c =
     {
       c_newu = newu;
+      c_started = now cs;
       c_phase = `Collect_u;
+      c_phase1_done = now cs;
       c_acks_u = Array.make n false;
       c_acks_q = Array.make n false;
       c_abandoned = false;

@@ -49,6 +49,10 @@ let run_update_with_retry cs ~root ~ops ?(max_attempts = 10) ?(backoff = 5.0) ()
           attempt (n + 1)
         end
     | Update_exec.Aborted _ as outcome -> (outcome, n)
+    | Update_exec.Root_down _ as outcome ->
+        (* The root itself is gone; retrying against it cannot help — the
+           caller must pick another root (or wait for recovery). *)
+        (outcome, n)
   in
   attempt 1
 
@@ -194,22 +198,26 @@ type stats = {
   max_versions_ever : int;
 }
 
+let metrics (cs : _ t) = cs.Cluster_state.metrics
+let metrics_snapshot (cs : _ t) = Sim.Metrics.snapshot cs.Cluster_state.metrics
+
 let stats cs =
   let sum f = Array.fold_left (fun acc nd -> acc + f nd) 0 cs.Cluster_state.nodes in
   let sumf f =
     Array.fold_left (fun acc nd -> acc +. f nd) 0.0 cs.Cluster_state.nodes
   in
+  let m = cs.Cluster_state.metrics in
   {
-    commits = cs.Cluster_state.commits;
-    aborts = cs.Cluster_state.aborts;
-    queries = cs.Cluster_state.queries_completed;
-    advancements = cs.Cluster_state.advancements_completed;
-    mtf_data_access = cs.Cluster_state.mtf_data_access;
-    mtf_commit_time = cs.Cluster_state.mtf_commit_time;
+    commits = Sim.Metrics.total_commits m;
+    aborts = Sim.Metrics.total_aborts m;
+    queries = Sim.Metrics.total_queries m;
+    advancements = Sim.Metrics.total_advancements m;
+    mtf_data_access = Sim.Metrics.total_mtf_data_access m;
+    mtf_commit_time = Sim.Metrics.total_mtf_commit_time m;
     mtf_trivial = sum (fun nd -> Wal.Scheme.mtf_trivial (Node_state.scheme nd));
     mtf_items_copied =
       sum (fun nd -> Wal.Scheme.mtf_items_copied (Node_state.scheme nd));
-    commit_version_mismatches = cs.Cluster_state.commit_version_mismatches;
+    commit_version_mismatches = Sim.Metrics.total_version_mismatches m;
     messages = Net.Network.messages_sent cs.Cluster_state.net;
     lock_waits = sum (fun nd -> Lockmgr.Lock_table.waits (Node_state.locks nd));
     lock_wait_time =

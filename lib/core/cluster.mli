@@ -152,6 +152,16 @@ type stats = {
 val stats : _ t -> stats
 val pp_stats : Format.formatter -> stats -> unit
 
+val metrics : _ t -> Sim.Metrics.t
+(** The cluster's live per-node metrics registry (commit/abort/query
+    counts with abort-reason breakdown, moveToFuture split, advancement
+    phase durations, RPC latency histograms).  {!stats} totals are
+    derived from it. *)
+
+val metrics_snapshot : _ t -> Sim.Metrics.snapshot
+(** Immutable copy of the registry — safe to ship across domains from a
+    {!Sim.Pool.map} worker. *)
+
 val check_invariants : 'v t -> string list
 val check_quiescent_invariants : 'v t -> string list
 

@@ -1,6 +1,8 @@
 type coord = {
   c_newu : int;
+  c_started : float;
   mutable c_phase : [ `Collect_u | `Collect_q ];
+  mutable c_phase1_done : float;
   mutable c_acks_u : bool array;
   mutable c_acks_q : bool array;
   mutable c_abandoned : bool;
@@ -10,18 +12,12 @@ type 'v t = {
   engine : Sim.Engine.t;
   config : Config.t;
   net : Messages.t Net.Network.t;
+  metrics : Sim.Metrics.t;
   lock_group : Lockmgr.Lock_table.group;
   mutable nodes : 'v Node_state.t array;
   coords : coord option array;
   frozen_at : (int, float) Hashtbl.t;
   state_changed : Sim.Condition.t;
-  mutable advancements_completed : int;
-  mutable commits : int;
-  mutable aborts : int;
-  mutable queries_completed : int;
-  mutable mtf_data_access : int;
-  mutable mtf_commit_time : int;
-  mutable commit_version_mismatches : int;
 }
 
 let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
@@ -39,6 +35,7 @@ let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
       ~lock_group ~bound ~gc_renumber:config.Config.gc_renumber
       ~shared_counters:config.Config.shared_transaction_counters ()
   in
+  let metrics = Sim.Metrics.create ~nodes in
   let t =
     {
       engine;
@@ -46,18 +43,12 @@ let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
       lock_group;
       net =
         Net.Network.create ~engine ~nodes ~latency
-          ~call_timeout:config.Config.rpc_timeout ();
+          ~call_timeout:config.Config.rpc_timeout ~metrics ();
+      metrics;
       nodes = Array.init nodes make_node;
       coords = Array.make nodes None;
       frozen_at = Hashtbl.create 16;
       state_changed = Sim.Condition.create ();
-      advancements_completed = 0;
-      commits = 0;
-      aborts = 0;
-      queries_completed = 0;
-      mtf_data_access = 0;
-      mtf_commit_time = 0;
-      commit_version_mismatches = 0;
     }
   in
   (* Version 0 (the initial data) is stable from the start. *)

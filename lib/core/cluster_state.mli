@@ -7,7 +7,11 @@
 (** Coordinator-side state of one advancement run (paper §3.2). *)
 type coord = {
   c_newu : int;
+  c_started : float;  (** when this run broadcast its advance-u *)
   mutable c_phase : [ `Collect_u | `Collect_q ];
+  mutable c_phase1_done : float;
+      (** when the last advance-u ack arrived (meaningful once the phase
+          moved to [`Collect_q]) *)
   mutable c_acks_u : bool array;
   mutable c_acks_q : bool array;
   mutable c_abandoned : bool;
@@ -17,6 +21,10 @@ type 'v t = {
   engine : Sim.Engine.t;
   config : Config.t;
   net : Messages.t Net.Network.t;
+  metrics : Sim.Metrics.t;
+      (** per-node event counts and latency histograms; every protocol
+          component records into this registry, and {!Cluster.stats} is
+          derived from it *)
   lock_group : Lockmgr.Lock_table.group;
       (** shared deadlock-detection group spanning all nodes *)
   mutable nodes : 'v Node_state.t array;
@@ -26,16 +34,6 @@ type 'v t = {
           transactions finished); feeds the staleness metric of §8 *)
   state_changed : Sim.Condition.t;
       (** broadcast whenever any node's u/q/g changes *)
-  (* statistics *)
-  mutable advancements_completed : int;
-  mutable commits : int;
-  mutable aborts : int;
-  mutable queries_completed : int;
-  mutable mtf_data_access : int;
-  mutable mtf_commit_time : int;
-  mutable commit_version_mismatches : int;
-      (** transactions whose subtransactions prepared with differing
-          versions — the situation the modified 2PC exists for *)
 }
 
 val create :

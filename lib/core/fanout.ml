@@ -1,0 +1,21 @@
+(* Concurrent fan-out used by the tree executors: run every thunk as its
+   own simulation process and wait for all; results in input order.
+   Failures are captured, not raised, so siblings always finish before
+   the caller decides what the first error means. *)
+
+let all engine thunks =
+  let n = List.length thunks in
+  let results = Array.make n None in
+  let completed = ref 0 in
+  let cv = Sim.Condition.create () in
+  List.iteri
+    (fun i thunk ->
+      Sim.Engine.spawn engine (fun () ->
+          let r = try Ok (thunk ()) with e -> Error e in
+          results.(i) <- Some r;
+          incr completed;
+          Sim.Condition.broadcast cv))
+    thunks;
+  Sim.Condition.await_until cv ~pred:(fun () -> !completed = n);
+  Array.to_list results
+  |> List.map (function Some r -> r | None -> assert false)

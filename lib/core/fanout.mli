@@ -1,0 +1,7 @@
+(** Concurrent fan-out for the tree executors. *)
+
+val all : Sim.Engine.t -> (unit -> 'a) list -> ('a, exn) result list
+(** Run every thunk as its own simulation process and block until all
+    have finished; results are in input order.  Failures are captured
+    rather than raised, so siblings always run to completion before the
+    caller decides — must be called inside a process. *)

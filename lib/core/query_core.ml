@@ -1,0 +1,133 @@
+open Cluster_state
+
+type 'v result = {
+  txn_id : int;
+  version : int;
+  values : (int * string * 'v option) list;
+  started_at : float;
+  finished_at : float;
+  staleness : float option;
+}
+
+type 'v t = {
+  cs : 'v Cluster_state.t;
+  root : int;
+  root_node : 'v Node_state.t;
+  txn_id : int;
+  started_at : float;
+  version : int;
+  kind : string;
+  child_counters : bool;
+  touched : (int, unit) Hashtbl.t;
+  (* Set once the query released its counters: a request still in flight
+     at that point (its caller timed out) must not register fresh
+     counters no cleanup pass will ever see. *)
+  closed : bool ref;
+  mutable child_nodes : 'v Node_state.t list;
+}
+
+let start cs ~root ~kind =
+  let root_node = node cs root in
+  if not (Node_state.alive root_node) then raise (Net.Network.Node_down root);
+  let txn_id = Node_state.fresh_txn_id root_node in
+  let started_at = now cs in
+  (* §3.3 step 1, atomic: pin the version and announce ourselves.  The
+     counter is what prevents garbage collection of this snapshot anywhere
+     in the system while we run. *)
+  let v = Node_state.q root_node in
+  Node_state.incr_query_count root_node ~version:v;
+  let kind = match kind with `Read -> "" | `Scan -> "scan " in
+  emit cs ~tag:"query"
+    (Printf.sprintf "Q%d: %sstarts at node%d with version %d" txn_id kind root
+       v);
+  {
+    cs;
+    root;
+    root_node;
+    txn_id;
+    started_at;
+    version = v;
+    kind;
+    child_counters = not cs.config.Config.root_only_query_counters;
+    touched = Hashtbl.create 4;
+    closed = ref false;
+    child_nodes = [];
+  }
+
+let version t = t.version
+let root_node t = t.root_node
+let txn_id t = t.txn_id
+
+(* First visit to a child node (flat executors): catch its query version
+   up (§3.3 step 2 — advancement has begun but this node has not heard
+   yet) and register in its counter, deferring the release to [finish].
+   No-op once the query closed or on repeat visits. *)
+let visit t n =
+  let nd = node t.cs n in
+  if (not !(t.closed)) && not (Hashtbl.mem t.touched n) then begin
+    Hashtbl.replace t.touched n ();
+    if t.version > Node_state.q nd then begin
+      Node_state.set_q nd t.version;
+      note_version_change t.cs
+    end;
+    if t.child_counters then begin
+      Node_state.incr_query_count nd ~version:t.version;
+      t.child_nodes <- nd :: t.child_nodes
+    end
+  end;
+  nd
+
+(* Tree-style visit: the subquery holds its own counter for the duration
+   of its subtree and releases it itself via [leave_subquery].  Returns
+   whether a counter was actually taken, so a dispatch that lost the
+   race with [finish] (the caller timed out and closed the query) never
+   pairs a decrement with an increment that did not happen. *)
+let enter_subquery t n =
+  let nd = node t.cs n in
+  if not (Node_state.alive nd) then raise (Net.Network.Node_down n);
+  if !(t.closed) then (nd, false)
+  else begin
+    if t.version > Node_state.q nd then begin
+      Node_state.set_q nd t.version;
+      note_version_change t.cs
+    end;
+    if t.child_counters then begin
+      Node_state.incr_query_count nd ~version:t.version;
+      (nd, true)
+    end
+    else (nd, false)
+  end
+
+let leave_subquery t nd ~taken =
+  if taken then Node_state.decr_query_count nd ~version:t.version
+
+(* Counter bookkeeping runs on direct references, not network calls: if
+   the root's node dies mid-query, the decrements must still reach the
+   child nodes, or their leaked counters would block Phase 2 forever.
+   Children decrement before the root: the root's counter is the one
+   whose drain unblocks Phase 2, and it must be last to go. *)
+let finish t =
+  t.closed := true;
+  if t.child_counters then
+    List.iter
+      (fun nd -> Node_state.decr_query_count nd ~version:t.version)
+      t.child_nodes;
+  Node_state.decr_query_count t.root_node ~version:t.version
+
+let complete t ~values =
+  finish t;
+  Sim.Metrics.record_query t.cs.metrics ~node:t.root;
+  emit t.cs ~tag:"query" (Printf.sprintf "Q%d: %scompleted" t.txn_id t.kind);
+  {
+    txn_id = t.txn_id;
+    version = t.version;
+    values;
+    started_at = t.started_at;
+    finished_at = now t.cs;
+    staleness = staleness_of t.cs ~version:t.version ~at:t.started_at;
+  }
+
+let on_error t e =
+  (* A touched node died mid-query: release what we can and re-raise. *)
+  (try finish t with _ -> ());
+  raise e

@@ -1,6 +1,6 @@
 open Cluster_state
 
-type 'v result = {
+type 'v result = 'v Query_core.result = {
   txn_id : int;
   version : int;
   values : (int * string * 'v option) list;
@@ -9,146 +9,52 @@ type 'v result = {
   staleness : float option;
 }
 
+(* Both flat paths are drivers over {!Query_core}: it owns the version
+   pin, the closed guard, counter registration and the ordered release;
+   only the read shape (point reads vs range scans) lives here. *)
+
 let run cs ~root ~reads =
-  let root_node = node cs root in
-  if not (Node_state.alive root_node) then
-    raise (Net.Network.Node_down root);
-  let txn_id = Node_state.fresh_txn_id root_node in
-  let started_at = now cs in
-  (* §3.3 step 1, atomic: pin the version and announce ourselves.  The
-     counter is what prevents garbage collection of this snapshot anywhere
-     in the system while we run. *)
-  let v = Node_state.q root_node in
-  Node_state.incr_query_count root_node ~version:v;
-  emit cs ~tag:"query"
-    (Printf.sprintf "Q%d: starts at node%d with version %d" txn_id root v);
-  let child_counters = cs.config.Config.root_only_query_counters = false in
-  let touched = Hashtbl.create 4 in
-  let child_nodes : 'a Node_state.t list ref = ref [] in
-  (* Set once the query released its counters: a request still in flight at
-     that point (its caller timed out) must not register fresh counters no
-     cleanup pass will ever see. *)
-  let closed = ref false in
+  let q = Query_core.start cs ~root ~kind:`Read in
+  let v = Query_core.version q in
   let read_service = cs.config.Config.read_service_time in
   let read_local nd key =
     Sim.Engine.sleep read_service;
     Vstore.Store.read_le (Node_state.store nd) key v
   in
   let read_one (n, key) =
-    if n = root then (n, key, read_local root_node key)
+    if n = root then (n, key, read_local (Query_core.root_node q) key)
     else
       let value =
         Net.Network.call cs.net ~src:root ~dst:n (fun () ->
-            let nd = node cs n in
-            if (not !closed) && not (Hashtbl.mem touched n) then begin
-              Hashtbl.replace touched n ();
-              (* §3.3 step 2: the child's version is ahead of the node's
-                 query version — advancement has begun but this node has
-                 not heard yet; it catches up now. *)
-              if v > Node_state.q nd then begin
-                Node_state.set_q nd v;
-                note_version_change cs
-              end;
-              if child_counters then begin
-                Node_state.incr_query_count nd ~version:v;
-                child_nodes := nd :: !child_nodes
-              end
-            end;
-            read_local nd key)
+            read_local (Query_core.visit q n) key)
       in
       (n, key, value)
   in
-  (* Counter bookkeeping runs on direct references, not network calls: if
-     the root's node dies mid-query, the decrements must still reach the
-     child nodes, or their leaked counters would block Phase 2 forever.
-     Children decrement before the root: the root's counter is the one
-     whose drain unblocks Phase 2, and it must be last to go. *)
-  let finish () =
-    closed := true;
-    if child_counters then
-      List.iter
-        (fun nd -> Node_state.decr_query_count nd ~version:v)
-        !child_nodes;
-    Node_state.decr_query_count root_node ~version:v
-  in
   match List.map read_one reads with
-  | values ->
-      finish ();
-      cs.queries_completed <- cs.queries_completed + 1;
-      emit cs ~tag:"query" (Printf.sprintf "Q%d: completed" txn_id);
-      {
-        txn_id;
-        version = v;
-        values;
-        started_at;
-        finished_at = now cs;
-        staleness = staleness_of cs ~version:v ~at:started_at;
-      }
-  | exception e ->
-      (* A touched node died mid-query: release what we can and re-raise. *)
-      (try finish () with _ -> ());
-      raise e
+  | values -> Query_core.complete q ~values
+  | exception e -> Query_core.on_error q e
 
 let run_scan cs ~root ~ranges =
-  let root_node = node cs root in
-  if not (Node_state.alive root_node) then raise (Net.Network.Node_down root);
-  let txn_id = Node_state.fresh_txn_id root_node in
-  let started_at = now cs in
-  let v = Node_state.q root_node in
-  Node_state.incr_query_count root_node ~version:v;
-  emit cs ~tag:"query"
-    (Printf.sprintf "Q%d: scan starts at node%d with version %d" txn_id root v);
-  let child_counters = not cs.config.Config.root_only_query_counters in
-  let touched = Hashtbl.create 4 in
-  let child_nodes : 'a Node_state.t list ref = ref [] in
-  let closed = ref false in
+  let q = Query_core.start cs ~root ~kind:`Scan in
+  let v = Query_core.version q in
+  let read_service = cs.config.Config.read_service_time in
   let scan_local nd ~lo ~hi =
+    (* Charge one read for the probe up front — mirroring [run], which
+       sleeps before the read — then one per item returned. *)
+    Sim.Engine.sleep read_service;
     let results = Vstore.Store.range (Node_state.store nd) ~lo ~hi v in
-    (* Charge one read per item returned (plus one for the probe). *)
-    Sim.Engine.sleep
-      (cs.config.Config.read_service_time *. float_of_int (1 + List.length results));
+    Sim.Engine.sleep (read_service *. float_of_int (List.length results));
     results
   in
   let scan_one (n, lo, hi) =
     let values =
-      if n = root then scan_local root_node ~lo ~hi
+      if n = root then scan_local (Query_core.root_node q) ~lo ~hi
       else
         Net.Network.call cs.net ~src:root ~dst:n (fun () ->
-            let nd = node cs n in
-            if (not !closed) && not (Hashtbl.mem touched n) then begin
-              Hashtbl.replace touched n ();
-              if v > Node_state.q nd then begin
-                Node_state.set_q nd v;
-                note_version_change cs
-              end;
-              if child_counters then begin
-                Node_state.incr_query_count nd ~version:v;
-                child_nodes := nd :: !child_nodes
-              end
-            end;
-            scan_local nd ~lo ~hi)
+            scan_local (Query_core.visit q n) ~lo ~hi)
     in
     List.map (fun (key, value) -> (n, key, Some value)) values
   in
-  let finish () =
-    closed := true;
-    if child_counters then
-      List.iter (fun nd -> Node_state.decr_query_count nd ~version:v) !child_nodes;
-    Node_state.decr_query_count root_node ~version:v
-  in
   match List.concat_map scan_one ranges with
-  | values ->
-      finish ();
-      cs.queries_completed <- cs.queries_completed + 1;
-      emit cs ~tag:"query" (Printf.sprintf "Q%d: scan completed" txn_id);
-      {
-        txn_id;
-        version = v;
-        values;
-        started_at;
-        finished_at = now cs;
-        staleness = staleness_of cs ~version:v ~at:started_at;
-      }
-  | exception e ->
-      (try finish () with _ -> ());
-      raise e
+  | values -> Query_core.complete q ~values
+  | exception e -> Query_core.on_error q e

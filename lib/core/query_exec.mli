@@ -7,7 +7,7 @@
     [V(Q)].  A subquery arriving at a node whose query version lags behind
     [V(Q)] triggers that node's query-version advancement locally. *)
 
-type 'v result = {
+type 'v result = 'v Query_core.result = {
   txn_id : int;
   version : int;  (** [V(Q)] — the snapshot the query read *)
   values : (int * string * 'v option) list;

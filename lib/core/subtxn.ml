@@ -65,8 +65,8 @@ let move_to cs t ~newv ~at_commit =
       (Printf.sprintf "T%d: moveToFuture(%d) at node%d (%s)" t.txn_id newv
          (Node_state.id t.sub_node)
          (if at_commit then "commit time" else "data access"));
-    if at_commit then cs.mtf_commit_time <- cs.mtf_commit_time + 1
-    else cs.mtf_data_access <- cs.mtf_data_access + 1;
+    Sim.Metrics.record_mtf cs.metrics ~node:(Node_state.id t.sub_node)
+      ~at_commit;
     if cs.config.Config.eager_counter_handoff then begin
       (* §8: appear to have "started" in the advanced version so Phase 1
          need not wait for us. *)

@@ -13,53 +13,24 @@ let validate plan =
       else Hashtbl.replace seen n ())
     (plan_nodes plan)
 
-let parallel cs thunks =
-  let n = List.length thunks in
-  let results = Array.make n None in
-  let completed = ref 0 in
-  let cv = Sim.Condition.create () in
-  List.iteri
-    (fun i thunk ->
-      Sim.Engine.spawn cs.engine (fun () ->
-          let r = try Ok (thunk ()) with e -> Error e in
-          results.(i) <- Some r;
-          incr completed;
-          Sim.Condition.broadcast cv))
-    thunks;
-  Sim.Condition.await_until cv ~pred:(fun () -> !completed = n);
-  Array.to_list results
-  |> List.map (function Some r -> r | None -> assert false)
-
+(* The tree driver over {!Query_core}: each subquery takes its node's
+   counter for the duration of its subtree (enter/leave), the root's
+   pinned counter is released by the core on completion. *)
 let run cs ~plan =
   validate plan;
   let root = plan.at in
-  let root_node = node cs root in
-  if not (Node_state.alive root_node) then raise (Net.Network.Node_down root);
-  let txn_id = Node_state.fresh_txn_id root_node in
-  let started_at = now cs in
-  (* §3.3 step 1, atomic at the root. *)
-  let v = Node_state.q root_node in
-  Node_state.incr_query_count root_node ~version:v;
-  emit cs ~tag:"query"
-    (Printf.sprintf "Q%d: starts at node%d with version %d" txn_id root v);
-  let child_counters = not cs.config.Config.root_only_query_counters in
+  let q = Query_core.start cs ~root ~kind:`Read in
+  let v = Query_core.version q in
   let read_service = cs.config.Config.read_service_time in
   (* Execute the subquery at [p]; returns its composed results (own reads
      then children's, preorder).  [is_root] marks the pinned root counter,
-     which must be released last — by the caller, not here. *)
+     which must be released last — by the core, not here. *)
   let rec exec_subquery parent_node (p : plan) ~is_root =
     let body () =
-      let nd = node cs p.at in
-      if not (Node_state.alive nd) then raise (Net.Network.Node_down p.at);
-      if not is_root then begin
-        (* §3.3 step 2: a subquery arriving ahead of the node's query
-           version triggers the node's query-version advancement. *)
-        if v > Node_state.q nd then begin
-          Node_state.set_q nd v;
-          note_version_change cs
-        end;
-        if child_counters then Node_state.incr_query_count nd ~version:v
-      end;
+      let nd, taken =
+        if is_root then (Query_core.root_node q, false)
+        else Query_core.enter_subquery q p.at
+      in
       let own =
         List.map
           (fun key ->
@@ -68,15 +39,14 @@ let run cs ~plan =
           p.keys
       in
       let child_results =
-        parallel cs
+        Fanout.all cs.engine
           (List.map
              (fun child () -> exec_subquery p.at child ~is_root:false)
              p.children)
       in
       (* Completion (§3.3 step 5): compose, decrement, commit.  Errors from
          children propagate only after our own counter is safely released. *)
-      if (not is_root) && child_counters then
-        Node_state.decr_query_count nd ~version:v;
+      Query_core.leave_subquery q nd ~taken;
       let composed =
         List.concat_map
           (function Ok values -> values | Error e -> raise e)
@@ -88,18 +58,5 @@ let run cs ~plan =
     else Net.Network.call cs.net ~src:parent_node ~dst:p.at body
   in
   match exec_subquery root plan ~is_root:true with
-  | values ->
-      Node_state.decr_query_count root_node ~version:v;
-      cs.queries_completed <- cs.queries_completed + 1;
-      emit cs ~tag:"query" (Printf.sprintf "Q%d: completed" txn_id);
-      {
-        Query_exec.txn_id;
-        version = v;
-        values;
-        started_at;
-        finished_at = now cs;
-        staleness = staleness_of cs ~version:v ~at:started_at;
-      }
-  | exception e ->
-      Node_state.decr_query_count root_node ~version:v;
-      raise e
+  | values -> Query_core.complete q ~values
+  | exception e -> Query_core.on_error q e

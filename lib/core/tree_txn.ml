@@ -20,9 +20,12 @@ type 'v commit_info = {
   finished_at : float;
 }
 
-type 'v outcome =
-  | Committed of 'v commit_info
+type 'info txn_outcome = 'info Txn_core.outcome =
+  | Committed of 'info
   | Aborted of { txn_id : int; reason : Subtxn.abort_reason }
+  | Root_down of { root : int }
+
+type 'v outcome = 'v commit_info txn_outcome
 
 let validate plan =
   let nodes = plan_nodes plan in
@@ -34,145 +37,85 @@ let validate plan =
       else Hashtbl.replace seen n ())
     nodes
 
-(* Run every thunk as its own process and wait for all; results in input
-   order.  Failures are captured, not raised, so siblings always finish
-   before the caller decides. *)
-let parallel cs thunks =
-  let n = List.length thunks in
-  let results = Array.make n None in
-  let completed = ref 0 in
-  let cv = Sim.Condition.create () in
-  List.iteri
-    (fun i thunk ->
-      Sim.Engine.spawn cs.engine (fun () ->
-          let r = try Ok (thunk ()) with e -> Error e in
-          results.(i) <- Some r;
-          incr completed;
-          Sim.Condition.broadcast cv))
-    thunks;
-  Sim.Condition.await_until cv ~pred:(fun () -> !completed = n);
-  Array.to_list results
-  |> List.map (function Some r -> r | None -> assert false)
-
+(* The tree driver over {!Txn_core}: subtransactions fan out along plan
+   edges and run concurrently; prepared versions travel bottom-up, the
+   commit decision flows back down the same edges. *)
 let run cs ~plan =
   validate plan;
   let root = plan.at in
-  let root_node = node cs root in
-  if not (Node_state.alive root_node) then
-    Aborted { txn_id = -1; reason = `Node_down root }
-  else begin
-    let txn_id = Node_state.fresh_txn_id root_node in
-    let started_at = now cs in
-    let state = ref Subtxn.Running in
-    let subs : (int, 'v Subtxn.t) Hashtbl.t = Hashtbl.create 8 in
-    let reads = ref [] in
-    let exec_step sub = function
-      | Read key ->
-          let v = Subtxn.read cs sub key in
-          reads := (Node_state.id (Subtxn.node sub), key, v) :: !reads
-      | Write (key, value) -> Subtxn.write cs sub key value
-      | Read_modify_write (key, f) -> Subtxn.read_modify_write cs sub key f
-      | Delete key -> Subtxn.delete cs sub key
-      | Pause d -> Sim.Engine.sleep d
-    in
-    (* Execute the subtree rooted at [p], whose parent runs at
-       [parent_node]; returns the subtree's prepared version — the maximum
-       of this subtransaction's version and its children's (the version
-       number travelling up with the prepared message). *)
-    let rec exec_subtree parent_node (p : 'v plan) ~carried =
-      let body () =
-        let sub =
-          Subtxn.start cs ~txn_id ~state ~node:(node cs p.at) ~carried
-        in
-        Hashtbl.replace subs p.at sub;
-        (match !state with
-        | Subtxn.Running -> ()
-        | Subtxn.Aborting | Subtxn.Finished ->
-            (* Orphaned dispatch: the transaction aborted (RPC timeout)
-               while this request was in flight; [abort_all] will never
-               see this subtransaction, so roll it back here or its
-               update counter leaks and blocks future Phase 1s. *)
-            Subtxn.abort cs sub;
-            raise (Subtxn.Txn_abort `Deadlock));
-        List.iter (exec_step sub) p.work;
-        let own = Subtxn.version sub in
-        (* Children are dispatched concurrently, each carrying the version
-           their parent had reached (§10 piggybacking uses it). *)
-        let child_results =
-          parallel cs
-            (List.map
-               (fun child () -> exec_subtree p.at child ~carried:own)
-               p.children)
-        in
-        let child_versions =
-          List.map (function Ok v -> v | Error e -> raise e) child_results
-        in
-        (* Prepared: own work and all children done; release read locks. *)
-        let prepared = Subtxn.prepare cs sub in
-        List.fold_left max prepared child_versions
+  match Txn_core.create cs ~root with
+  | None -> Root_down { root }
+  | Some t ->
+      let reads = ref [] in
+      let exec_step sub = function
+        | Read key ->
+            let v = Subtxn.read cs sub key in
+            reads := (Node_state.id (Subtxn.node sub), key, v) :: !reads
+        | Write (key, value) -> Subtxn.write cs sub key value
+        | Read_modify_write (key, f) -> Subtxn.read_modify_write cs sub key f
+        | Delete key -> Subtxn.delete cs sub key
+        | Pause d -> Sim.Engine.sleep d
       in
-      if p.at = parent_node then body ()
-      else Net.Network.call cs.net ~src:parent_node ~dst:p.at body
-    in
-    (* Commit flows down the tree edges. *)
-    let rec commit_subtree parent_node (p : 'v plan) ~final_version =
-      let body () =
-        (match Hashtbl.find_opt subs p.at with
-        | Some sub when not (Subtxn.finished sub) ->
-            Subtxn.commit cs sub ~final_version
-        | _ -> ());
-        let results =
-          parallel cs
-            (List.map
-               (fun child () -> commit_subtree p.at child ~final_version)
-               p.children)
+      (* Execute the subtree rooted at [p], whose parent runs at
+         [parent_node]; returns the subtree's prepared version — the maximum
+         of this subtransaction's version and its children's (the version
+         number travelling up with the prepared message). *)
+      let rec exec_subtree parent_node (p : 'v plan) ~carried =
+        let body () =
+          let sub = Txn_core.register t p.at ~carried in
+          List.iter (exec_step sub) p.work;
+          let own = Subtxn.version sub in
+          (* Children are dispatched concurrently, each carrying the version
+             their parent had reached (§10 piggybacking uses it). *)
+          let child_results =
+            Fanout.all cs.engine
+              (List.map
+                 (fun child () -> exec_subtree p.at child ~carried:own)
+                 p.children)
+          in
+          let child_versions =
+            List.map (function Ok v -> v | Error e -> raise e) child_results
+          in
+          (* Prepared: own work and all children done; release read locks. *)
+          let prepared = Subtxn.prepare cs sub in
+          List.fold_left max prepared child_versions
         in
-        List.iter (function Ok () -> () | Error e -> raise e) results
+        if p.at = parent_node then body ()
+        else Net.Network.call cs.net ~src:parent_node ~dst:p.at body
       in
-      if p.at = parent_node then body ()
-      else Net.Network.call cs.net ~src:parent_node ~dst:p.at body
-    in
-    let abort_all reason =
-      state := Subtxn.Aborting;
-      Hashtbl.iter (fun _ sub -> Subtxn.abort cs sub) subs;
-      cs.aborts <- cs.aborts + 1;
-      emit cs ~tag:"txn"
-        (Printf.sprintf "T%d: aborted at root node%d (%s)" txn_id root
-           (match reason with
-           | `Deadlock -> "deadlock"
-           | `Node_down n -> Printf.sprintf "node %d down" n
-           | `Rpc_timeout n -> Printf.sprintf "rpc to node %d timed out" n
-           | `Version_mismatch -> "version mismatch"));
-      Aborted { txn_id; reason }
-    in
-    try
-      let final_version = exec_subtree root plan ~carried:0 in
-      (* The root holds the global version V(T); a participant that ran
-         behind it repairs itself when the commit message arrives. *)
-      let distinct_versions =
-        Hashtbl.fold (fun _ sub acc -> Subtxn.version sub :: acc) subs []
+      (* Commit flows down the tree edges. *)
+      let rec commit_subtree parent_node (p : 'v plan) ~final_version =
+        let body () =
+          (match Txn_core.find_sub t p.at with
+          | Some sub when not (Subtxn.finished sub) ->
+              Subtxn.commit cs sub ~final_version
+          | _ -> ());
+          let results =
+            Fanout.all cs.engine
+              (List.map
+                 (fun child () -> commit_subtree p.at child ~final_version)
+                 p.children)
+          in
+          List.iter (function Ok () -> () | Error e -> raise e) results
+        in
+        if p.at = parent_node then body ()
+        else Net.Network.call cs.net ~src:parent_node ~dst:p.at body
       in
-      if List.exists (fun v -> v <> final_version) distinct_versions then begin
-        cs.commit_version_mismatches <- cs.commit_version_mismatches + 1;
-        if cs.config.Config.abort_on_version_mismatch then
-          raise (Subtxn.Txn_abort `Version_mismatch)
-      end;
-      commit_subtree root plan ~final_version;
-      state := Subtxn.Finished;
-      cs.commits <- cs.commits + 1;
-      emit cs ~tag:"txn"
-        (Printf.sprintf "T%d: committed in version %d (root node%d)" txn_id
-           final_version root);
-      Committed
-        {
-          txn_id;
-          final_version;
-          reads = List.rev !reads;
-          started_at;
-          finished_at = now cs;
-        }
-    with
-    | Subtxn.Txn_abort reason -> abort_all reason
-    | Net.Network.Node_down n -> abort_all (`Node_down n)
-    | Net.Network.Rpc_timeout n -> abort_all (`Rpc_timeout n)
-  end
+      Txn_core.protect t (fun () ->
+          (* The bottom-up maximum over the tree equals the registry's
+             maximum: versions are final once prepared, so the shared
+             decision logic sees the same [V(T)] the root received. *)
+          let (_ : int) = exec_subtree root plan ~carried:0 in
+          let final_version =
+            Txn_core.decide_version t (Txn_core.sub_versions t)
+          in
+          commit_subtree root plan ~final_version;
+          Txn_core.finish_commit t ~final_version;
+          Committed
+            {
+              txn_id = Txn_core.txn_id t;
+              final_version;
+              reads = List.rev !reads;
+              started_at = Txn_core.started_at t;
+              finished_at = now cs;
+            })

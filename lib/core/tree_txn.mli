@@ -42,9 +42,15 @@ type 'v commit_info = {
   finished_at : float;
 }
 
-type 'v outcome =
-  | Committed of 'v commit_info
+(** {!Txn_core.outcome} re-exported so the constructors live here too. *)
+type 'info txn_outcome = 'info Txn_core.outcome =
+  | Committed of 'info
   | Aborted of { txn_id : int; reason : Subtxn.abort_reason }
+  | Root_down of { root : int }
+      (** The root node was down at submission: no transaction id was
+          allocated, nothing ran anywhere (a rejection, not an abort). *)
+
+type 'v outcome = 'v commit_info txn_outcome
 
 val run : 'v Cluster_state.t -> plan:'v plan -> 'v outcome
 (** Execute the tree (inside a simulation process).  Raises

@@ -28,148 +28,57 @@ type 'v commit_info = {
          its locks there — what orders same-version conflicts *)
 }
 
-type 'v outcome =
-  | Committed of 'v commit_info
+type 'info txn_outcome = 'info Txn_core.outcome =
+  | Committed of 'info
   | Aborted of { txn_id : int; reason : abort_reason }
+  | Root_down of { root : int }
+
+type 'v outcome = 'v commit_info txn_outcome
 
 (* The flat executor: the root drives every operation itself, shipping
    remote ones over the network.  Behaviourally this is an R* transaction
    whose children each execute one batch of work at a time; the concurrent
-   tree model lives in {!Tree_txn}. *)
+   tree model lives in {!Tree_txn}.  The lifecycle — registry, orphan
+   guard, prepare/commit rounds, abort — is {!Txn_core}'s. *)
 let run cs ~root ~ops =
-  let root_node = node cs root in
-  if not (Node_state.alive root_node) then
-    Aborted { txn_id = -1; reason = `Node_down root }
-  else begin
-    let txn_id = Node_state.fresh_txn_id root_node in
-    let started_at = now cs in
-    let state = ref Subtxn.Running in
-    let subs : (int, 'v Subtxn.t) Hashtbl.t = Hashtbl.create 4 in
-    let sub_list () =
-      Hashtbl.fold (fun _ s acc -> s :: acc) subs []
-      |> List.sort (fun a b ->
-             compare
-               (Node_state.id (Subtxn.node a))
-               (Node_state.id (Subtxn.node b)))
-    in
-    (* Highest version any subtransaction currently runs in; carried with
-       new subtransaction dispatch when the §10 piggybacking is on. *)
-    let carried () =
-      Hashtbl.fold (fun _ s acc -> max acc (Subtxn.version s)) subs 0
-    in
-    let get_sub n =
-      match Hashtbl.find_opt subs n with
-      | Some s -> s
-      | None ->
-          let sub =
-            Subtxn.start cs ~txn_id ~state ~node:(node cs n)
-              ~carried:(carried ())
+  match Txn_core.create cs ~root with
+  | None -> Root_down { root }
+  | Some t ->
+      let reads = ref [] in
+      let exec = function
+        | Read { node = n; key } ->
+            let v = Txn_core.at_node t n (fun sub -> Subtxn.read cs sub key) in
+            reads := (key, v) :: !reads
+        | Write { node = n; key; value } ->
+            Txn_core.at_node t n (fun sub -> Subtxn.write cs sub key value)
+        | Read_modify_write { node = n; key; f } ->
+            Txn_core.at_node t n (fun sub -> Subtxn.read_modify_write cs sub key f)
+        | Delete { node = n; key } ->
+            Txn_core.at_node t n (fun sub -> Subtxn.delete cs sub key)
+        | Begin_at n -> Txn_core.at_node t n (fun _sub -> ())
+        | Pause d -> Sim.Engine.sleep d
+      in
+      Txn_core.protect t (fun () ->
+          ignore (Txn_core.sub t root : 'v Subtxn.t);
+          List.iter exec ops;
+          (* Prepare round: each participant releases its shared locks and
+             reports the version it reached (the paper's prepared(V(T_i))). *)
+          let prepared =
+            Txn_core.at_sub_nodes t (fun sub -> Subtxn.prepare cs sub)
           in
-          Hashtbl.replace subs n sub;
-          (match !state with
-          | Subtxn.Running -> ()
-          | Subtxn.Aborting | Subtxn.Finished ->
-              (* Orphaned dispatch: the transaction aborted (RPC timeout)
-                 while this request was in flight, so [abort_all] has
-                 already run and will never see this subtransaction.  Roll
-                 it back here or its update counter leaks and blocks
-                 Phase 1 of every future advancement. *)
-              Subtxn.abort cs sub;
-              raise (Subtxn.Txn_abort `Deadlock));
-          sub
-    in
-    let at_node n f =
-      if n = root then f (get_sub n)
-      else Net.Network.call cs.net ~src:root ~dst:n (fun () -> f (get_sub n))
-    in
-    let reads = ref [] in
-    let exec = function
-      | Read { node = n; key } ->
-          let v = at_node n (fun sub -> Subtxn.read cs sub key) in
-          reads := (key, v) :: !reads
-      | Write { node = n; key; value } ->
-          at_node n (fun sub -> Subtxn.write cs sub key value)
-      | Read_modify_write { node = n; key; f } ->
-          at_node n (fun sub -> Subtxn.read_modify_write cs sub key f)
-      | Delete { node = n; key } -> at_node n (fun sub -> Subtxn.delete cs sub key)
-      | Begin_at n -> at_node n (fun _sub -> ())
-      | Pause d -> Sim.Engine.sleep d
-    in
-    let abort_all reason =
-      (* Bookkeeping runs on direct references: sessions at nodes that have
-         crashed since are orphans and rolling them back is harmless.
-         Participants that already committed (possible only when a node
-         dies mid-commit-round) are past the point of no return and are
-         left alone by Subtxn.abort. *)
-      state := Subtxn.Aborting;
-      List.iter (fun sub -> Subtxn.abort cs sub) (sub_list ());
-      cs.aborts <- cs.aborts + 1;
-      emit cs ~tag:"txn"
-        (Printf.sprintf "T%d: aborted at root node%d (%s)" txn_id root
-           (match reason with
-           | `Deadlock -> "deadlock"
-           | `Node_down n -> Printf.sprintf "node %d down" n
-           | `Rpc_timeout n -> Printf.sprintf "rpc to node %d timed out" n
-           | `Version_mismatch -> "version mismatch"));
-      Aborted { txn_id; reason }
-    in
-    let commit () =
-      (* Prepare round: each participant releases its shared locks and
-         reports the version it reached (the paper's prepared(V(T_i))). *)
-      let prepared =
-        List.map
-          (fun sub ->
-            let n = Node_state.id (Subtxn.node sub) in
-            if n = root then Subtxn.prepare cs sub
-            else
-              Net.Network.call cs.net ~src:root ~dst:n (fun () ->
-                  Subtxn.prepare cs sub))
-          (sub_list ())
-      in
-      let final_version = List.fold_left max 0 prepared in
-      if List.exists (fun v -> v <> final_version) prepared then begin
-        cs.commit_version_mismatches <- cs.commit_version_mismatches + 1;
-        (* Synchronous-advancement baseline: a mismatch cannot be repaired,
-           so the decision is to abort (detected before any participant
-           commits). *)
-        if cs.config.Config.abort_on_version_mismatch then
-          raise (Subtxn.Txn_abort `Version_mismatch)
-      end;
-      let participants =
-        List.map
-          (fun sub ->
-            let n = Node_state.id (Subtxn.node sub) in
-            if n = root then begin
-              Subtxn.commit cs sub ~final_version;
-              (n, now cs)
-            end
-            else
-              Net.Network.call cs.net ~src:root ~dst:n (fun () ->
-                  Subtxn.commit cs sub ~final_version;
-                  (n, now cs)))
-          (sub_list ())
-      in
-      state := Subtxn.Finished;
-      cs.commits <- cs.commits + 1;
-      emit cs ~tag:"txn"
-        (Printf.sprintf "T%d: committed in version %d (root node%d)" txn_id
-           final_version root);
-      Committed
-        {
-          txn_id;
-          final_version;
-          reads = List.rev !reads;
-          started_at;
-          finished_at = now cs;
-          participants;
-        }
-    in
-    try
-      ignore (get_sub root : 'v Subtxn.t);
-      List.iter exec ops;
-      commit ()
-    with
-    | Subtxn.Txn_abort reason -> abort_all reason
-    | Net.Network.Node_down n -> abort_all (`Node_down n)
-    | Net.Network.Rpc_timeout n -> abort_all (`Rpc_timeout n)
-  end
+          let final_version = Txn_core.decide_version t prepared in
+          let participants =
+            Txn_core.at_sub_nodes t (fun sub ->
+                Subtxn.commit cs sub ~final_version;
+                (Node_state.id (Subtxn.node sub), now cs))
+          in
+          Txn_core.finish_commit t ~final_version;
+          Committed
+            {
+              txn_id = Txn_core.txn_id t;
+              final_version;
+              reads = List.rev !reads;
+              started_at = Txn_core.started_at t;
+              finished_at = now cs;
+              participants;
+            })

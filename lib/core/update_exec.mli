@@ -36,9 +36,16 @@ type 'v commit_info = {
           transactions (used by the serializability checker) *)
 }
 
-type 'v outcome =
-  | Committed of 'v commit_info
+(** {!Txn_core.outcome} re-exported so the constructors live here too. *)
+type 'info txn_outcome = 'info Txn_core.outcome =
+  | Committed of 'info
   | Aborted of { txn_id : int; reason : abort_reason }
+  | Root_down of { root : int }
+      (** The root node was down when the transaction was submitted: no
+          transaction id was allocated, nothing ran anywhere.  Counted
+          as a rejection, not an abort. *)
+
+type 'v outcome = 'v commit_info txn_outcome
 
 val run : 'v Cluster_state.t -> root:int -> ops:'v op list -> 'v outcome
 (** Execute the operation list as one distributed transaction rooted at

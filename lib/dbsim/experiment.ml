@@ -63,6 +63,9 @@ let invariants ?(seed = 17L) ~nodes ~duration () =
   violations :=
     !violations + List.length (Ava3.Cluster.check_quiescent_invariants cluster);
   let stats = Ava3.Cluster.stats cluster in
+  Report.record_metrics ~experiment:"E3-invariants"
+    ~label:(Printf.sprintf "nodes=%d" nodes)
+    (Ava3.Cluster.metrics_snapshot cluster);
   {
     probes = !probes;
     violations = !violations;
@@ -136,6 +139,9 @@ let staleness_one ?(seed = 23L) ~period ~eager () =
   in
   let h = report.Driver.staleness in
   let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster db) in
+  Report.record_metrics ~experiment:"E4-staleness"
+    ~label:(Printf.sprintf "period=%g eager=%b" period eager)
+    (Ava3.Cluster.metrics_snapshot (Baseline.Ava3_db.cluster db));
   {
     period;
     eager;
@@ -211,6 +217,9 @@ let publish_lag ~seed ~long_txn_duration ~eager =
   in
   schedule 11.0;
   Sim.Engine.run engine;
+  Report.record_metrics ~experiment:"E4b-publish-lag"
+    ~label:(Printf.sprintf "eager=%b" eager)
+    (Ava3.Cluster.metrics_snapshot db);
   !published -. !started
 
 let staleness_bound ?(seed = 29L) ?(long_txn_duration = 100.0) () =
@@ -269,9 +278,11 @@ let continuous_one ?(seed = 47L) ~query_duration () =
   let report =
     Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec
   in
-  ignore query_duration;
   let h = report.Driver.staleness in
   let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster db) in
+  Report.record_metrics ~experiment:"E4c-continuous"
+    ~label:(Printf.sprintf "query_duration=%g" query_duration)
+    (Ava3.Cluster.metrics_snapshot (Baseline.Ava3_db.cluster db));
   {
     (* Report the measured query duration — remote reads add network
        latency on top of the nominal storage time. *)
@@ -381,6 +392,9 @@ let comparison ?(seed = 31L) ?(duration = 2000.0) ?domains () =
     done;
     let rng = Sim.Rng.split (Sim.Engine.rng engine) in
     let report = Driver.run (module Db) db ~engine ~rng ~keyspace:ks ~spec in
+    (match Db.metrics_snapshot db with
+    | Some m -> Report.record_metrics ~experiment:"E5-comparison" ~label:Db.name m
+    | None -> ());
     let extra = Db.extra_stats db in
     let get key = Option.value (List.assoc_opt key extra) ~default:0.0 in
     {
@@ -519,6 +533,11 @@ let move_to_future ?(seed = 37L) ?(duration = 2000.0) ?domains () =
     in
     let report = Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec in
     let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster db) in
+    Report.record_metrics ~experiment:"E6-movetofuture"
+      ~label:
+        (Printf.sprintf "scheme=%s piggyback=%b period=%g"
+           (Wal.Scheme.kind_name scheme) piggyback period)
+      (Ava3.Cluster.metrics_snapshot (Baseline.Ava3_db.cluster db));
     {
       scheme_name = Wal.Scheme.kind_name scheme;
       piggyback;
@@ -597,6 +616,9 @@ let piggyback_targeted ?(seed = 53L) () =
     done;
     Sim.Engine.run engine;
     let stats = Ava3.Cluster.stats db in
+    Report.record_metrics ~experiment:"E6b-piggyback"
+      ~label:(Printf.sprintf "piggyback=%b" piggyback)
+      (Ava3.Cluster.metrics_snapshot db);
     (staged, stats.Ava3.Cluster.mtf_commit_time)
   in
   match pmap (fun piggyback -> run ~piggyback) [ false; true ] with
@@ -719,8 +741,13 @@ let centralized_variant ~seed ~retain_extra () =
   done;
   Sim.Engine.run engine;
   let stats = Ava3.Centralized.stats db in
+  let variant =
+    if retain_extra then "four-version (MPL92-style)" else "ava3 (3 versions)"
+  in
+  Report.record_metrics ~experiment:"E7-centralized" ~label:variant
+    (Ava3.Cluster.metrics_snapshot (Ava3.Centralized.cluster db));
   {
-    variant = (if retain_extra then "four-version (MPL92-style)" else "ava3 (3 versions)");
+    variant;
     max_versions = stats.Ava3.Cluster.max_versions_ever;
     steady_versions = !steady;
     advancement_mean_latency = Histogram.mean latencies;
@@ -767,6 +794,8 @@ let sync_advancement_aborts ?(seed = 43L) () =
     let rng = Sim.Rng.split (Sim.Engine.rng engine) in
     let _ = Driver.run (module Baseline.Ava3_db) ava3 ~engine ~rng ~keyspace ~spec in
     let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster ava3) in
+    Report.record_metrics ~experiment:"E7b-sync-aborts" ~label:"ava3"
+      (Ava3.Cluster.metrics_snapshot (Baseline.Ava3_db.cluster ava3));
     (* AVA3 aborts only come from deadlocks; advancement adds none.  Report
        aborts minus deadlock victims (which exist in both systems). *)
     ( stats.Ava3.Cluster.aborts - stats.Ava3.Cluster.deadlocks,
@@ -787,6 +816,8 @@ let sync_advancement_aborts ?(seed = 43L) () =
     let _ =
       Driver.run (module Baseline.Four_version) fourv ~engine ~rng ~keyspace ~spec
     in
+    Report.record_metrics ~experiment:"E7b-sync-aborts" ~label:"four-version-sync"
+      (Ava3.Cluster.metrics_snapshot (Baseline.Four_version.cluster fourv));
     Baseline.Four_version.mismatch_aborts fourv
   in
   match
@@ -873,6 +904,8 @@ let ablations ?(seed = 59L) ?(duration = 1500.0) ?domains () =
       Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec
     in
     let stats = Ava3.Cluster.stats (Baseline.Ava3_db.cluster db) in
+    Report.record_metrics ~experiment:"E8-ablations" ~label:name
+      (Ava3.Cluster.metrics_snapshot (Baseline.Ava3_db.cluster db));
     {
       ablation = name;
       abl_commits = report.Driver.committed;
@@ -945,8 +978,11 @@ let gc_cost_one ?(seed = 61L) ~renumber () =
       done);
   Sim.Engine.run engine;
   let store = Ava3.Node_state.store (Ava3.Cluster.node db 0) in
+  let gc_rule = if renumber then "renumber (paper)" else "in-place" in
+  Report.record_metrics ~experiment:"E8b-gc-cost" ~label:gc_rule
+    (Ava3.Cluster.metrics_snapshot db);
   {
-    gc_rule = (if renumber then "renumber (paper)" else "in-place");
+    gc_rule;
     store_items = Vstore.Store.item_count store;
     gc_rounds = !rounds;
     items_visited = Vstore.Store.gc_items_visited store;
@@ -1079,7 +1115,8 @@ let scalability ?(seed = 67L) ?domains () =
             in
             match Ava3.Cluster.run_update_with_retry db ~root ~ops () with
             | Ava3.Update_exec.Committed _, _ -> incr committed
-            | Ava3.Update_exec.Aborted _, _ -> ()))
+            | (Ava3.Update_exec.Aborted _ | Ava3.Update_exec.Root_down _), _ ->
+                ()))
       (List.init
          (int_of_float (spec.Driver.update_rate *. duration))
          (fun i -> float_of_int i /. spec.Driver.update_rate));
@@ -1096,6 +1133,9 @@ let scalability ?(seed = 67L) ?domains () =
          (int_of_float (spec.Driver.query_rate *. duration))
          (fun i -> float_of_int i /. spec.Driver.query_rate));
     Sim.Engine.run engine;
+    Report.record_metrics ~experiment:"E9-scalability"
+      ~label:(Printf.sprintf "nodes=%d" nodes)
+      (Ava3.Cluster.metrics_snapshot db);
     {
       sc_nodes = nodes;
       sc_advancement_latency = idle_latency;
@@ -1169,7 +1209,7 @@ let tree_vs_flat ?(seed = 71L) ?domains () =
             in
             match Ava3.Cluster.run_tree_update db ~plan with
             | Ava3.Tree_txn.Committed _ -> done_ ()
-            | Ava3.Tree_txn.Aborted _ -> ()
+            | Ava3.Tree_txn.Aborted _ | Ava3.Tree_txn.Root_down _ -> ()
           end
           else
             match
@@ -1181,9 +1221,12 @@ let tree_vs_flat ?(seed = 71L) ?domains () =
                            { node = i + 1; key = Printf.sprintf "k%d" (i + 1); value = s }))
             with
             | Ava3.Update_exec.Committed _ -> done_ ()
-            | Ava3.Update_exec.Aborted _ -> ())
+            | Ava3.Update_exec.Aborted _ | Ava3.Update_exec.Root_down _ -> ())
     done;
     Sim.Engine.run engine;
+    Report.record_metrics ~experiment:"E8c-tree-vs-flat"
+      ~label:(Printf.sprintf "fanout=%d %s" fanout (if use_tree then "tree" else "flat"))
+      (Ava3.Cluster.metrics_snapshot db);
     Histogram.mean latencies
   in
   pmap ?domains
@@ -1309,6 +1352,10 @@ let faults_one ?(seed = 73L) ~scenario ~crashes ~partitions ~slow_links () =
                 attempt (n + 1)
               end
               else incr aborts
+          | Ava3.Update_exec.Root_down _ ->
+              (* The submission root itself was down: counted with the
+                 aborts, as the pre-sentinel Node_down outcome was. *)
+              incr aborts
         in
         attempt 1)
   done;
@@ -1352,6 +1399,8 @@ let faults_one ?(seed = 73L) ~scenario ~crashes ~partitions ~slow_links () =
   Sim.Engine.run engine;
   violations := !violations + List.length (Ava3.Cluster.check_invariants db);
   let stats = Ava3.Cluster.stats db in
+  Report.record_metrics ~experiment:"E10-faults" ~label:scenario
+    (Ava3.Cluster.metrics_snapshot db);
   {
     fl_scenario = scenario;
     fl_commits = !commits;

@@ -34,3 +34,48 @@ let render ~header ~rows =
 
 let print ~title ~header ~rows =
   Printf.printf "\n== %s ==\n%s%!" title (render ~header ~rows)
+
+(* ------------------------------------------------------------------ *)
+(* Experiment metrics sink                                             *)
+(* ------------------------------------------------------------------ *)
+
+type metrics_record = {
+  experiment : string;
+  label : string;
+  metrics : Sim.Metrics.snapshot;
+}
+
+(* Experiments record from inside [Sim.Pool.map] workers, so the sink is
+   mutex-protected; arrival order depends on domain scheduling, which is
+   why [metrics_records] sorts. *)
+let sink_lock = Mutex.create ()
+let sink : metrics_record list ref = ref []
+
+let record_metrics ~experiment ~label metrics =
+  Mutex.lock sink_lock;
+  sink := { experiment; label; metrics } :: !sink;
+  Mutex.unlock sink_lock
+
+let metrics_records () =
+  Mutex.lock sink_lock;
+  let records = !sink in
+  Mutex.unlock sink_lock;
+  List.stable_sort
+    (fun a b ->
+      match compare a.experiment b.experiment with
+      | 0 -> compare a.label b.label
+      | c -> c)
+    records
+
+let clear_metrics () =
+  Mutex.lock sink_lock;
+  sink := [];
+  Mutex.unlock sink_lock
+
+let metrics_to_json records =
+  let one r =
+    Printf.sprintf "{\"experiment\":%S,\"label\":%S,\"nodes\":%s}" r.experiment
+      r.label
+      (Sim.Metrics.to_json r.metrics)
+  in
+  "[" ^ String.concat "," (List.map one records) ^ "]"

@@ -11,3 +11,32 @@ val f1 : float -> string
 
 val f2 : float -> string
 val i : int -> string
+
+(** {1 Experiment metrics sink}
+
+    Each experiment run records the cluster's per-node
+    {!Sim.Metrics.snapshot} here, tagged with the experiment and a
+    configuration label.  Recording is safe from any domain (the
+    experiments call it from inside [Sim.Pool.map] workers); the bench
+    harness drains the sink into BENCH_micro.json.  Records come back
+    sorted by (experiment, label), so the dump is identical at any
+    AVA3_DOMAINS width. *)
+
+type metrics_record = {
+  experiment : string;  (** e.g. ["E10-faults"] *)
+  label : string;  (** the configuration within the experiment *)
+  metrics : Sim.Metrics.snapshot;
+}
+
+val record_metrics :
+  experiment:string -> label:string -> Sim.Metrics.snapshot -> unit
+
+val metrics_records : unit -> metrics_record list
+(** Everything recorded since start-up (or {!clear_metrics}), sorted. *)
+
+val clear_metrics : unit -> unit
+
+val metrics_to_json : metrics_record list -> string
+(** Compact JSON array of
+    [{"experiment":..,"label":..,"nodes":<per-node metrics>}] objects,
+    the node part as {!Sim.Metrics.to_json} renders it. *)

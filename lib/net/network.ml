@@ -7,6 +7,7 @@ type 'm t = {
   latency : Latency.t;
   self_latency : float;
   call_timeout : float;
+  metrics : Sim.Metrics.t option;
   rng : Sim.Rng.t;
   handlers : (src:int -> 'm -> unit) option array;
   down : bool array;
@@ -21,7 +22,7 @@ type 'm t = {
 }
 
 let create ~engine ~nodes ?(latency = Latency.Constant 1.0) ?(self_latency = 0.0)
-    ?(call_timeout = infinity) () =
+    ?(call_timeout = infinity) ?metrics () =
   if nodes <= 0 then invalid_arg "Network.create: need at least one node";
   {
     engine;
@@ -29,6 +30,7 @@ let create ~engine ~nodes ?(latency = Latency.Constant 1.0) ?(self_latency = 0.0
     latency;
     self_latency;
     call_timeout;
+    metrics;
     rng = Sim.Rng.split (Sim.Engine.rng engine);
     handlers = Array.make nodes None;
     down = Array.make nodes false;
@@ -140,6 +142,10 @@ let call ?timeout t ~src ~dst thunk =
   end;
   let request_ok = not t.link_down.(src).(dst) in
   if not request_ok then t.dropped <- t.dropped + 1;
+  (match t.metrics with
+  | Some m -> Sim.Metrics.record_rpc_call m ~node:src
+  | None -> ());
+  let issued_at = Sim.Engine.now t.engine in
   let outcome =
     Sim.Engine.suspend (fun resume ->
         let settled = ref false in
@@ -169,10 +175,25 @@ let call ?timeout t ~src ~dst thunk =
                          (* Caller crashed or already timed out: the reply
                             reaches a dead mailbox. *)
                          t.dropped <- t.dropped + 1
-                       else settle result)
+                       else begin
+                         (* A reply settled the call: record its round trip
+                            (the callee's own exception still counts as a
+                            completed RPC — only silence is a timeout). *)
+                         (match t.metrics with
+                         | Some m ->
+                             Sim.Metrics.record_rpc_latency m ~node:src
+                               (Sim.Engine.now t.engine -. issued_at)
+                         | None -> ());
+                         settle result
+                       end)
                end));
         if timeout < infinity then
           Sim.Engine.schedule t.engine ~delay:timeout (fun () ->
-              settle (Error (Rpc_timeout dst))))
+              if not !settled then begin
+                (match t.metrics with
+                | Some m -> Sim.Metrics.record_rpc_timeout m ~node:src
+                | None -> ());
+                settle (Error (Rpc_timeout dst))
+              end))
   in
   match outcome with Ok v -> v | Error e -> raise e

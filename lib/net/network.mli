@@ -16,12 +16,19 @@ val create :
   ?latency:Latency.t ->
   ?self_latency:float ->
   ?call_timeout:float ->
+  ?metrics:Sim.Metrics.t ->
   unit ->
   'm t
 (** [latency] defaults to [Constant 1.0]; [self_latency] (messages a node
     sends to itself) defaults to [0.].  [call_timeout] is the default
     timeout for {!call} (simulated seconds); it defaults to [infinity],
-    i.e. callers wait forever unless they pass an explicit [?timeout]. *)
+    i.e. callers wait forever unless they pass an explicit [?timeout].
+
+    When [metrics] is given, every {!call} is recorded against the
+    calling node: one [rpc_call] per issued call, the round-trip time
+    into the latency histogram when a reply settles it (the callee's
+    exception travelling back still counts as a completed RPC), and one
+    [rpc_timeout] when the timeout settles it instead. *)
 
 val engine : _ t -> Sim.Engine.t
 val node_count : _ t -> int

@@ -15,4 +15,10 @@ module type DB = sig
   val submit_query : t -> root:int -> reads:(int * string) list -> query_outcome option
   val max_versions_ever : t -> int
   val extra_stats : t -> (string * float) list
+
+  val metrics_snapshot : t -> Sim.Metrics.snapshot option
+  (** The protocol's per-node metrics registry, when it keeps one.
+      AVA3-based databases return [Some]; the lock-based baselines
+      (which have no version protocol to attribute events to) return
+      [None]. *)
 end

@@ -37,4 +37,10 @@ module type DB = sig
   val extra_stats : t -> (string * float) list
   (** Protocol-specific counters worth reporting (lock waits, aborts,
       moveToFutures, version-chain lengths, ...). *)
+
+  val metrics_snapshot : t -> Sim.Metrics.snapshot option
+  (** The protocol's per-node metrics registry, when it keeps one.
+      AVA3-based databases return [Some]; the lock-based baselines
+      (which have no version protocol to attribute events to) return
+      [None]. *)
 end

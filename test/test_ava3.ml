@@ -23,6 +23,7 @@ let with_cluster ?config ?latency ?(nodes = 3) ?(seed = 42L) body =
 let committed = function
   | Update.Committed c -> c
   | Update.Aborted _ -> Alcotest.fail "expected commit, got abort"
+  | Update.Root_down _ -> Alcotest.fail "expected commit, got root-down"
 
 let expect_commit db ~root ~ops =
   ignore (committed (Cluster.run_update db ~root ~ops))
@@ -355,7 +356,8 @@ let test_deadlock_abort_and_retry () =
           (fun o ->
             match o with
             | Update.Committed _ -> ()
-            | Update.Aborted _ -> Alcotest.fail "retry did not recover")
+            | Update.Aborted _ | Update.Root_down _ ->
+                Alcotest.fail "retry did not recover")
           !outcomes)
   in
   let stats = Cluster.stats db in
@@ -1034,7 +1036,7 @@ let prop_no_lost_updates =
                 ~max_attempts:50 ()
             with
             | Update.Committed _, _ -> incr committed_count
-            | Update.Aborted _, _ -> ())
+            | (Update.Aborted _ | Update.Root_down _), _ -> ())
       done;
       (* Interleave an advancement. *)
       Sim.Engine.schedule engine ~delay:10.0 (fun () ->

@@ -110,7 +110,8 @@ let test_participant_crash_mid_advancement () =
            ~ops:[ Update.Write { node = 2; key = "k2"; value = 99 } ]
        with
       | Update.Committed _ -> ()
-      | Update.Aborted _ -> Alcotest.fail "setup commit aborted");
+      | Update.Aborted _ | Update.Root_down _ ->
+          Alcotest.fail "setup commit aborted");
       (match Cluster.advance db ~coordinator:0 with
       | `Started newu -> check_int "round number" 2 newu
       | `Busy -> Alcotest.fail "advance refused");
@@ -249,7 +250,7 @@ let chaos_fingerprint seed =
             ~max_attempts:4 ~backoff:10.0 ()
         with
         | Update.Committed _, _ -> incr commits
-        | Update.Aborted _, _ -> incr aborts)
+        | (Update.Aborted _ | Update.Root_down _), _ -> incr aborts)
   done;
   (* Advancement beats from the first alive node. *)
   for b = 1 to int_of_float (horizon /. 40.0) do

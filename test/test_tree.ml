@@ -20,6 +20,7 @@ let with_cluster ?config ?(nodes = 5) ?(seed = 11L) body =
 let committed = function
   | Tree.Committed c -> c
   | Tree.Aborted _ -> Alcotest.fail "expected tree commit"
+  | Tree.Root_down _ -> Alcotest.fail "expected tree commit, got root-down"
 
 (* {1 Basic tree execution} *)
 
@@ -177,7 +178,8 @@ let test_tree_abort_rolls_back_all_branches () =
         in
         (match Cluster.run_tree_update db ~plan with
         | Tree.Aborted { reason = `Deadlock; _ } -> ()
-        | Tree.Aborted _ -> Alcotest.fail "wrong abort reason"
+        | Tree.Aborted _ | Tree.Root_down _ ->
+            Alcotest.fail "wrong abort reason"
         | Tree.Committed _ ->
             (* The deadlock victim could be the flat transaction instead;
                accept but verify data below either way. *)
