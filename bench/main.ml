@@ -249,6 +249,48 @@ let run_ablations () =
   Dbsim.Experiment.print_ablations ();
   Dbsim.Experiment.print_tree_vs_flat ()
 
+(* Schedule exploration (lib/check): per-scenario coverage statistics,
+   recorded for the JSON dump under "check".  Self-verifying like the
+   other suites — a violation in a clean scenario fails the run. *)
+let check_stats : (string * Explorer.stats) list ref = ref []
+
+let run_check () =
+  let budget = 2_000 in
+  let rows =
+    List.map
+      (fun sc ->
+        let r = Explorer.explore ~budget sc in
+        check_stats := !check_stats @ [ (r.Explorer.scenario, r.Explorer.stats) ];
+        (match r.Explorer.violation with
+        | Some v ->
+            Printf.eprintf "check %s found a violation:\n" r.Explorer.scenario;
+            List.iter (fun m -> Printf.eprintf "  %s\n" m) v.Explorer.v_messages;
+            exit 1
+        | None -> ());
+        let s = r.Explorer.stats in
+        [
+          sc.Scenario.name;
+          string_of_int s.Explorer.schedules;
+          string_of_int s.Explorer.completed;
+          string_of_int s.Explorer.pruned;
+          string_of_int s.Explorer.distinct_states;
+          string_of_int s.Explorer.max_depth;
+          string_of_bool s.Explorer.exhausted;
+        ])
+      [
+        Scenarios.race2; Scenarios.mtf_race; Scenarios.crash_advance;
+        Scenarios.table1_3site; Scenarios.toy_safe;
+      ]
+  in
+  print_endline
+    (Dbsim.Report.render
+       ~header:
+         [
+           "scenario"; "schedules"; "completed"; "pruned"; "distinct";
+           "max-depth"; "exhausted";
+         ]
+       ~rows)
+
 let experiments =
   [
     ("table1", run_table1);
@@ -262,6 +304,7 @@ let experiments =
     ("ablations", run_ablations);
     ("scalability", Dbsim.Experiment.print_scalability);
     ("faults", Dbsim.Experiment.print_faults);
+    ("check", run_check);
     ("micro", run_micro);
   ]
 
@@ -300,15 +343,30 @@ let write_json path =
   let metrics_json =
     Dbsim.Report.metrics_to_json (Dbsim.Report.metrics_records ())
   in
+  let check_json =
+    let one (name, (s : Explorer.stats)) =
+      Printf.sprintf
+        "    \"%s\": {\"schedules\": %d, \"completed\": %d, \"pruned\": %d, \
+         \"distinct_states\": %d, \"choice_points\": %d, \"max_depth\": %d, \
+         \"exhausted\": %b, \"elapsed_s\": %g}"
+        (json_escape name) s.Explorer.schedules s.Explorer.completed
+        s.Explorer.pruned s.Explorer.distinct_states s.Explorer.choice_points
+        s.Explorer.max_depth s.Explorer.exhausted s.Explorer.elapsed_s
+    in
+    match !check_stats with
+    | [] -> "{}"
+    | stats -> "{\n" ^ String.concat ",\n" (List.map one stats) ^ "\n  }"
+  in
   Printf.fprintf oc
     "{\n\
     \  \"domains\": %d,\n\
     \  \"micro_ns_per_run\": {\n%s\n  },\n\
     \  \"suite_wall_clock_s\": {\n%s\n  },\n\
+    \  \"check\": %s,\n\
     \  \"experiments\": %s\n\
      }\n"
     (Sim.Pool.default_domains ())
-    (obj !micro_rows) (obj !suite_times) metrics_json;
+    (obj !micro_rows) (obj !suite_times) check_json metrics_json;
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
@@ -332,14 +390,14 @@ let () =
           Printf.printf "\n###### %s ######\n%!" name;
           timed name run)
         experiments
-  | [ name ] -> (
-      match List.assoc_opt name experiments with
-      | Some run -> timed name run
-      | None ->
-          Printf.eprintf "unknown experiment %S; available: %s\n" name
-            (String.concat ", " (List.map fst experiments));
-          exit 2)
-  | _ ->
-      Printf.eprintf "usage: %s [--json] [experiment]\n" Sys.argv.(0);
-      exit 2);
+  | names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some run -> timed name run
+          | None ->
+              Printf.eprintf "unknown experiment %S; available: %s\n" name
+                (String.concat ", " (List.map fst experiments));
+              exit 2)
+        names);
   if !json_mode then write_json "BENCH_micro.json"

@@ -1,0 +1,61 @@
+(* A counterexample is a scenario name plus a decision vector — nothing
+   more, because the simulator is deterministic: replaying the decisions
+   against the scenario's fixed seed reconstructs the whole execution.
+   The file format is line-oriented plain text so a failing CI run's
+   artifact can be read by a human before it is fed to
+   [check.exe --replay]. *)
+
+type t = { scenario : string; decisions : int list }
+
+let save ~path ~scenario ~decisions ~messages =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      Printf.fprintf oc "# ava3-check counterexample\n";
+      Printf.fprintf oc "# replay with: check.exe --replay %s\n"
+        (Filename.basename path);
+      List.iter (fun m -> Printf.fprintf oc "# violation: %s\n" m) messages;
+      Printf.fprintf oc "scenario: %s\n" scenario;
+      Printf.fprintf oc "decisions:%s\n"
+        (String.concat ""
+           (List.map (fun (d, _) -> " " ^ string_of_int d) decisions));
+      List.iteri
+        (fun i (d, label) ->
+          Printf.fprintf oc "# choice %d: %s -> %d\n" i label d)
+        decisions)
+
+let load ~path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let scenario = ref None and decisions = ref None in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           if String.length line = 0 || line.[0] = '#' then ()
+           else
+             match String.index_opt line ':' with
+             | None -> failwith (Printf.sprintf "unparseable line %S" line)
+             | Some i -> (
+                 let key = String.trim (String.sub line 0 i) in
+                 let value =
+                   String.trim
+                     (String.sub line (i + 1) (String.length line - i - 1))
+                 in
+                 match key with
+                 | "scenario" -> scenario := Some value
+                 | "decisions" ->
+                     decisions :=
+                       Some
+                         (String.split_on_char ' ' value
+                         |> List.filter (fun s -> s <> "")
+                         |> List.map int_of_string)
+                 | _ -> ())
+         done
+       with End_of_file -> ());
+      match (!scenario, !decisions) with
+      | Some scenario, Some decisions -> { scenario; decisions }
+      | None, _ -> failwith "counterexample file: missing 'scenario:' line"
+      | _, None -> failwith "counterexample file: missing 'decisions:' line")

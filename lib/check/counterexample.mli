@@ -1,0 +1,24 @@
+(** Replayable counterexample files.
+
+    A violation found by the explorer is persisted as the scenario name
+    plus the decision vector that reaches it; engine determinism makes
+    that pair a complete reproduction recipe.  The format is line-oriented
+    text: [#] comments (the violation messages and one line per labelled
+    choice), a [scenario: <name>] line and a [decisions: i0 i1 ...]
+    line. *)
+
+type t = { scenario : string; decisions : int list }
+
+val save :
+  path:string ->
+  scenario:string ->
+  decisions:(int * string) list ->
+  messages:string list ->
+  unit
+(** Write a counterexample.  [decisions] pairs each chosen index with the
+    choice-point label it answered (labels become comments); [messages]
+    are the oracle's violation reports. *)
+
+val load : path:string -> t
+(** Parse a file written by {!save} (or by hand).  Raises [Failure] on a
+    malformed file and [Sys_error] on an unreadable path. *)

@@ -1,0 +1,15 @@
+type instance = {
+  check_step : unit -> string list;
+  check_final : unit -> string list;
+  fingerprint : unit -> Fingerprint.t;
+}
+
+type t = {
+  name : string;
+  descr : string;
+  seed : int64;
+  max_time : float;
+  setup : Sim.Engine.t -> instance;
+}
+
+let quiet = { check_step = (fun () -> []); check_final = (fun () -> []); fingerprint = (fun () -> Fingerprint.empty) }

@@ -1,0 +1,46 @@
+(** What the explorer runs: a small, closed simulation plus its oracles.
+
+    A scenario owns everything about one system under test; the explorer
+    owns the engine and the schedule.  Per enumerated schedule, the
+    explorer creates a fresh engine, calls [setup] (which builds the
+    system, spawns its processes and returns the oracles), installs its
+    chooser, runs the engine to quiescence (or [max_time]), and evaluates
+    the oracles.  Determinism of the engine guarantees that a recorded
+    choice trace replays to the identical execution.
+
+    Requirements on [setup]:
+    - it must not run the engine itself, only build state and spawn;
+    - all nondeterminism must flow through the engine (its clock, its
+      [Rng] splits, [Engine.branch]) — wall clock or global mutable state
+      would break replay;
+    - processes the scenario wants the explorer to interleave should be
+      spawned with [~name] so ready-queue ties expose them as labelled
+      alternatives (unnamed events are still explored, one alternative
+      each). *)
+
+type instance = {
+  check_step : unit -> string list;
+      (** Invariants that must hold at {e every} instant; evaluated at
+          every scheduling choice point.  Non-empty = violation. *)
+  check_final : unit -> string list;
+      (** Oracles evaluated once the run is quiescent (event queue empty
+          or [max_time] reached): quiescent-state invariants,
+          serializability of the recorded history, scenario-specific
+          assertions. *)
+  fingerprint : unit -> Fingerprint.t;
+      (** Digest of the current state; include
+          {!Fingerprint.engine}. *)
+}
+
+type t = {
+  name : string;  (** stable identifier, usable in counterexample files *)
+  descr : string;
+  seed : int64;  (** engine seed; part of the scenario's identity *)
+  max_time : float;
+      (** virtual-time cap per run — a safety net for runs that never go
+          quiescent (e.g. retransmission loops kept alive by a bug) *)
+  setup : Sim.Engine.t -> instance;
+}
+
+val quiet : instance
+(** No-op oracles; convenience for partial instances in tests. *)

@@ -1,0 +1,522 @@
+(* The built-in scenario catalogue.
+
+   The AVA3 scenarios follow one pattern: build a small cluster on
+   constant unit latency (so concurrent activity collides at integer
+   virtual times and every collision is a scheduling choice), spawn a
+   handful of named update/query/advancement processes, record the
+   values every committed transaction observed and wrote, and settle the
+   system with a final advancement round.  The oracles are the paper's:
+   Invariant.check at every choice point, the quiescent invariants and
+   Theorem 6.2 serializability (Serial_check.verify over the recorded
+   history) at the end.
+
+   The toy scenarios run the known-broken store in lib/check/toy.ml; the
+   explorer must convict the broken variants and clear the fixed one. *)
+
+module SC = Dbsim.Serial_check
+
+(* ---------- recording harness for AVA3 scenarios ---------- *)
+
+type recorder = {
+  mutable committed : SC.txn_record list;
+  mutable queries : SC.query_record list;
+  initial : (SC.key * int) list;
+}
+
+let recorder initial = { committed = []; queries = []; initial }
+
+(* Deterministic injective-ish update function: distinct (salt, old)
+   pairs give distinct values, so a lost update changes the final state
+   and the replay catches it. *)
+let transform ~salt old =
+  ((Option.value old ~default:0 * 31) + salt) mod 100_003
+
+(* Scenario-level op DSL, mirrored onto Update_exec ops with the RMW
+   observations captured for the history. *)
+type op =
+  | Rmw of int * string * int  (** node, key, salt *)
+  | Put of int * string * int
+  | Begin_at of int
+  | Pause of float
+
+let recorded_update rec_ db ~root ops =
+  let observed = Queue.create () in
+  let uops =
+    List.map
+      (function
+        | Rmw (n, k, salt) ->
+            Ava3.Update_exec.Read_modify_write
+              {
+                node = n;
+                key = k;
+                f =
+                  (fun old ->
+                    let v = transform ~salt old in
+                    Queue.push (old, v) observed;
+                    v);
+              }
+        | Put (n, k, v) -> Ava3.Update_exec.Write { node = n; key = k; value = v }
+        | Begin_at n -> Ava3.Update_exec.Begin_at n
+        | Pause d -> Ava3.Update_exec.Pause d)
+      ops
+  in
+  match Ava3.Cluster.run_update db ~root ~ops:uops with
+  | Ava3.Update_exec.Committed c ->
+      (* RMWs ran in op-list order, so popping the observation queue in
+         the same order re-associates observed/written values. *)
+      let t_ops =
+        List.filter_map
+          (function
+            | Rmw (n, k, _) ->
+                let old, v = Queue.pop observed in
+                Some (SC.Rmw ((n, k), old, v))
+            | Put (n, k, v) -> Some (SC.Put ((n, k), v))
+            | Begin_at _ | Pause _ -> None)
+          ops
+      in
+      rec_.committed <-
+        {
+          SC.t_version = c.final_version;
+          t_finished = c.finished_at;
+          t_commit_at = c.participants;
+          t_ops;
+        }
+        :: rec_.committed
+  | Aborted _ | Root_down _ -> ()
+
+let recorded_query rec_ db ~root reads =
+  match Ava3.Cluster.run_query db ~root ~reads with
+  | (q : _ Ava3.Query_exec.result) ->
+      rec_.queries <-
+        {
+          SC.q_version = q.version;
+          q_reads = List.map (fun (n, k, v) -> ((n, k), v)) q.values;
+        }
+        :: rec_.queries
+  | exception (Net.Network.Node_down _ | Net.Network.Rpc_timeout _) -> ()
+
+let history rec_ db ~keys =
+  {
+    SC.committed = List.rev rec_.committed;
+    queries = List.rev rec_.queries;
+    initial = rec_.initial;
+    final_visible =
+      List.map
+        (fun ((n, k) as key) ->
+          ( key,
+            Vstore.Store.read_le
+              (Ava3.Node_state.store (Ava3.Cluster.node db n))
+              k max_int ))
+        keys;
+  }
+
+(* Drive the system to a settled state: repeat advancement until a round
+   completes (a round in progress answers `Busy; a just-healed cluster
+   may need a beat).  Runs inside a process at the scenario's epilogue. *)
+let settle db ~coordinator =
+  let rec go attempts =
+    if attempts > 0 then
+      match Ava3.Cluster.advance_and_wait db ~coordinator with
+      | `Completed _ -> ()
+      | `Busy ->
+          Sim.Engine.sleep 10.0;
+          go (attempts - 1)
+  in
+  go 8
+
+(* The standard oracle set for an AVA3 scenario: protocol invariants at
+   every choice point; at the end, quiescence itself (nothing pending or
+   suspended — a stuck advancement or a leaked process is a liveness
+   bug), the quiescent invariants, and Theorem 6.2 serializability of
+   the recorded history. *)
+let ava3_instance db rec_ ~keys =
+  {
+    Scenario.check_step = (fun () -> Ava3.Cluster.check_invariants db);
+    check_final =
+      (fun () ->
+        let engine = Ava3.Cluster.engine db in
+        let pending = Sim.Engine.pending_events engine
+        and suspended = Sim.Engine.suspended_count engine in
+        let in_flight = pending > 0 || suspended > 0 in
+        let stuck =
+          if in_flight then
+            [
+              Printf.sprintf
+                "not quiescent at max_time: %d events pending, %d processes \
+                 suspended"
+                pending suspended;
+            ]
+          else []
+        in
+        let quiescent =
+          if in_flight then [] else Ava3.Cluster.check_quiescent_invariants db
+        in
+        stuck
+        @ Ava3.Cluster.check_invariants db
+        @ quiescent
+        @ (SC.verify (history rec_ db ~keys)).SC.errors);
+    fingerprint = (fun () -> Fingerprint.cluster_int db);
+  }
+
+(* ---------- AVA3 scenarios ---------- *)
+
+(* Two nodes, two racing read-modify-write transactions on the same item,
+   a multi-node update, overlapping queries, and one advancement — the
+   smallest configuration where update/update, update/query and
+   update/advancement races all occur.  Service times and latency are
+   integral so the racing processes collide at integer instants. *)
+let race2 =
+  {
+    Scenario.name = "race2";
+    descr =
+      "2 nodes: racing RMWs on one item, a cross-node update, overlapping \
+       queries, one advancement";
+    seed = 11L;
+    max_time = 300.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 1.0;
+            write_service_time = 1.0;
+          }
+        in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~nodes:2 ()
+        in
+        Ava3.Cluster.load db ~node:0 [ ("x", 1) ];
+        Ava3.Cluster.load db ~node:1 [ ("y", 2) ];
+        let keys = [ (0, "x"); (1, "y") ] in
+        let rec_ = recorder [ ((0, "x"), 1); ((1, "y"), 2) ] in
+        Sim.Engine.schedule engine ~name:"T1" ~delay:1.0 (fun () ->
+            recorded_update rec_ db ~root:0 [ Rmw (0, "x", 101); Put (1, "y", 11) ]);
+        Sim.Engine.schedule engine ~name:"T2" ~delay:1.0 (fun () ->
+            recorded_update rec_ db ~root:1 [ Rmw (0, "x", 202) ]);
+        Sim.Engine.schedule engine ~name:"Q1" ~delay:1.0 (fun () ->
+            recorded_query rec_ db ~root:1 [ (0, "x"); (1, "y") ]);
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:2.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:0));
+        Sim.Engine.schedule engine ~name:"T3" ~delay:3.0 (fun () ->
+            recorded_update rec_ db ~root:1 [ Rmw (1, "y", 303) ]);
+        Sim.Engine.schedule engine ~name:"T4" ~delay:3.0 (fun () ->
+            recorded_update rec_ db ~root:0 [ Rmw (0, "x", 404) ]);
+        Sim.Engine.schedule engine ~name:"Q2" ~delay:4.0 (fun () ->
+            recorded_query rec_ db ~root:0 [ (1, "y"); (0, "x") ]);
+        Sim.Engine.schedule engine ~name:"T5" ~delay:4.0 (fun () ->
+            recorded_update rec_ db ~root:1
+              [ Rmw (0, "x", 505); Rmw (1, "y", 515) ]);
+        Sim.Engine.schedule engine ~name:"ADV2" ~delay:5.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:1));
+        Sim.Engine.schedule engine ~name:"Q3" ~delay:5.0 (fun () ->
+            recorded_query rec_ db ~root:1 [ (0, "x"); (1, "y") ]);
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:60.0 (fun () ->
+            settle db ~coordinator:0;
+            recorded_query rec_ db ~root:0 keys);
+        ava3_instance db rec_ ~keys)
+  }
+
+(* Table 1 of the paper, reduced: three sites, the long transaction T
+   spanning all of them, the short S and U at site 1 racing T's writes,
+   a long query Q overlapping Phase 2 of the advancement, and short
+   queries R and P.  Unlike Dbsim.Table1 (which asserts the exact
+   outcomes of the paper's one schedule), the oracles here are generic —
+   every enumerated interleaving must be serializable. *)
+let table1_3site =
+  {
+    Scenario.name = "table1-3site";
+    descr = "Table 1's 3-site schedule: T spanning 3 sites, S/U races, \
+             advancement under a long query";
+    seed = 1L;
+    max_time = 400.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 0.5;
+            write_service_time = 0.5;
+          }
+        in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~nodes:3 ()
+        in
+        Ava3.Cluster.load db ~node:0 [ ("w", 10) ];
+        Ava3.Cluster.load db ~node:1 [ ("x", 20); ("y", 30) ];
+        Ava3.Cluster.load db ~node:2 [ ("z", 40) ];
+        let keys = [ (0, "w"); (1, "x"); (1, "y"); (2, "z") ] in
+        let rec_ =
+          recorder
+            [ ((0, "w"), 10); ((1, "x"), 20); ((1, "y"), 30); ((2, "z"), 40) ]
+        in
+        Sim.Engine.schedule engine ~name:"T" ~delay:1.0 (fun () ->
+            recorded_update rec_ db ~root:0
+              [
+                Put (0, "w", 11);
+                Begin_at 1;
+                Begin_at 2;
+                Pause 3.0;
+                Put (2, "z", 41);
+                Rmw (1, "y", 31);
+                Rmw (1, "x", 21);
+              ]);
+        Sim.Engine.schedule engine ~name:"R" ~delay:1.5 (fun () ->
+            recorded_query rec_ db ~root:0 [ (0, "w") ]);
+        Sim.Engine.schedule engine ~name:"S" ~delay:2.5 (fun () ->
+            recorded_update rec_ db ~root:1 [ Pause 6.0; Rmw (1, "y", 32) ]);
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:3.5 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:2));
+        Sim.Engine.schedule engine ~name:"U" ~delay:6.0 (fun () ->
+            recorded_update rec_ db ~root:1 [ Rmw (1, "x", 22); Pause 4.0 ]);
+        Sim.Engine.schedule engine ~name:"Q" ~delay:5.0 (fun () ->
+            recorded_query rec_ db ~root:1
+              [ (1, "x"); (1, "y"); (1, "x"); (1, "y"); (1, "x"); (1, "y") ]);
+        Sim.Engine.schedule engine ~name:"P" ~delay:14.0 (fun () ->
+            recorded_query rec_ db ~root:1 [ (1, "y") ]);
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:80.0 (fun () ->
+            settle db ~coordinator:0;
+            recorded_query rec_ db ~root:2 keys);
+        ava3_instance db rec_ ~keys)
+  }
+
+(* moveToFuture at both trigger sites: an update transaction in flight
+   while an advancement switches its nodes' update versions — whether it
+   moves forward at data-access time (its later subtransaction arrives
+   after the switch) or at commit time (the version mismatch among its
+   subtransactions) depends on the schedule, and both paths must leave
+   the recorded history serializable. *)
+let mtf_race =
+  {
+    Scenario.name = "mtf-race";
+    descr =
+      "advancement overtakes an in-flight update: moveToFuture at \
+       data-access vs commit time, by schedule";
+    seed = 7L;
+    max_time = 300.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 1.0;
+            write_service_time = 1.0;
+          }
+        in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~nodes:2 ()
+        in
+        Ava3.Cluster.load db ~node:0 [ ("a", 1) ];
+        Ava3.Cluster.load db ~node:1 [ ("b", 2) ];
+        let keys = [ (0, "a"); (1, "b") ] in
+        let rec_ = recorder [ ((0, "a"), 1); ((1, "b"), 2) ] in
+        Sim.Engine.schedule engine ~name:"Tspan" ~delay:1.0 (fun () ->
+            recorded_update rec_ db ~root:0
+              [ Put (0, "a", 100); Pause 4.0; Rmw (1, "b", 7) ]);
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:2.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:1));
+        Sim.Engine.schedule engine ~name:"Q" ~delay:3.0 (fun () ->
+            recorded_query rec_ db ~root:0 [ (0, "a"); (1, "b") ]);
+        Sim.Engine.schedule engine ~name:"Tlate" ~delay:4.0 (fun () ->
+            recorded_update rec_ db ~root:1 [ Rmw (1, "b", 8) ]);
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:50.0 (fun () ->
+            settle db ~coordinator:0;
+            recorded_query rec_ db ~root:1 keys);
+        ava3_instance db rec_ ~keys)
+  }
+
+(* Version advancement racing a coordinator crash.  The crashing node,
+   crash instant and repair delay are themselves choice points
+   (Nemesis.choice_plan wired to Engine.branch), so the explorer
+   enumerates fault placements jointly with message schedules: the
+   advancement must either complete or be resumable by the settle round,
+   and the surviving history must stay serializable. *)
+let crash_advance =
+  {
+    Scenario.name = "crash-advance";
+    descr =
+      "advancement vs coordinator crash: nemesis choices enumerated with \
+       the schedule";
+    seed = 5L;
+    max_time = 600.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 0.5;
+            write_service_time = 0.5;
+            rpc_timeout = 10.0;
+            advancement_retry = 25.0;
+          }
+        in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~nodes:2 ()
+        in
+        Ava3.Cluster.load db ~node:0 [ ("x", 1) ];
+        Ava3.Cluster.load db ~node:1 [ ("y", 2) ];
+        let keys = [ (0, "x"); (1, "y") ] in
+        let rec_ = recorder [ ((0, "x"), 1); ((1, "y"), 2) ] in
+        let plan =
+          Net.Nemesis.choice_plan
+            ~choose:(fun ~label ~arity -> Sim.Engine.branch engine ~label arity)
+            ~nodes:2 ~horizon:40.0 ~crashes:1
+            ~at_choices:[| 4.0; 6.0; 9.0 |]
+            ~duration_choices:[| 12.0 |]
+            ()
+        in
+        Net.Nemesis.install ~engine (Ava3.Cluster.nemesis_target db) plan;
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:5.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:0));
+        Sim.Engine.schedule engine ~name:"T1" ~delay:3.0 (fun () ->
+            recorded_update rec_ db ~root:0 [ Rmw (0, "x", 31) ]);
+        Sim.Engine.schedule engine ~name:"T2" ~delay:7.0 (fun () ->
+            recorded_update rec_ db ~root:1 [ Rmw (1, "y", 41) ]);
+        Sim.Engine.schedule engine ~name:"Q" ~delay:8.0 (fun () ->
+            recorded_query rec_ db ~root:1 [ (1, "y"); (0, "x") ]);
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:80.0 (fun () ->
+            settle db ~coordinator:0;
+            recorded_query rec_ db ~root:0 keys);
+        ava3_instance db rec_ ~keys)
+  }
+
+(* ---------- toy scenarios (explorer self-validation) ---------- *)
+
+(* A two-item commit racing a two-item query on the toy store.  In buggy
+   mode the commit ignores reader pins, so some interleaving lands the
+   install between the query's two reads — a torn snapshot the final
+   oracle flags.  The correct mode (pins respected) must be clean on
+   every interleaving.  The default schedule is clean in both modes: the
+   bug is only reachable by exploration, which is the point. *)
+let toy_rw ~buggy ~name ~descr =
+  {
+    Scenario.name;
+    descr;
+    seed = 3L;
+    max_time = 50.0;
+    setup =
+      (fun engine ->
+        let t = Toy.create ~engine ~buggy ~write_time:1.0 () in
+        Toy.load t [ ("x", 0); ("y", 0) ];
+        let snapshots = ref [] in
+        Sim.Engine.schedule engine ~name:"writer" ~delay:1.0 (fun () ->
+            Toy.put_all t [ ("x", 1); ("y", 1) ]);
+        Sim.Engine.schedule engine ~name:"reader" ~delay:1.0 (fun () ->
+            snapshots := Toy.query t ~read_time:1.0 [ "x"; "y" ] :: !snapshots);
+        {
+          Scenario.check_step = (fun () -> []);
+          check_final =
+            (fun () ->
+              List.concat_map
+                (function
+                  | [ ("x", Some x); ("y", Some y) ] ->
+                      if x = y then []
+                      else
+                        [
+                          Printf.sprintf
+                            "torn snapshot: read x=%d y=%d from a store \
+                             where x and y only ever change together"
+                            x y;
+                        ]
+                  | _ -> [ "query returned an unexpected shape" ])
+                !snapshots);
+          fingerprint = (fun () -> Toy.fingerprint t);
+        })
+  }
+
+let toy_torn =
+  toy_rw ~buggy:true ~name:"toy-torn"
+    ~descr:
+      "toy store, commit ignores reader pins: some schedule tears a query \
+       snapshot"
+
+let toy_safe =
+  toy_rw ~buggy:false ~name:"toy-safe"
+    ~descr:
+      "toy store, pins respected: every schedule must yield a consistent \
+       snapshot"
+
+(* Two increments of one counter, each written as observe / think /
+   install.  Serially the counter ends at 2; the interleaving that lets
+   the second writer observe before the first installs loses an update.
+   The default schedule is the serial one.  [toy-rmw-safe] is the same
+   program with atomic read-modify-writes — clean on every schedule. *)
+let toy_lost_update_variant ~atomic ~name ~descr =
+  {
+    Scenario.name;
+    descr;
+    seed = 9L;
+    max_time = 50.0;
+    setup =
+      (fun engine ->
+        let t = Toy.create ~engine ~buggy:true () in
+        Toy.load t [ ("c", 0) ];
+        let incr_split think () =
+          let v = Option.value ~default:0 (Toy.get t "c") in
+          Sim.Engine.sleep think;
+          Toy.put_all t [ ("c", v + 1) ]
+        in
+        let incr_atomic () =
+          ignore (Toy.rmw t "c" (fun v -> Option.value ~default:0 v + 1))
+        in
+        (* w1 observes at t=1 and installs at t=2; w2 starts at t=1.5
+           and acts at t=2: the t=2 tie decides whether w2 sees w1's
+           install.  In split mode the wrong order loses an update. *)
+        Sim.Engine.schedule engine ~name:"w1" ~delay:1.0 (fun () ->
+            if atomic then begin
+              Sim.Engine.sleep 1.0;
+              incr_atomic ()
+            end
+            else incr_split 1.0 ());
+        Sim.Engine.schedule engine ~name:"w2" ~delay:1.5 (fun () ->
+            if atomic then begin
+              Sim.Engine.sleep 0.5;
+              incr_atomic ()
+            end
+            else begin
+              Sim.Engine.sleep 0.5;
+              incr_split 0.5 ()
+            end);
+        {
+          Scenario.check_step = (fun () -> []);
+          check_final =
+            (fun () ->
+              match Toy.get t "c" with
+              | Some 2 -> []
+              | v ->
+                  [
+                    Printf.sprintf
+                      "lost update: counter is %s after two committed \
+                       increments (expected 2)"
+                      (match v with
+                      | None -> "absent"
+                      | Some v -> string_of_int v);
+                  ]);
+          fingerprint = (fun () -> Toy.fingerprint t);
+        })
+  }
+
+let toy_lost_update =
+  toy_lost_update_variant ~atomic:false ~name:"toy-lost-update"
+    ~descr:
+      "toy store, observe/think/install increments: some schedule loses an \
+       update"
+
+let toy_rmw_safe =
+  toy_lost_update_variant ~atomic:true ~name:"toy-rmw-safe"
+    ~descr:
+      "toy store, atomic increments: the counter reaches 2 on every \
+       schedule"
+
+let all =
+  [
+    race2;
+    table1_3site;
+    mtf_race;
+    crash_advance;
+    toy_torn;
+    toy_safe;
+    toy_lost_update;
+    toy_rmw_safe;
+  ]
+
+let find name = List.find_opt (fun s -> s.Scenario.name = name) all

@@ -1,0 +1,33 @@
+(** The built-in scenario catalogue.
+
+    AVA3 scenarios (oracles: protocol invariants at every choice point;
+    quiescence, quiescent invariants and Theorem 6.2 serializability at
+    the end):
+    - [race2] — 2 nodes, racing RMWs on one item, a cross-node update,
+      overlapping queries, one advancement;
+    - [table1-3site] — the paper's Table 1 execution shape on 3 sites,
+      with generic oracles instead of Table 1's literal outcomes;
+    - [mtf-race] — an advancement overtaking an in-flight multi-node
+      update, forcing moveToFuture at data-access or commit time
+      depending on the schedule;
+    - [crash-advance] — advancement racing a coordinator crash, the
+      nemesis's node/time choices enumerated with the schedule.
+
+    Toy scenarios (explorer self-validation on a deliberately broken
+    store, {!Toy}):
+    - [toy-torn] (must convict) / [toy-safe] (must clear) — a pin-ignoring
+      vs pin-respecting multi-item commit racing a snapshot query;
+    - [toy-lost-update] (must convict) / [toy-rmw-safe] (must clear) —
+      split observe/think/install increments vs atomic ones. *)
+
+val race2 : Scenario.t
+val table1_3site : Scenario.t
+val mtf_race : Scenario.t
+val crash_advance : Scenario.t
+val toy_torn : Scenario.t
+val toy_safe : Scenario.t
+val toy_lost_update : Scenario.t
+val toy_rmw_safe : Scenario.t
+
+val all : Scenario.t list
+val find : string -> Scenario.t option

@@ -1,0 +1,125 @@
+(* A miniature single-node "two-version" store modelled on
+   lib/baseline/two_version.ml, reduced to the two mechanisms whose
+   omission produces classic anomalies:
+
+   - readers pin the items they read; a correct commit waits for pins to
+     drain before installing new values (BHR80 interference).  With
+     [buggy:true] the commit installs immediately, so a multi-item commit
+     can land between two reads of one query — a torn snapshot;
+   - writers that read-modify-write are expected to do so atomically (the
+     baseline holds an exclusive lock across the cycle).  This store has
+     no locks at all, so a scenario that separates the read from the
+     write in virtual time exhibits a lost update under the right
+     interleaving.
+
+   The point is not to be a good store — it is to be a known-bad one the
+   schedule explorer must convict within a bounded number of schedules,
+   and whose corrected twin ([buggy:false], atomic RMWs) it must clear. *)
+
+type t = {
+  engine : Sim.Engine.t;
+  store : (string, int) Hashtbl.t;
+  pins : (string, int ref) Hashtbl.t;
+  pins_zero : Sim.Condition.t;
+  buggy : bool;
+  write_time : float;
+  mutable commits : int;
+  mutable queries : int;
+}
+
+let create ~engine ?(buggy = false) ?(write_time = 0.0) () =
+  {
+    engine;
+    store = Hashtbl.create 16;
+    pins = Hashtbl.create 16;
+    pins_zero = Sim.Condition.create ();
+    buggy;
+    write_time;
+    commits = 0;
+    queries = 0;
+  }
+
+let load t items = List.iter (fun (k, v) -> Hashtbl.replace t.store k v) items
+
+let get t key = Hashtbl.find_opt t.store key
+
+let pin t key =
+  let c =
+    match Hashtbl.find_opt t.pins key with
+    | Some c -> c
+    | None ->
+        let c = ref 0 in
+        Hashtbl.replace t.pins key c;
+        c
+  in
+  incr c
+
+let unpin t key =
+  match Hashtbl.find_opt t.pins key with
+  | None -> ()
+  | Some c ->
+      decr c;
+      if !c <= 0 then begin
+        Hashtbl.remove t.pins key;
+        Sim.Condition.broadcast t.pins_zero
+      end
+
+let await_unpinned t key =
+  Sim.Condition.await_until t.pins_zero ~pred:(fun () ->
+      not (Hashtbl.mem t.pins key))
+
+(* Commit a batch: per item, a storage delay, then (correct mode only)
+   the BHR80 wait for reader pins to drain, then the install.  The
+   per-item delay is what stretches a multi-item commit across virtual
+   time — without it even the buggy install is atomic in the simulation
+   and no interleaving can land inside it. *)
+let put_all t items =
+  List.iter
+    (fun (key, value) ->
+      if t.write_time > 0.0 then Sim.Engine.sleep t.write_time;
+      if not t.buggy then await_unpinned t key;
+      Hashtbl.replace t.store key value)
+    items;
+  t.commits <- t.commits + 1
+
+let rmw t key f =
+  let v = f (get t key) in
+  Hashtbl.replace t.store key v;
+  t.commits <- t.commits + 1;
+  v
+
+(* Pin first, observe after a storage delay, release every pin only once
+   all reads finished — the reader side of the BHR80 discipline. *)
+let query t ~read_time keys =
+  let results =
+    List.map
+      (fun key ->
+        pin t key;
+        Sim.Engine.sleep read_time;
+        (key, get t key))
+      keys
+  in
+  List.iter (fun key -> unpin t key) keys;
+  t.queries <- t.queries + 1;
+  results
+
+let fingerprint t =
+  let h = ref Fingerprint.empty in
+  let items =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.store []
+    |> List.sort compare
+  in
+  h :=
+    Fingerprint.list
+      (fun h (k, v) -> Fingerprint.int (Fingerprint.string h k) v)
+      !h items;
+  let pins =
+    Hashtbl.fold (fun k c acc -> (k, !c) :: acc) t.pins [] |> List.sort compare
+  in
+  h :=
+    Fingerprint.list
+      (fun h (k, c) -> Fingerprint.int (Fingerprint.string h k) c)
+      !h pins;
+  h := Fingerprint.int !h t.commits;
+  h := Fingerprint.int !h t.queries;
+  Fingerprint.engine !h t.engine

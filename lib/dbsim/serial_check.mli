@@ -20,7 +20,33 @@
     Any interleaving bug (lost update, torn snapshot, moveToFuture applied
     to the wrong version) surfaces as a concrete mismatch. *)
 
-type history
+type key = int * string
+(** (node, item) — items live on exactly one node. *)
+
+type op_record =
+  | Rmw of key * int option * int  (** observed value, written value *)
+  | Put of key * int  (** blind write *)
+  | Del of key
+
+type txn_record = {
+  t_version : int;  (** global version the transaction committed in *)
+  t_finished : float;
+  t_commit_at : (int * float) list;  (** per-node local commit times *)
+  t_ops : op_record list;
+}
+
+type query_record = { q_version : int; q_reads : (key * int option) list }
+
+type history = {
+  committed : txn_record list;
+  queries : query_record list;
+  initial : (key * int) list;
+  final_visible : (key * int option) list;
+}
+(** The types are concrete so harnesses other than {!recording_run} — in
+    particular the schedule explorer in [lib/check], which records a
+    history for {e every} enumerated interleaving — can assemble histories
+    and put them through {!verify}. *)
 
 type verdict = {
   transactions_checked : int;

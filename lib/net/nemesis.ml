@@ -119,6 +119,72 @@ let random_plan ~rng ~nodes ~horizon ?(crashes = 2) ?(partitions = 1)
     slow_links;
   sort_plan (List.rev !plan)
 
+(* Enumerable plan: every decision a random plan would draw from an RNG —
+   which node a fault hits, when it starts, how long it lasts, which link a
+   partition cuts — is instead a labelled discrete choice answered by
+   [choose].  Wired to [Sim.Engine.branch], a model checker can enumerate
+   the whole fault space of a scenario instead of sampling one plan per
+   seed.  Every fault heals before [horizon] (durations are clamped), the
+   same liveness guarantee [random_plan] gives. *)
+let choice_plan ~choose ~nodes ~horizon ?(crashes = 1) ?(partitions = 0)
+    ?(slow_links = 0) ?at_choices ?duration_choices ?(extra_latency = 5.0) () =
+  if nodes < 2 then invalid_arg "Nemesis.choice_plan: need at least two nodes";
+  if horizon <= 0.0 then invalid_arg "Nemesis.choice_plan: need horizon > 0";
+  let at_choices =
+    match at_choices with
+    | Some a when Array.length a > 0 -> a
+    | Some _ -> invalid_arg "Nemesis.choice_plan: empty at_choices"
+    | None ->
+        Array.map (fun f -> f *. horizon) [| 0.15; 0.35; 0.55; 0.75 |]
+  in
+  let duration_choices =
+    match duration_choices with
+    | Some d when Array.length d > 0 -> d
+    | Some _ -> invalid_arg "Nemesis.choice_plan: empty duration_choices"
+    | None -> Array.map (fun f -> f *. horizon) [| 0.15; 0.3 |]
+  in
+  let pick label arr =
+    let idx = choose ~label ~arity:(Array.length arr) in
+    if idx < 0 || idx >= Array.length arr then arr.(0) else arr.(idx)
+  in
+  let pick_node label =
+    let idx = choose ~label ~arity:nodes in
+    if idx < 0 || idx >= nodes then 0 else idx
+  in
+  let timing label =
+    let at = pick (label ^ "-at") at_choices in
+    let d = pick (label ^ "-duration") duration_choices in
+    (* Heal strictly before the horizon so the end state is fault-free. *)
+    let d = if at +. d >= horizon then horizon -. at -. (horizon /. 100.0) else d in
+    (at, max d (horizon /. 100.0))
+  in
+  let plan = ref [] in
+  for i = 1 to crashes do
+    let label = Printf.sprintf "nemesis-crash%d" i in
+    let node = pick_node (label ^ "-node") in
+    let at, duration = timing label in
+    plan := Crash { node; at; duration } :: !plan
+  done;
+  let pick_pair label =
+    let a = pick_node (label ^ "-a") in
+    let off = choose ~label:(label ^ "-b") ~arity:(nodes - 1) in
+    let off = if off < 0 || off >= nodes - 1 then 0 else off in
+    (a, (a + 1 + off) mod nodes)
+  in
+  for i = 1 to partitions do
+    let label = Printf.sprintf "nemesis-partition%d" i in
+    let a, b = pick_pair label in
+    let at, duration = timing label in
+    plan := Partition { a; b; at; duration } :: !plan
+  done;
+  for i = 1 to slow_links do
+    let label = Printf.sprintf "nemesis-slow%d" i in
+    let src, dst = pick_pair label in
+    let at, duration = timing label in
+    plan := Slow_link { src; dst; at; duration; extra = extra_latency } :: !plan
+  done;
+  sort_plan (List.rev !plan)
+
 let install ~engine target plan =
   validate ~nodes:target.nodes plan;
   List.iter

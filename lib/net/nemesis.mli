@@ -60,6 +60,28 @@ val random_plan :
     every fault heals before [horizon].  Defaults: 2 crashes, 1 partition,
     1 slow link, durations in [20, 60], +5.0 extra latency. *)
 
+val choice_plan :
+  choose:(label:string -> arity:int -> int) ->
+  nodes:int ->
+  horizon:float ->
+  ?crashes:int ->
+  ?partitions:int ->
+  ?slow_links:int ->
+  ?at_choices:float array ->
+  ?duration_choices:float array ->
+  ?extra_latency:float ->
+  unit ->
+  plan
+(** Build a plan from labelled discrete choices instead of RNG draws: the
+    faulty node, the start time (one of [at_choices], default quarter
+    points of the horizon) and the duration (one of [duration_choices])
+    of every fault are each a [choose ~label ~arity] decision.  Wire
+    [choose] to [Sim.Engine.branch] and a model checker enumerates the
+    whole fault space of a scenario; answer [0] everywhere and you get
+    the plan's deterministic default.  Durations are clamped so every
+    fault heals strictly before [horizon].  Defaults: 1 crash, no
+    partitions, no slow links. *)
+
 val install : engine:Sim.Engine.t -> target -> plan -> unit
 (** Schedule the plan's events on the engine.  Call before
     [Sim.Engine.run]; raises [Invalid_argument] on malformed plans

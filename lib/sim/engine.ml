@@ -1,6 +1,19 @@
+(* An event is a closure plus the name of the process it belongs to (when
+   known).  The label is what makes scheduling choices meaningful to an
+   external chooser: events of one named process are program-ordered, so
+   permuting them is never a real choice, while events of distinct
+   processes racing at the same virtual time are. *)
+type ev = { fn : unit -> unit; label : string option }
+
+type choice_point =
+  | Tie of { labels : string option array }
+  | Branch of { label : string; arity : int }
+
+type chooser = choice_point -> int
+
 type t = {
   mutable clock : float;
-  queue : (unit -> unit) Heap.t;
+  queue : ev Heap.t;
   mutable seq : int;
   root_rng : Rng.t;
   trace_rec : Trace.t;
@@ -9,6 +22,10 @@ type t = {
   mutable current_name : string option;
       (* name of the process whose code is executing right now; threaded
          into trace entries so per-process events are attributable *)
+  mutable chooser : chooser option;
+      (* when installed, ready-queue ties and Engine.branch calls are
+         resolved by this callback instead of insertion order — the hook
+         the model checker (lib/check) drives schedule exploration with *)
 }
 
 exception Not_in_process
@@ -19,16 +36,17 @@ type _ Effect.t +=
   | Sleep : float -> unit Effect.t
   | Current_engine : t Effect.t
 
-let create ?(seed = 0x5EEDL) ?(trace = true) () =
+let create ?(seed = 0x5EEDL) ?(trace = true) ?trace_capacity () =
   {
     clock = 0.0;
-    queue = Heap.create ~dummy:(fun () -> ()) ();
+    queue = Heap.create ~dummy:{ fn = (fun () -> ()); label = None } ();
     seq = 0;
     root_rng = Rng.create seed;
-    trace_rec = Trace.create ~enabled:trace ();
+    trace_rec = Trace.create ~enabled:trace ?capacity:trace_capacity ();
     running = false;
     suspended = 0;
     current_name = None;
+    chooser = None;
   }
 
 let now t = t.clock
@@ -36,12 +54,22 @@ let rng t = t.root_rng
 let trace t = t.trace_rec
 let current_process t = t.current_name
 
+let set_chooser t chooser = t.chooser <- chooser
+
+let branch t ~label arity =
+  if arity <= 0 then invalid_arg "Engine.branch: arity must be positive";
+  match t.chooser with
+  | None -> 0
+  | Some choose ->
+      let c = choose (Branch { label; arity }) in
+      if c < 0 || c >= arity then 0 else c
+
 let emit t ~tag message =
   Trace.emit t.trace_rec ~time:t.clock ?process:t.current_name ~tag message
 
-let schedule_at t ~time fn =
+let schedule_at t ~time ?label fn =
   t.seq <- t.seq + 1;
-  Heap.push t.queue ~time ~seq:t.seq fn
+  Heap.push t.queue ~time ~seq:t.seq { fn; label }
 
 (* Execute one segment of a (possibly named) process: the name is active
    while its code runs, so trace entries emitted by the process carry it;
@@ -74,14 +102,14 @@ let run_process t ?name fn =
                       t.suspended <- t.suspended + 1;
                       register (fun v ->
                           t.suspended <- t.suspended - 1;
-                          schedule_at t ~time:t.clock (fun () ->
+                          schedule_at t ~time:t.clock ?label:name (fun () ->
                               run_named t name (fun () -> continue k v))))
               | Sleep delay ->
                   Some
                     (fun (k : (a, _) continuation) ->
                       let delay = if delay < 0.0 then 0.0 else delay in
-                      schedule_at t ~time:(t.clock +. delay) (fun () ->
-                          run_named t name (fun () -> continue k ())))
+                      schedule_at t ~time:(t.clock +. delay) ?label:name
+                        (fun () -> run_named t name (fun () -> continue k ())))
               | Current_engine ->
                   Some (fun (k : (a, _) continuation) -> continue k t)
               | _ -> None);
@@ -91,16 +119,85 @@ let spawn t ?name fn =
   (match name with
   | Some n -> Trace.emit t.trace_rec ~time:t.clock ~process:n ~tag:"spawn" n
   | None -> ());
-  schedule_at t ~time:t.clock (fun () -> run_process t ?name fn)
+  schedule_at t ~time:t.clock ?label:name (fun () -> run_process t ?name fn)
 
-let schedule t ~delay fn =
+let schedule t ?name ~delay fn =
   let delay = if delay < 0.0 then 0.0 else delay in
-  schedule_at t ~time:(t.clock +. delay) (fun () -> run_process t fn)
+  schedule_at t ~time:(t.clock +. delay) ?label:name (fun () ->
+      run_process t ?name fn)
 
 let stop t = t.running <- false
 
 let suspended_count t = t.suspended
 let pending_events t = Heap.size t.queue
+
+let pending_summary t =
+  let acc = ref [] in
+  Heap.iter t.queue (fun time _seq ev -> acc := (time, ev.label) :: !acc);
+  List.sort compare !acc
+
+(* Next event to execute.  Without a chooser this is a plain heap pop
+   (zero overhead on the normal path).  With one, every event at the
+   minimal virtual time is drained, grouped into scheduling alternatives —
+   one group per named process (its events stay in program order), one per
+   anonymous event — and the chooser picks which group's first event runs;
+   the rest go back on the heap with their original sequence numbers, so
+   the unchosen alternatives keep their relative order and remain
+   candidates at the next iteration. *)
+let pop_event t =
+  match t.chooser with
+  | None -> Heap.pop t.queue
+  | Some choose -> (
+      match Heap.peek_time t.queue with
+      | None -> None
+      | Some tmin -> (
+          let rec drain acc =
+            match Heap.peek_time t.queue with
+            | Some tm when tm = tmin -> (
+                match Heap.pop t.queue with
+                | Some e -> drain (e :: acc)
+                | None -> acc)
+            | _ -> acc
+          in
+          let batch = List.rev (drain []) in
+          match batch with
+          | [] -> None
+          | [ e ] -> Some e
+          | batch ->
+              let seen = Hashtbl.create 8 in
+              let candidates =
+                List.filter
+                  (fun (_, _, ev) ->
+                    match ev.label with
+                    | None -> true
+                    | Some l ->
+                        if Hashtbl.mem seen l then false
+                        else begin
+                          Hashtbl.add seen l ();
+                          true
+                        end)
+                  batch
+              in
+              let chosen =
+                match candidates with
+                | [ _ ] -> List.hd batch
+                | _ ->
+                    let labels =
+                      Array.of_list
+                        (List.map (fun (_, _, ev) -> ev.label) candidates)
+                    in
+                    let idx = choose (Tie { labels }) in
+                    let idx =
+                      if idx < 0 || idx >= Array.length labels then 0 else idx
+                    in
+                    List.nth candidates idx
+              in
+              let _, chosen_seq, _ = chosen in
+              List.iter
+                (fun (time, seq, ev) ->
+                  if seq <> chosen_seq then Heap.push t.queue ~time ~seq ev)
+                batch;
+              Some chosen))
 
 let run ?until t =
   let limit = match until with None -> infinity | Some u -> u in
@@ -112,11 +209,11 @@ let run ?until t =
       | None -> ()
       | Some time when time > limit -> t.clock <- limit
       | Some _ -> (
-          match Heap.pop t.queue with
+          match pop_event t with
           | None -> ()
-          | Some (time, _, fn) ->
+          | Some (time, _, ev) ->
               t.clock <- time;
-              fn ();
+              ev.fn ();
               loop ())
   in
   loop ();

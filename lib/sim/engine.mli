@@ -13,6 +13,29 @@
 
 type t
 
+(** {1 Scheduling choice points}
+
+    A fully deterministic engine orders simultaneous events by insertion
+    sequence.  That tie-break (and any {!branch} call) can instead be
+    delegated to an external {e chooser} — the hook the model checker in
+    [lib/check] uses to enumerate alternative schedules.  A [Tie] offers
+    the distinct scheduling alternatives among the events ready at the
+    current instant: one per named process (a process's own events stay in
+    program order — permuting them is never a real choice, which is the
+    commutative-step reduction), plus one per anonymous event.  A [Branch]
+    is a labelled n-way decision requested explicitly through {!branch}
+    (e.g. enumerated nemesis faults). *)
+
+type choice_point =
+  | Tie of { labels : string option array }
+      (** Ready-queue tie: pick the index of the alternative to run.  Each
+          label is the name of the process owning that alternative (or
+          [None] for an anonymous event). *)
+  | Branch of { label : string; arity : int }
+      (** Explicit decision: pick a value in [\[0, arity)]. *)
+
+type chooser = choice_point -> int
+
 exception Not_in_process
 (** Raised when an effectful operation ([sleep], [suspend], [current]) is
     performed outside any simulation process. *)
@@ -21,9 +44,27 @@ exception Deadlocked of string
 (** Raised by {!run} when [run_until_quiescent] detects that processes are
     still suspended but no future event can wake them. *)
 
-val create : ?seed:int64 -> ?trace:bool -> unit -> t
+val create : ?seed:int64 -> ?trace:bool -> ?trace_capacity:int -> unit -> t
 (** Fresh engine with virtual time 0.  [trace] enables event recording
-    (default true). *)
+    (default true); [trace_capacity] bounds the trace to the most recent
+    entries (default unbounded) — see {!Trace.create}.  Exploration
+    harnesses that create millions of engines should disable or bound the
+    trace so dead runs do not accumulate event memory. *)
+
+val set_chooser : t -> chooser option -> unit
+(** Install (or remove, with [None]) the scheduling chooser.  While
+    installed, every ready-queue tie among ≥ 2 alternatives and every
+    {!branch} call is routed through it.  Out-of-range answers fall back
+    to alternative 0.  With no chooser the engine behaves exactly as
+    before: ties resolve by insertion sequence, branches take 0. *)
+
+val branch : t -> label:string -> int -> int
+(** [branch t ~label arity] is a controlled n-way decision: the installed
+    chooser picks a value in [\[0, arity)]; without a chooser the result
+    is [0].  Usable anywhere (not only inside a process).  Components with
+    genuinely nondeterministic decisions (which node a fault hits, when a
+    retry fires) route them through here so a model checker can enumerate
+    them; [label] identifies the decision in recorded choice traces. *)
 
 val now : t -> float
 (** Current virtual time. *)
@@ -48,8 +89,10 @@ val current_process : t -> string option
 (** Name of the process whose code is currently executing, if it was
     spawned with [~name]. *)
 
-val schedule : t -> delay:float -> (unit -> unit) -> unit
-(** Start a new process after [delay] units of virtual time. *)
+val schedule : t -> ?name:string -> delay:float -> (unit -> unit) -> unit
+(** Start a new process after [delay] units of virtual time.  [name] acts
+    as in {!spawn} (minus the spawn trace entry) and additionally labels
+    the start event for the scheduling chooser. *)
 
 val run : ?until:float -> t -> unit
 (** Execute events until the queue is empty or virtual time would exceed
@@ -62,6 +105,14 @@ val suspended_count : t -> int
 (** Number of processes currently suspended on a {!suspend}. *)
 
 val pending_events : t -> int
+
+val pending_summary : t -> (float * string option) list
+(** The (time, process label) of every pending event, sorted.  A
+    canonical summary of in-flight work for state fingerprinting: two
+    states whose data agree but whose event queues differ (almost
+    always) differ here.  Event payloads are closures and cannot be
+    compared, so same-time same-label events with different effects do
+    summarize identically — fingerprint users accept that imprecision. *)
 
 (** {1 Operations usable inside a process} *)
 

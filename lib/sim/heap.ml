@@ -15,6 +15,12 @@ let create ~dummy () =
 let is_empty t = t.len = 0
 let size t = t.len
 
+let iter t f =
+  for i = 0 to t.len - 1 do
+    let e = t.data.(i) in
+    f e.time e.seq e.payload
+  done
+
 let less a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
 
 let grow t =

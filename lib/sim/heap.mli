@@ -17,6 +17,10 @@ val create : dummy:'a -> unit -> 'a t
 val is_empty : 'a t -> bool
 val size : 'a t -> int
 
+val iter : 'a t -> (float -> int -> 'a -> unit) -> unit
+(** Visit every live entry as [(time, seq, payload)], in internal heap
+    order (not sorted); callers needing a canonical order must sort. *)
+
 val push : 'a t -> time:float -> seq:int -> 'a -> unit
 
 val pop : 'a t -> (float * int * 'a) option

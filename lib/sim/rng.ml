@@ -1,11 +1,11 @@
-type t = { mutable state : int64 }
+type t = { mutable state : int64; seed0 : int64 }
 
 (* splitmix64 constants, see Steele et al., "Fast splittable pseudorandom
    number generators". *)
 let gamma = 0x9E3779B97F4A7C15L
 
-let create seed = { state = seed }
-let copy t = { state = t.state }
+let create seed = { state = seed; seed0 = seed }
+let copy t = { state = t.state; seed0 = t.seed0 }
 
 let bits64 t =
   t.state <- Int64.add t.state gamma;
@@ -17,6 +17,25 @@ let bits64 t =
 let split t =
   let seed = bits64 t in
   create (Int64.logxor seed 0xDEADBEEFCAFEBABEL)
+
+(* FNV-1a over the label bytes: a stable, order-sensitive 64-bit digest. *)
+let hash_label label =
+  let h = ref 0xCBF29CE484222325L in
+  String.iter
+    (fun c ->
+      h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) 0x100000001B3L)
+    label;
+  !h
+
+(* The child's seed is a pure function of (original seed, label): it does
+   not read or advance [t.state], so sibling forks are insensitive to how
+   many draws each other made — the property replay-based exploration
+   needs.  One splitmix scramble decorrelates labels differing in a few
+   bits. *)
+let fork_named t label =
+  let mixed = Int64.add t.seed0 (Int64.mul gamma (hash_label label)) in
+  let g = create mixed in
+  create (bits64 g)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

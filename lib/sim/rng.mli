@@ -20,6 +20,15 @@ val split : t -> t
     advances [t].  Used to give each simulated component its own stream so
     adding draws in one component does not perturb another. *)
 
+val fork_named : t -> string -> t
+(** [fork_named t label] derives a generator from [t]'s {e original} seed
+    and the label, without reading or advancing [t]'s state.  Unlike
+    {!split}, the child stream depends only on [(seed, label)] — not on
+    how many draws [t] or any sibling made first — so adding a component's
+    draws can never perturb another component's stream across exploration
+    replays.  Forking the same label twice yields identical streams; give
+    each component a distinct label. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

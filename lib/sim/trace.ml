@@ -5,22 +5,73 @@ type entry = {
   process : string option;
 }
 
-type t = { mutable rev_entries : entry list; mutable enabled : bool }
+type t = {
+  mutable rev_entries : entry list;
+  mutable len : int;
+  mutable enabled : bool;
+  mutable capacity : int option;
+  mutable dropped : int;
+}
 
-let create ?(enabled = true) () = { rev_entries = []; enabled }
+let create ?(enabled = true) ?capacity () =
+  (match capacity with
+  | Some c when c <= 0 -> invalid_arg "Trace.create: capacity must be positive"
+  | _ -> ());
+  { rev_entries = []; len = 0; enabled; capacity; dropped = 0 }
 
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
 
-let emit t ~time ?process ~tag message =
-  if t.enabled then
-    t.rev_entries <- { time; tag; message; process } :: t.rev_entries
+let rec take n = function
+  | x :: rest when n > 0 -> x :: take (n - 1) rest
+  | _ -> []
 
-let entries t = List.rev t.rev_entries
+(* Bounded traces drop their oldest entries.  [rev_entries] is newest
+   first, so truncation keeps a prefix; doing it only once the list grows
+   to twice the capacity makes the cost amortized O(1) per emit. *)
+let truncate t =
+  match t.capacity with
+  | Some cap when t.len > 2 * cap ->
+      t.rev_entries <- take cap t.rev_entries;
+      t.dropped <- t.dropped + (t.len - cap);
+      t.len <- cap
+  | _ -> ()
+
+let emit t ~time ?process ~tag message =
+  if t.enabled then begin
+    t.rev_entries <- { time; tag; message; process } :: t.rev_entries;
+    t.len <- t.len + 1;
+    truncate t
+  end
+
+let entries t =
+  (match t.capacity with
+  | Some cap when t.len > cap ->
+      (* Present at most [capacity] entries even between truncations. *)
+      t.rev_entries <- take cap t.rev_entries;
+      t.dropped <- t.dropped + (t.len - cap);
+      t.len <- cap
+  | _ -> ());
+  List.rev t.rev_entries
 
 let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
 
-let clear t = t.rev_entries <- []
+let clear t =
+  t.rev_entries <- [];
+  t.len <- 0;
+  t.dropped <- 0
+
+let capacity t = t.capacity
+
+let set_capacity t capacity =
+  (match capacity with
+  | Some c when c <= 0 ->
+      invalid_arg "Trace.set_capacity: capacity must be positive"
+  | _ -> ());
+  t.capacity <- capacity;
+  truncate t
+
+let dropped t = t.dropped
 
 let pp_entry ppf e =
   match e.process with

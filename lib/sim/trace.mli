@@ -14,17 +14,30 @@ type entry = {
 
 type t
 
-val create : ?enabled:bool -> unit -> t
+val create : ?enabled:bool -> ?capacity:int -> unit -> t
+(** [capacity], if given, bounds the trace to (at least) the most recent
+    [capacity] entries; older ones are dropped and counted in {!dropped}.
+    Unbounded by default.  A bound keeps memory flat when millions of
+    short engine runs each record a trace (schedule exploration). *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit
+
+val capacity : t -> int option
+
+val set_capacity : t -> int option -> unit
+(** Change the bound; shrinking truncates immediately. *)
+
+val dropped : t -> int
+(** Entries discarded by the capacity bound since the last {!clear}. *)
 
 val emit : t -> time:float -> ?process:string -> tag:string -> string -> unit
 (** Record one entry (no-op when disabled).  [process] attributes the
     entry to a named simulation process. *)
 
 val entries : t -> entry list
-(** All recorded entries in emission order. *)
+(** Recorded entries in emission order — all of them when unbounded, the
+    most recent [capacity] otherwise. *)
 
 val find : t -> tag:string -> entry list
 (** Entries carrying the given tag, in emission order. *)

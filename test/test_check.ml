@@ -1,0 +1,166 @@
+(* Tests for the schedule explorer (lib/check): it must convict the
+   deliberately broken toy store within a bounded schedule count with a
+   minimized, replayable counterexample; clear the corrected twin over
+   the same schedule space; replay deterministically; and find nothing
+   in a bounded exploration of the real protocol. *)
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* {1 Convicting the buggy toy store} *)
+
+let test_toy_torn_found () =
+  let r = Explorer.explore ~budget:500 Scenarios.toy_torn in
+  match r.violation with
+  | None -> Alcotest.fail "explorer missed the torn snapshot"
+  | Some v ->
+      check_bool "reports a torn snapshot" true
+        (List.exists
+           (fun m ->
+             String.length m >= 4 && String.sub m 0 4 = "torn")
+           v.v_messages);
+      check_bool "counterexample is small" true
+        (List.length v.v_decisions <= 4);
+      (* Replay the minimized decision vector from scratch: it must
+         reproduce the violation. *)
+      let decisions =
+        List.map (fun (d : Explorer.decision) -> d.index) v.v_decisions
+      in
+      let out = Explorer.replay ~record_trace:false Scenarios.toy_torn decisions in
+      check_bool "minimized counterexample replays to the violation" true
+        (out.r_messages <> [])
+
+let test_toy_lost_update_found () =
+  let r = Explorer.explore ~budget:500 Scenarios.toy_lost_update in
+  match r.violation with
+  | None -> Alcotest.fail "explorer missed the lost update"
+  | Some v ->
+      (* The race is one flipped tie: minimization must get it down to a
+         single decision. *)
+      check_int "minimized to one decision" 1 (List.length v.v_decisions);
+      let out =
+        Explorer.replay ~record_trace:false Scenarios.toy_lost_update
+          (List.map (fun (d : Explorer.decision) -> d.index) v.v_decisions)
+      in
+      check_bool "replays to the violation" true (out.r_messages <> [])
+
+(* {1 Clearing the corrected twins} *)
+
+let test_toy_safe_clean () =
+  let r = Explorer.explore ~budget:500 Scenarios.toy_safe in
+  check_bool "no violation" true (r.violation = None);
+  check_bool "space exhausted within budget" true r.stats.exhausted
+
+let test_toy_rmw_safe_clean () =
+  let r = Explorer.explore ~budget:500 Scenarios.toy_rmw_safe in
+  check_bool "no violation" true (r.violation = None);
+  check_bool "space exhausted within budget" true r.stats.exhausted
+
+(* {1 Determinism} *)
+
+let test_replay_deterministic () =
+  (* The same decision vector must reproduce the identical final state
+     fingerprint, run after run — replayability rests on this. *)
+  let decisions = [ 0; 1; 1 ] in
+  let fp_of () =
+    (Explorer.replay ~record_trace:false Scenarios.toy_safe decisions)
+      .r_fingerprint
+  in
+  let a = fp_of () and b = fp_of () in
+  check_bool "fingerprint present" true (a <> None);
+  Alcotest.(check bool) "same trace, same fingerprint" true (a = b)
+
+let test_default_schedule_is_empty_vector () =
+  let a = (Explorer.replay ~record_trace:false Scenarios.toy_safe []).r_fingerprint
+  and b =
+    (Explorer.replay ~record_trace:false Scenarios.toy_safe [ 0; 0 ])
+      .r_fingerprint
+  in
+  Alcotest.(check bool)
+    "explicit zeros equal the default schedule" true
+    (a = b && a <> None)
+
+(* {1 Counterexample files} *)
+
+let test_counterexample_roundtrip () =
+  let path = Filename.temp_file "ava3-ce" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Counterexample.save ~path ~scenario:"toy-torn"
+        ~decisions:[ (0, "tie(writer|reader)"); (1, "tie(writer|reader)") ]
+        ~messages:[ "torn snapshot: x=1 y=0" ];
+      let ce = Counterexample.load ~path in
+      Alcotest.(check string) "scenario survives" "toy-torn" ce.scenario;
+      Alcotest.(check (list int)) "decisions survive" [ 0; 1 ] ce.decisions)
+
+let test_counterexample_end_to_end () =
+  (* Find, save, load, replay: the full violation pipeline. *)
+  let r = Explorer.explore ~budget:500 Scenarios.toy_torn in
+  match r.violation with
+  | None -> Alcotest.fail "no violation found"
+  | Some v ->
+      let path = Filename.temp_file "ava3-ce" ".txt" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Counterexample.save ~path ~scenario:"toy-torn"
+            ~decisions:
+              (List.map
+                 (fun (d : Explorer.decision) -> (d.index, d.label))
+                 v.v_decisions)
+            ~messages:v.v_messages;
+          let ce = Counterexample.load ~path in
+          let sc = Option.get (Scenarios.find ce.scenario) in
+          let out = Explorer.replay ~record_trace:false sc ce.decisions in
+          check_bool "loaded counterexample reproduces" true
+            (out.r_messages <> []))
+
+(* {1 Exploring the real protocol} *)
+
+let test_race2_clean_small_budget () =
+  let r = Explorer.explore ~budget:300 Scenarios.race2 in
+  check_bool "no violation in a bounded exploration" true (r.violation = None);
+  check_bool "many schedules enumerated" true (r.stats.schedules >= 100);
+  check_bool "several choice points per run" true (r.stats.choice_points > 0)
+
+let test_prune_only_skips_converged () =
+  (* Pruned and unpruned exploration of an exhaustible space must agree
+     on the set of distinct final states. *)
+  let a = Explorer.explore ~budget:500 ~prune:true Scenarios.toy_torn
+  and b = Explorer.explore ~budget:500 ~prune:false Scenarios.toy_torn in
+  check_bool "both convict" true (a.violation <> None && b.violation <> None)
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "toy bugs",
+        [
+          Alcotest.test_case "torn snapshot found" `Quick test_toy_torn_found;
+          Alcotest.test_case "lost update found" `Quick
+            test_toy_lost_update_found;
+          Alcotest.test_case "safe twin clean" `Quick test_toy_safe_clean;
+          Alcotest.test_case "atomic twin clean" `Quick test_toy_rmw_safe_clean;
+          Alcotest.test_case "prune agrees with no-prune" `Quick
+            test_prune_only_skips_converged;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "replay deterministic" `Quick
+            test_replay_deterministic;
+          Alcotest.test_case "zeros equal default" `Quick
+            test_default_schedule_is_empty_vector;
+        ] );
+      ( "counterexamples",
+        [
+          Alcotest.test_case "file roundtrip" `Quick
+            test_counterexample_roundtrip;
+          Alcotest.test_case "find-save-load-replay" `Quick
+            test_counterexample_end_to_end;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "race2 clean under small budget" `Quick
+            test_race2_clean_small_budget;
+        ] );
+    ]

@@ -321,6 +321,114 @@ let test_trace_records () =
       Alcotest.(check string) "message" "hello" entry.Sim.Trace.message
   | _ -> Alcotest.fail "expected exactly one entry"
 
+let test_trace_capacity () =
+  let tr = Sim.Trace.create ~capacity:3 () in
+  for i = 1 to 10 do
+    Sim.Trace.emit tr ~time:(float_of_int i) ~tag:"t" (string_of_int i)
+  done;
+  let entries = Sim.Trace.entries tr in
+  check_int "keeps only newest capacity entries" 3 (List.length entries);
+  Alcotest.(check (list string))
+    "the newest three, oldest first" [ "8"; "9"; "10" ]
+    (List.map (fun e -> e.Sim.Trace.message) entries);
+  check_int "dropped counts the discarded" 7 (Sim.Trace.dropped tr);
+  Sim.Trace.clear tr;
+  check_int "clear resets dropped" 0 (Sim.Trace.dropped tr);
+  check_int "clear empties" 0 (List.length (Sim.Trace.entries tr))
+
+let test_trace_set_capacity () =
+  let tr = Sim.Trace.create () in
+  for i = 1 to 5 do
+    Sim.Trace.emit tr ~time:(float_of_int i) ~tag:"t" (string_of_int i)
+  done;
+  Sim.Trace.set_capacity tr (Some 2);
+  Alcotest.(check (list string))
+    "retroactively bounded" [ "4"; "5" ]
+    (List.map (fun e -> e.Sim.Trace.message) (Sim.Trace.entries tr))
+
+(* {1 Rng.fork_named} *)
+
+let test_fork_named_stable () =
+  let a = Sim.Rng.create 42L in
+  let f1 = Sim.Rng.fork_named a "alpha" in
+  (* Advance the parent arbitrarily: the fork must not depend on it. *)
+  for _ = 1 to 17 do
+    ignore (Sim.Rng.bits64 a : int64)
+  done;
+  let f2 = Sim.Rng.fork_named a "alpha" in
+  Alcotest.(check int64)
+    "same label, same stream regardless of parent position"
+    (Sim.Rng.bits64 f1) (Sim.Rng.bits64 f2);
+  let g = Sim.Rng.fork_named a "beta" in
+  check_bool "distinct labels diverge" false
+    (Int64.equal (Sim.Rng.bits64 f1) (Sim.Rng.bits64 g))
+
+let test_fork_named_leaves_parent () =
+  let a = Sim.Rng.create 7L and b = Sim.Rng.create 7L in
+  ignore (Sim.Rng.fork_named a "x" : Sim.Rng.t);
+  Alcotest.(check int64)
+    "forking does not advance the parent" (Sim.Rng.bits64 b)
+    (Sim.Rng.bits64 a)
+
+(* {1 Engine chooser} *)
+
+let test_chooser_tie_orders () =
+  (* Two named processes racing at the same instant: the chooser's answer
+     decides who runs first, and unchosen events keep their order. *)
+  let run_with pick =
+    let e = Sim.Engine.create () in
+    let log = Buffer.create 16 in
+    Sim.Engine.set_chooser e
+      (Some
+         (function
+         | Sim.Engine.Tie { labels } when Array.length labels = 2 -> pick
+         | _ -> 0));
+    Sim.Engine.schedule e ~name:"a" ~delay:1.0 (fun () ->
+        Buffer.add_string log "a");
+    Sim.Engine.schedule e ~name:"b" ~delay:1.0 (fun () ->
+        Buffer.add_string log "b");
+    Sim.Engine.run e;
+    Buffer.contents log
+  in
+  Alcotest.(check string) "default order" "ab" (run_with 0);
+  Alcotest.(check string) "flipped order" "ba" (run_with 1);
+  Alcotest.(check string) "out of range falls back" "ab" (run_with 99)
+
+let test_chooser_program_order () =
+  (* Two events of the SAME named process at one instant are never
+     offered as a tie: program order is not a scheduling choice. *)
+  let e = Sim.Engine.create () in
+  let ties = ref 0 in
+  Sim.Engine.set_chooser e
+    (Some
+       (fun _ ->
+         incr ties;
+         0));
+  let log = Buffer.create 16 in
+  Sim.Engine.schedule e ~name:"p" ~delay:1.0 (fun () ->
+      Buffer.add_string log "1");
+  Sim.Engine.schedule e ~name:"p" ~delay:1.0 (fun () ->
+      Buffer.add_string log "2");
+  Sim.Engine.run e;
+  Alcotest.(check string) "program order kept" "12" (Buffer.contents log);
+  check_int "no tie offered" 0 !ties
+
+let test_branch_without_chooser () =
+  let e = Sim.Engine.create () in
+  check_int "branch defaults to 0" 0 (Sim.Engine.branch e ~label:"b" 5);
+  Sim.Engine.set_chooser e
+    (Some (function Sim.Engine.Branch { arity; _ } -> arity - 1 | _ -> 0));
+  check_int "chooser answers branch" 4 (Sim.Engine.branch e ~label:"b" 5)
+
+let test_pending_summary () =
+  let e = Sim.Engine.create () in
+  Sim.Engine.schedule e ~name:"z" ~delay:2.0 (fun () -> ());
+  Sim.Engine.schedule e ~delay:1.0 (fun () -> ());
+  Alcotest.(check (list (pair (float 1e-9) (option string))))
+    "sorted (time, label) summary"
+    [ (1.0, None); (2.0, Some "z") ]
+    (Sim.Engine.pending_summary e)
+
 (* {1 Properties} *)
 
 let prop_engine_deterministic =
@@ -367,6 +475,9 @@ let () =
           Alcotest.test_case "exponential mean" `Quick test_rng_exponential_mean;
           Alcotest.test_case "shuffle and pick" `Quick test_rng_shuffle_pick;
           Alcotest.test_case "copy diverges" `Quick test_rng_copy_diverges_from_parent;
+          Alcotest.test_case "fork_named stable" `Quick test_fork_named_stable;
+          Alcotest.test_case "fork_named leaves parent" `Quick
+            test_fork_named_leaves_parent;
         ] );
       ( "heap",
         [
@@ -385,6 +496,12 @@ let () =
           Alcotest.test_case "negative delay clamped" `Quick
             test_negative_delay_clamped;
           Alcotest.test_case "suspended count" `Quick test_suspended_count_tracks;
+          Alcotest.test_case "chooser tie orders" `Quick test_chooser_tie_orders;
+          Alcotest.test_case "chooser keeps program order" `Quick
+            test_chooser_program_order;
+          Alcotest.test_case "branch without chooser" `Quick
+            test_branch_without_chooser;
+          Alcotest.test_case "pending summary" `Quick test_pending_summary;
         ] );
       ( "condition",
         [
@@ -400,6 +517,9 @@ let () =
         [
           Alcotest.test_case "records" `Quick test_trace_records;
           Alcotest.test_case "toggle and clear" `Quick test_trace_toggle;
+          Alcotest.test_case "capacity ring" `Quick test_trace_capacity;
+          Alcotest.test_case "set_capacity retroactive" `Quick
+            test_trace_set_capacity;
         ] );
       ("properties", qc [ prop_engine_deterministic; prop_heap_sorted ]);
     ]
