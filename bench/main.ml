@@ -279,7 +279,8 @@ let run_check () =
         ])
       [
         Scenarios.race2; Scenarios.mtf_race; Scenarios.crash_advance;
-        Scenarios.table1_3site; Scenarios.toy_safe;
+        Scenarios.group_commit_crash; Scenarios.table1_3site;
+        Scenarios.toy_safe;
       ]
   in
   print_endline
@@ -304,6 +305,7 @@ let experiments =
     ("ablations", run_ablations);
     ("scalability", Dbsim.Experiment.print_scalability);
     ("faults", Dbsim.Experiment.print_faults);
+    ("batching", Dbsim.Experiment.print_batching);
     ("check", run_check);
     ("micro", run_micro);
   ]

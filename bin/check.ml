@@ -52,8 +52,8 @@ let usage = "check.exe [options]\nSystematic schedule explorer for AVA3."
 (* The buggy toy scenarios are self-tests of the explorer: they are only
    run when named explicitly or under --expect-violation. *)
 let expected_clean =
-  [ "race2"; "table1-3site"; "mtf-race"; "crash-advance"; "toy-safe";
-    "toy-rmw-safe" ]
+  [ "race2"; "table1-3site"; "mtf-race"; "crash-advance";
+    "group-commit-crash"; "toy-safe"; "toy-rmw-safe" ]
 
 let say fmt = Printf.ksprintf (fun s -> if not !quiet then print_endline s) fmt
 

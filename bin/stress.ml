@@ -28,6 +28,15 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis =
       (* Finite: configurations with crashes/partitions must detect lost
          RPCs by timeout, not hang on them. *)
       rpc_timeout = 25.0;
+      (* Commit-path batching at seed-derived strengths: about a third of
+         the seeds pay for a real disk force and group-commit window (so
+         crashes genuinely lose volatile log tails), and a subset of those
+         also coalesce RPC legs into envelopes. *)
+      disk_force_latency = (if seed mod 3 = 1 then 0.4 else 0.0);
+      group_commit_window =
+        (if seed mod 3 = 1 then 0.5 *. float_of_int (1 + (seed mod 4)) else 0.0);
+      group_commit_batch = 4 + (seed mod 13);
+      rpc_batch_window = (if seed mod 6 = 1 then 0.5 else 0.0);
     }
   in
   let db : int Cluster.t = Cluster.create ~engine ~config ~nodes () in

@@ -379,6 +379,79 @@ let crash_advance =
         ava3_instance db rec_ ~keys)
   }
 
+(* Group commit vs crash: updates commit through the batching daemon (a
+   nonzero force latency and window), and the nemesis crashes a node at a
+   choice-point instant — including between a commit's enqueue and the
+   batch's disk force.  The usual serializable-history oracle doubles as
+   the durability oracle: an update that reported Committed to its client
+   must survive the crash (its records were forced before the ack), and
+   an update whose records died with the volatile log tail must have
+   reported Aborted.  The [-buggy] twin acknowledges waiters at enqueue,
+   before the force (Config.gc_ack_early): some schedule crashes the node
+   inside the window and loses an acknowledged commit, which the
+   final-state replay convicts. *)
+let group_commit_crash_variant ~ack_early ~name ~descr =
+  {
+    Scenario.name;
+    descr;
+    seed = 17L;
+    max_time = 600.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 1.0;
+            write_service_time = 1.0;
+            rpc_timeout = 10.0;
+            advancement_retry = 25.0;
+            disk_force_latency = 1.0;
+            group_commit_window = 3.0;
+            gc_ack_early = ack_early;
+          }
+        in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~nodes:2 ()
+        in
+        Ava3.Cluster.load db ~node:0 [ ("p", 1) ];
+        Ava3.Cluster.load db ~node:1 [ ("r", 2) ];
+        let keys = [ (0, "p"); (1, "r") ] in
+        let rec_ = recorder [ ((0, "p"), 1); ((1, "r"), 2) ] in
+        let plan =
+          Net.Nemesis.choice_plan
+            ~choose:(fun ~label ~arity -> Sim.Engine.branch engine ~label arity)
+            ~nodes:2 ~horizon:40.0 ~crashes:1
+            ~at_choices:[| 3.0; 5.0; 7.0 |]
+            ~duration_choices:[| 12.0 |]
+            ()
+        in
+        Net.Nemesis.install ~engine (Ava3.Cluster.nemesis_target db) plan;
+        Sim.Engine.schedule engine ~name:"T1" ~delay:2.0 (fun () ->
+            recorded_update rec_ db ~root:0 [ Rmw (0, "p", 601) ]);
+        Sim.Engine.schedule engine ~name:"T2" ~delay:4.0 (fun () ->
+            recorded_update rec_ db ~root:1 [ Rmw (1, "r", 602) ]);
+        Sim.Engine.schedule engine ~name:"Q" ~delay:6.0 (fun () ->
+            recorded_query rec_ db ~root:1 [ (1, "r"); (0, "p") ]);
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:9.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:1));
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:80.0 (fun () ->
+            settle db ~coordinator:0;
+            recorded_query rec_ db ~root:1 keys);
+        ava3_instance db rec_ ~keys)
+  }
+
+let group_commit_crash =
+  group_commit_crash_variant ~ack_early:false ~name:"group-commit-crash"
+    ~descr:
+      "group commit vs crash: acks only after the disk force, so no \
+       schedule loses an acknowledged commit"
+
+let group_commit_crash_buggy =
+  group_commit_crash_variant ~ack_early:true ~name:"group-commit-crash-buggy"
+    ~descr:
+      "group commit acking at enqueue, before the force: some crash \
+       schedule loses an acknowledged commit"
+
 (* ---------- toy scenarios (explorer self-validation) ---------- *)
 
 (* A two-item commit racing a two-item query on the toy store.  In buggy
@@ -513,6 +586,8 @@ let all =
     table1_3site;
     mtf_race;
     crash_advance;
+    group_commit_crash;
+    group_commit_crash_buggy;
     toy_torn;
     toy_safe;
     toy_lost_update;

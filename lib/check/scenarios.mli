@@ -11,7 +11,13 @@
       update, forcing moveToFuture at data-access or commit time
       depending on the schedule;
     - [crash-advance] — advancement racing a coordinator crash, the
-      nemesis's node/time choices enumerated with the schedule.
+      nemesis's node/time choices enumerated with the schedule;
+    - [group-commit-crash] (must clear) / [group-commit-crash-buggy]
+      (must convict) — commits through the group-commit daemon racing a
+      node crash placed by the nemesis, including between a commit's
+      enqueue and the batch's disk force.  The buggy twin acknowledges
+      before the force ({!Ava3.Config.t.gc_ack_early}), so some schedule
+      loses an acknowledged commit.
 
     Toy scenarios (explorer self-validation on a deliberately broken
     store, {!Toy}):
@@ -24,6 +30,8 @@ val race2 : Scenario.t
 val table1_3site : Scenario.t
 val mtf_race : Scenario.t
 val crash_advance : Scenario.t
+val group_commit_crash : Scenario.t
+val group_commit_crash_buggy : Scenario.t
 val toy_torn : Scenario.t
 val toy_safe : Scenario.t
 val toy_lost_update : Scenario.t

@@ -17,6 +17,18 @@ let catch_up_gc cs node ~target =
 (* In the four-version baseline garbage collection trails one extra round. *)
 let gc_lag cs = if cs.config.Config.retain_extra_version then 1 else 0
 
+(* An advancement acknowledgement is a durability promise: the coordinator
+   may treat the version switch as done, so the Advance record behind it
+   must hit the disk before the ack leaves — otherwise a crash after the
+   ack reverts the node's version below what the coordinator saw.  Free
+   when the durability model is off; if the node crashes while the force
+   is in flight, the ack is simply withheld (the coordinator's
+   retransmission covers the recovered node). *)
+let durable_then_ack cs nd ~dst ack =
+  match Node_state.commit_durable nd with
+  | () -> Net.Network.send cs.net ~src:(Node_state.id nd) ~dst ack
+  | exception Wal.Group_commit.Crashed -> ()
+
 let handle_advance_u cs i ~src ~newu =
   let nd = node cs i in
   if Node_state.u nd <= newu then begin
@@ -29,7 +41,7 @@ let handle_advance_u cs i ~src ~newu =
     (* Wait for local update subtransactions that started on the previous
        version to finish, then acknowledge to this message's coordinator. *)
     Node_state.await_no_updates nd ~version:(newu - 1);
-    Net.Network.send cs.net ~src:i ~dst:src (Messages.Ack_advance_u { newu })
+    durable_then_ack cs nd ~dst:src (Messages.Ack_advance_u { newu })
   end
 
 let handle_advance_q cs i ~src ~newq =
@@ -44,7 +56,7 @@ let handle_advance_q cs i ~src ~newq =
        so Phase 2 need not wait for queries still reading it. *)
     if not cs.config.Config.retain_extra_version then
       Node_state.await_no_queries nd ~version:(newq - 1);
-    Net.Network.send cs.net ~src:i ~dst:src (Messages.Ack_advance_q { newq })
+    durable_then_ack cs nd ~dst:src (Messages.Ack_advance_q { newq })
   end
 
 let handle_garbage_collect cs i ~src ~newg =

@@ -25,7 +25,10 @@ let load cs ~node:i items =
       Vstore.Store.write store key 0 value;
       Wal.Log.append log (Wal.Record.Update { txn; key; value = Some value }))
     items;
-  Wal.Log.append log (Wal.Record.Commit { txn; final_version = 0 })
+  Wal.Log.append log (Wal.Record.Commit { txn; final_version = 0 });
+  (* The preload is the node's initial disk image — durable by fiat, not
+     subject to the group-commit window. *)
+  Wal.Log.mark_all_durable log
 
 let run_query cs ~root ~reads = Query_exec.run cs ~root ~reads
 let run_update cs ~root ~ops = Update_exec.run cs ~root ~ops
@@ -154,7 +157,11 @@ let recover cs ~node:i =
       ~scheme:cs.Cluster_state.config.Config.scheme
       ~lock_group:cs.Cluster_state.lock_group
       ~shared_counters:cs.Cluster_state.config.Config.shared_transaction_counters
-      ~bound ~log ~store
+      ~disk_force_latency:cs.Cluster_state.config.Config.disk_force_latency
+      ~group_commit_window:cs.Cluster_state.config.Config.group_commit_window
+      ~group_commit_batch:cs.Cluster_state.config.Config.group_commit_batch
+      ~gc_ack_early:cs.Cluster_state.config.Config.gc_ack_early
+      ~metrics:cs.Cluster_state.metrics ~bound ~log ~store
       ~u:versions.Wal.Recovery.update_version
       ~q:versions.Wal.Recovery.query_version
       ~g:versions.Wal.Recovery.collected_version ()
@@ -191,6 +198,9 @@ type stats = {
   mtf_items_copied : int;
   commit_version_mismatches : int;
   messages : int;
+  envelopes : int;
+  disk_forces : int;
+  records_forced : int;
   lock_waits : int;
   lock_wait_time : float;
   deadlocks : int;
@@ -219,6 +229,9 @@ let stats cs =
       sum (fun nd -> Wal.Scheme.mtf_items_copied (Node_state.scheme nd));
     commit_version_mismatches = Sim.Metrics.total_version_mismatches m;
     messages = Net.Network.messages_sent cs.Cluster_state.net;
+    envelopes = Net.Network.envelopes_sent cs.Cluster_state.net;
+    disk_forces = Sim.Metrics.total_disk_forces m;
+    records_forced = Sim.Metrics.total_records_forced m;
     lock_waits = sum (fun nd -> Lockmgr.Lock_table.waits (Node_state.locks nd));
     lock_wait_time =
       sumf (fun nd -> Lockmgr.Lock_table.total_wait_time (Node_state.locks nd));
@@ -236,12 +249,14 @@ let stats cs =
 let pp_stats ppf s =
   Format.fprintf ppf
     "commits=%d aborts=%d queries=%d advancements=%d@ mtf(data=%d commit=%d \
-     trivial=%d copied=%d) mismatches=%d@ messages=%d lock(waits=%d \
-     wait_time=%.1f deadlocks=%d) latches=%d max_versions=%d"
+     trivial=%d copied=%d) mismatches=%d@ messages=%d envelopes=%d \
+     forces=%d(%d recs) lock(waits=%d wait_time=%.1f deadlocks=%d) \
+     latches=%d max_versions=%d"
     s.commits s.aborts s.queries s.advancements s.mtf_data_access
     s.mtf_commit_time s.mtf_trivial s.mtf_items_copied
-    s.commit_version_mismatches s.messages s.lock_waits s.lock_wait_time
-    s.deadlocks s.latch_acquisitions s.max_versions_ever
+    s.commit_version_mismatches s.messages s.envelopes s.disk_forces
+    s.records_forced s.lock_waits s.lock_wait_time s.deadlocks
+    s.latch_acquisitions s.max_versions_ever
 
 let check_invariants cs = Invariant.check cs
 let check_quiescent_invariants cs = Invariant.check_quiescent cs

@@ -142,6 +142,11 @@ type stats = {
   mtf_items_copied : int;
   commit_version_mismatches : int;
   messages : int;
+  envelopes : int;
+      (** Transport events on the wire; < [messages] when RPC coalescing
+          packs several legs into one envelope. *)
+  disk_forces : int;  (** Completed WAL forces across all nodes. *)
+  records_forced : int;
   lock_waits : int;
   lock_wait_time : float;
   deadlocks : int;

@@ -30,12 +30,16 @@ let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
   (* One shared deadlock-detection group: transactions hold locks on several
      nodes, so cycles span lock tables. *)
   let lock_group = Lockmgr.Lock_table.new_group () in
+  let metrics = Sim.Metrics.create ~nodes in
   let make_node i =
     Node_state.create ~engine ~node_id:i ~scheme:config.Config.scheme
       ~lock_group ~bound ~gc_renumber:config.Config.gc_renumber
-      ~shared_counters:config.Config.shared_transaction_counters ()
+      ~shared_counters:config.Config.shared_transaction_counters
+      ~disk_force_latency:config.Config.disk_force_latency
+      ~group_commit_window:config.Config.group_commit_window
+      ~group_commit_batch:config.Config.group_commit_batch
+      ~gc_ack_early:config.Config.gc_ack_early ~metrics ()
   in
-  let metrics = Sim.Metrics.create ~nodes in
   let t =
     {
       engine;
@@ -43,7 +47,8 @@ let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
       lock_group;
       net =
         Net.Network.create ~engine ~nodes ~latency
-          ~call_timeout:config.Config.rpc_timeout ~metrics ();
+          ~call_timeout:config.Config.rpc_timeout
+          ~batch_window:config.Config.rpc_batch_window ~metrics ();
       metrics;
       nodes = Array.init nodes make_node;
       coords = Array.make nodes None;

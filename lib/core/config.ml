@@ -13,6 +13,11 @@ type t = {
   gc_item_time : float;
   advancement_retry : float;
   rpc_timeout : float;
+  disk_force_latency : float;
+  group_commit_window : float;
+  group_commit_batch : int;
+  gc_ack_early : bool;
+  rpc_batch_window : float;
 }
 
 let default =
@@ -31,13 +36,23 @@ let default =
     gc_item_time = 0.0;
     advancement_retry = 100.0;
     rpc_timeout = infinity;
+    disk_force_latency = 0.0;
+    group_commit_window = 0.0;
+    group_commit_batch = 64;
+    gc_ack_early = false;
+    rpc_batch_window = 0.0;
   }
+
+let durability_active t =
+  t.disk_force_latency > 0.0 || t.group_commit_window > 0.0
 
 let pp ppf t =
   Format.fprintf ppf
     "{scheme=%s; eager_handoff=%b; piggyback=%b; root_only_qc=%b; \
-     overlap_gc=%b; read=%g; write=%g; gc_item=%g; retry=%g; rpc_timeout=%g}"
+     overlap_gc=%b; read=%g; write=%g; gc_item=%g; retry=%g; rpc_timeout=%g; \
+     force=%g; gc_window=%g/%d; rpc_window=%g}"
     (Wal.Scheme.kind_name t.scheme)
     t.eager_counter_handoff t.piggyback_version t.root_only_query_counters
     t.overlap_gc t.read_service_time t.write_service_time t.gc_item_time
-    t.advancement_retry t.rpc_timeout
+    t.advancement_retry t.rpc_timeout t.disk_force_latency
+    t.group_commit_window t.group_commit_batch t.rpc_batch_window

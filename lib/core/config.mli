@@ -64,8 +64,37 @@ type t = {
           [Net.Network.Rpc_timeout] at the caller after this long.  Default
           [infinity] — benign runs without faults never time out; set a
           finite value when crashes or partitions are injected. *)
+  disk_force_latency : float;
+      (** Virtual time one WAL force costs ({!Wal.Disk}).  Default [0.] —
+          the log behaves as synchronously durable and commits pay
+          nothing, matching the pre-durability-model simulator. *)
+  group_commit_window : float;
+      (** Group-commit batching window ({!Wal.Group_commit}): how long the
+          first committer of a batch waits for company before the force.
+          Default [0.] — each commit forces its own records. *)
+  group_commit_batch : int;
+      (** Force early once this many committers are queued (only
+          meaningful with a nonzero window).  Default [64]. *)
+  gc_ack_early : bool;
+      (** Fault injection for the model checker: acknowledge group-commit
+          waiters as soon as their records are queued, {e before} the
+          force ({!Wal.Group_commit.create}'s [ack_early]).  A crash
+          between the ack and the force then loses an acknowledged
+          commit — the bug the [group-commit-crash-buggy] scenario exists
+          to catch.  Never enable outside the checker.  Default
+          [false]. *)
+  rpc_batch_window : float;
+      (** Per-destination message-coalescing window for the network
+          ({!Net.Network.create}'s [batch_window]).  Default [0.] — every
+          message is its own envelope. *)
 }
 
 val default : t
+
+val durability_active : t -> bool
+(** Whether the simulated disk costs anything ([disk_force_latency > 0] or
+    [group_commit_window > 0]).  When [false], a crash must not lose log
+    records — the whole log is treated as synchronously durable, exactly
+    the semantics every experiment had before the durability model. *)
 
 val pp : Format.formatter -> t -> unit

@@ -5,6 +5,7 @@ type 'v t = {
   lk : Lockmgr.Lock_table.t;
   sch : 'v Wal.Scheme.t;
   wal : 'v Wal.Log.t;
+  gcd : 'v Wal.Group_commit.t;
   latch : Lockmgr.Latch.t;
   mutable uv : int;
   mutable qv : int;
@@ -18,13 +19,24 @@ type 'v t = {
   mutable is_alive : bool;
 }
 
-let make ~engine ~node_id ~scheme ~lock_group ~shared_counters ~st ~wal ~u ~q
-    ~g =
+let make ~engine ~node_id ~scheme ~lock_group ~shared_counters
+    ~disk_force_latency ~group_commit_window ~group_commit_batch ~gc_ack_early
+    ~metrics ~st ~wal ~u ~q ~g =
   let update_counts = Hashtbl.create 8 in
   (* §10: reads of a version only begin after its updates finished, so one
      counter table can serve both populations. *)
   let query_counts =
     if shared_counters then update_counts else Hashtbl.create 8
+  in
+  let disk = Wal.Disk.create ~force_latency:disk_force_latency () in
+  let on_force =
+    Option.map
+      (fun m ~records -> Sim.Metrics.record_disk_force m ~node:node_id ~records)
+      metrics
+  in
+  let gcd =
+    Wal.Group_commit.create ~engine ~disk ~log:wal ~window:group_commit_window
+      ~max_batch:group_commit_batch ~ack_early:gc_ack_early ?on_force ()
   in
   let t =
     {
@@ -34,6 +46,7 @@ let make ~engine ~node_id ~scheme ~lock_group ~shared_counters ~st ~wal ~u ~q
       lk = Lockmgr.Lock_table.create ?group:lock_group ();
       sch = Wal.Scheme.create scheme ~store:st ~log:wal;
       wal;
+      gcd;
       latch = Lockmgr.Latch.create (Printf.sprintf "node%d.counters" node_id);
       uv = u;
       qv = q;
@@ -54,24 +67,39 @@ let make ~engine ~node_id ~scheme ~lock_group ~shared_counters ~st ~wal ~u ~q
 
 (* Start-up state (paper §3.1): all data at version 0, q = 0, u = 1. *)
 let create ~engine ~node_id ~scheme ?lock_group ?(bound = Some 3)
-    ?(gc_renumber = true) ?(shared_counters = false) () =
+    ?(gc_renumber = true) ?(shared_counters = false)
+    ?(disk_force_latency = 0.0) ?(group_commit_window = 0.0)
+    ?(group_commit_batch = 64) ?(gc_ack_early = false) ?metrics () =
   let st = Vstore.Store.create ?bound ~gc_renumber () in
   let wal = Wal.Log.create () in
   let t =
-    make ~engine ~node_id ~scheme ~lock_group ~shared_counters ~st ~wal ~u:1
-      ~q:0 ~g:(-1)
+    make ~engine ~node_id ~scheme ~lock_group ~shared_counters
+      ~disk_force_latency ~group_commit_window ~group_commit_batch
+      ~gc_ack_early ~metrics ~st ~wal ~u:1 ~q:0 ~g:(-1)
   in
   Hashtbl.replace t.update_counts 0 (ref 0);
   t
 
 let create_recovered ~engine ~node_id ~scheme ?lock_group
-    ?(shared_counters = false) ~bound ~log ~store ~u ~q ~g () =
+    ?(shared_counters = false) ?(disk_force_latency = 0.0)
+    ?(group_commit_window = 0.0) ?(group_commit_batch = 64)
+    ?(gc_ack_early = false) ?metrics ~bound ~log ~store ~u ~q ~g () =
   ignore bound;
-  make ~engine ~node_id ~scheme ~lock_group ~shared_counters ~st:store
-    ~wal:log ~u ~q ~g
+  make ~engine ~node_id ~scheme ~lock_group ~shared_counters
+    ~disk_force_latency ~group_commit_window ~group_commit_batch ~gc_ack_early
+    ~metrics ~st:store ~wal:log ~u ~q ~g
 
 let alive t = t.is_alive
-let kill t = t.is_alive <- false
+
+(* A crash takes the volatile log tail with it — but only when the
+   durability model actually costs something.  With a zero-cost disk the
+   whole log is treated as synchronously durable (the pre-model semantics
+   every existing experiment was built on). *)
+let kill t =
+  t.is_alive <- false;
+  Wal.Group_commit.crash t.gcd;
+  if Wal.Group_commit.active t.gcd then
+    ignore (Wal.Log.drop_volatile t.wal : int)
 
 let id t = t.node_id
 let store t = t.st
@@ -79,6 +107,8 @@ let locks t = t.lk
 let scheme t = t.sch
 let log t = t.wal
 let engine t = t.eng
+let group_commit t = t.gcd
+let commit_durable t = Wal.Group_commit.sync t.gcd
 let u t = t.uv
 let q t = t.qv
 let g t = t.gv

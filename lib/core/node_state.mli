@@ -19,12 +19,25 @@ val create :
   ?bound:int option ->
   ?gc_renumber:bool ->
   ?shared_counters:bool ->
+  ?disk_force_latency:float ->
+  ?group_commit_window:float ->
+  ?group_commit_batch:int ->
+  ?gc_ack_early:bool ->
+  ?metrics:Sim.Metrics.t ->
   unit ->
   'v t
 (** A fresh node in the paper's start-up state: all data at version 0,
     [q = 0], [u = 1], [g = -1], all counters zero.  [bound] is the store's
     live-version cap ([Some 3] by default — pass [None] to disable the
-    runtime check). *)
+    runtime check).
+
+    [disk_force_latency], [group_commit_window] and [group_commit_batch]
+    (defaults [0.], [0.], [64]) configure the node's {!Wal.Disk} and
+    {!Wal.Group_commit}; with the defaults, {!commit_durable} is free and
+    a crash loses no log records.  [gc_ack_early] (default [false]) is the
+    checker's deliberately broken ack-before-force mode (see
+    {!Config.t.gc_ack_early}).  Completed forces are recorded into
+    [metrics] when given. *)
 
 val id : _ t -> int
 val store : 'v t -> 'v Vstore.Store.t
@@ -32,6 +45,14 @@ val locks : _ t -> Lockmgr.Lock_table.t
 val scheme : 'v t -> 'v Wal.Scheme.t
 val log : 'v t -> 'v Wal.Log.t
 val engine : _ t -> Sim.Engine.t
+val group_commit : 'v t -> 'v Wal.Group_commit.t
+
+val commit_durable : _ t -> unit
+(** Block (inside a process) until every record currently in this node's
+    log is on the simulated disk — the group-commit acknowledgement a
+    committing subtransaction waits for before releasing its locks.
+    Raises {!Wal.Group_commit.Crashed} if the node dies first.  Free and
+    synchronous when the durability model is off. *)
 
 (** {1 Version numbers} *)
 
@@ -79,6 +100,9 @@ val alive : _ t -> bool
     orphan kept only so that in-flight transactions fail cleanly. *)
 
 val kill : _ t -> unit
+(** Crash the node: mark it dead, fail every committer parked in group
+    commit, and — when the durability model is active — discard the log's
+    volatile tail, exactly as a power cut would. *)
 
 val create_recovered :
   engine:Sim.Engine.t ->
@@ -86,6 +110,11 @@ val create_recovered :
   scheme:Wal.Scheme.kind ->
   ?lock_group:Lockmgr.Lock_table.group ->
   ?shared_counters:bool ->
+  ?disk_force_latency:float ->
+  ?group_commit_window:float ->
+  ?group_commit_batch:int ->
+  ?gc_ack_early:bool ->
+  ?metrics:Sim.Metrics.t ->
   bound:int option ->
   log:'v Wal.Log.t ->
   store:'v Vstore.Store.t ->

@@ -156,9 +156,19 @@ let commit cs t ~final_version =
     move_to cs t ~newv:final_version ~at_commit:true
   end;
   Wal.Scheme.commit (Node_state.scheme t.sub_node) t.session ~final_version;
+  (* The store changes and the Commit record are in; the subtransaction is
+     past the point of no return locally — [abort_all] must not touch it
+     even if the durability wait below fails. *)
+  t.is_finished <- true;
+  (* Group commit: the acknowledgement (and the lock release ordering
+     conflicting transactions behind this commit) waits until the Commit
+     record is forced.  If the node crashes first, the record may be lost
+     with the crash and no ack must escape. *)
+  (try Node_state.commit_durable t.sub_node
+   with Wal.Group_commit.Crashed ->
+     raise (Txn_abort (`Node_down (Node_state.id t.sub_node))));
   Node_state.decr_update_count t.sub_node ~version:t.counted;
-  Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node) ~owner:t.txn_id;
-  t.is_finished <- true
+  Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node) ~owner:t.txn_id
 
 let abort cs t =
   ignore cs;

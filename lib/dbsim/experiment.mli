@@ -220,3 +220,34 @@ val faults : ?seed:int64 -> ?domains:int -> unit -> faults_row list
     repair time, and no probe ever reports a violation. *)
 
 val print_faults : unit -> unit
+
+(** {1 E11 — commit-path batching} *)
+
+type batching_row = {
+  bt_label : string;
+  bt_gc_window : float;  (** group-commit window (0 = one force per commit) *)
+  bt_rpc_window : float;  (** per-destination RPC coalescing window *)
+  bt_commits : int;
+  bt_throughput : float;  (** commits per virtual second *)
+  bt_commit_mean : float;
+  bt_commit_p95 : float;
+  bt_disk_forces : int;
+  bt_records_per_force : float;  (** achieved group-commit batch size *)
+  bt_envelopes : int;
+      (** transport events on the wire; coalescing packs several message
+          legs into one *)
+  bt_messages : int;  (** logical message legs (constant across rows) *)
+}
+
+val batching : ?seed:int64 -> ?domains:int -> unit -> batching_row list
+(** A fixed workload (3 nodes, 6 clients/node, 24 two-site updates each)
+    with a nonzero disk force latency, swept over batching windows under
+    one seed.  Row ["off"] (both windows 0) is the per-commit-force,
+    per-message-envelope baseline; every row commits the same
+    transactions, so forces, envelopes and the makespan-derived
+    throughput compare directly.  A small window dominates the baseline
+    on all three; oversized windows keep shrinking the I/O counts but
+    trade commit latency for it, dragging closed-loop throughput back
+    down. *)
+
+val print_batching : unit -> unit

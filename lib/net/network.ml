@@ -7,6 +7,7 @@ type 'm t = {
   latency : Latency.t;
   self_latency : float;
   call_timeout : float;
+  batch_window : float;
   metrics : Sim.Metrics.t option;
   rng : Sim.Rng.t;
   handlers : (src:int -> 'm -> unit) option array;
@@ -17,19 +18,25 @@ type 'm t = {
   (* FIFO enforcement: earliest admissible delivery time per (src,dst). *)
   link_clock : float array array;
   link_sent : int array array;
+  (* Coalescing: payloads queued per (src,dst) awaiting the window flush. *)
+  batch : (unit -> unit) Queue.t array array;
+  batch_armed : bool array array;
   mutable sent : int;
   mutable dropped : int;
+  mutable envelopes : int;
 }
 
 let create ~engine ~nodes ?(latency = Latency.Constant 1.0) ?(self_latency = 0.0)
-    ?(call_timeout = infinity) ?metrics () =
+    ?(call_timeout = infinity) ?(batch_window = 0.0) ?metrics () =
   if nodes <= 0 then invalid_arg "Network.create: need at least one node";
+  if batch_window < 0.0 then invalid_arg "Network.create: negative batch window";
   {
     engine;
     nodes;
     latency;
     self_latency;
     call_timeout;
+    batch_window;
     metrics;
     rng = Sim.Rng.split (Sim.Engine.rng engine);
     handlers = Array.make nodes None;
@@ -38,8 +45,11 @@ let create ~engine ~nodes ?(latency = Latency.Constant 1.0) ?(self_latency = 0.0
     link_extra = Array.make_matrix nodes nodes 0.0;
     link_clock = Array.make_matrix nodes nodes 0.0;
     link_sent = Array.make_matrix nodes nodes 0;
+    batch = Array.init nodes (fun _ -> Array.init nodes (fun _ -> Queue.create ()));
+    batch_armed = Array.make_matrix nodes nodes false;
     sent = 0;
     dropped = 0;
+    envelopes = 0;
   }
 
 let engine t = t.engine
@@ -75,6 +85,7 @@ let set_link_extra t ~src ~dst extra =
 
 let messages_sent t = t.sent
 let messages_dropped t = t.dropped
+let envelopes_sent t = t.envelopes
 
 let link_count t ~src ~dst =
   check_node t src;
@@ -95,6 +106,58 @@ let delivery_delay t ~src ~dst =
   t.link_clock.(src).(dst) <- at;
   at -. now
 
+let count_envelope t ~src =
+  t.envelopes <- t.envelopes + 1;
+  match t.metrics with
+  | Some m -> Sim.Metrics.record_envelope m ~node:src
+  | None -> ()
+
+(* Ship everything queued on (src,dst) as one envelope: one latency sample,
+   one arrival instant, the payloads scheduled in FIFO order at it.  Each
+   payload still runs as its own process — handlers may block (lock waits,
+   counter waits), and a blocking payload must not stall the rest of the
+   envelope.  A link cut (or source crash) since the payloads were queued
+   drops the whole envelope — the messages were sitting in src's send
+   buffer. *)
+let flush_batch t ~src ~dst =
+  t.batch_armed.(src).(dst) <- false;
+  let q = t.batch.(src).(dst) in
+  let n = Queue.length q in
+  if n > 0 then begin
+    let payloads = List.of_seq (Queue.to_seq q) in
+    Queue.clear q;
+    if t.down.(src) || t.link_down.(src).(dst) then t.dropped <- t.dropped + n
+    else begin
+      count_envelope t ~src;
+      let delay = delivery_delay t ~src ~dst in
+      List.iter
+        (fun payload -> Sim.Engine.schedule t.engine ~delay payload)
+        payloads
+    end
+  end
+
+(* The transport: every request, reply, and one-way message leg goes
+   through here.  [payload] runs at the destination after the link latency;
+   it carries its own arrival-time checks (destination down, caller
+   settled).  With a zero window each payload is its own envelope,
+   scheduled exactly as an unbatched network would — same RNG draws, same
+   event order.  With a window, payloads to one destination pool until the
+   window closes and share a single envelope. *)
+let transmit t ~src ~dst payload =
+  if t.batch_window <= 0.0 then begin
+    count_envelope t ~src;
+    let delay = delivery_delay t ~src ~dst in
+    Sim.Engine.schedule t.engine ~delay payload
+  end
+  else begin
+    Queue.add payload t.batch.(src).(dst);
+    if not t.batch_armed.(src).(dst) then begin
+      t.batch_armed.(src).(dst) <- true;
+      Sim.Engine.schedule t.engine ~delay:t.batch_window (fun () ->
+          flush_batch t ~src ~dst)
+    end
+  end
+
 let deliver t ~src ~dst msg =
   if t.down.(dst) then t.dropped <- t.dropped + 1
   else
@@ -108,10 +171,7 @@ let send t ~src ~dst msg =
   t.sent <- t.sent + 1;
   t.link_sent.(src).(dst) <- t.link_sent.(src).(dst) + 1;
   if t.down.(src) || t.link_down.(src).(dst) then t.dropped <- t.dropped + 1
-  else begin
-    let delay = delivery_delay t ~src ~dst in
-    Sim.Engine.schedule t.engine ~delay (fun () -> deliver t ~src ~dst msg)
-  end
+  else transmit t ~src ~dst (fun () -> deliver t ~src ~dst msg)
 
 let broadcast t ~src msg =
   for dst = 0 to t.nodes - 1 do
@@ -123,6 +183,11 @@ let broadcast t ~src msg =
    silence — and surface only as [Rpc_timeout] once [timeout] simulated
    time has elapsed.  Legs that cannot be delivered (down node, cut link)
    are counted in [messages_dropped], mirroring [send].
+
+   The timeout clock starts at the call, not at the batch flush: a request
+   parked in a coalescing window is already "in flight" from the caller's
+   point of view, so a window that outlasts the timeout (or a partition
+   that eats the queued envelope) surfaces as an ordinary [Rpc_timeout].
 
    The timeout event fires even when the caller's own node has crashed:
    the suspended process is a zombie whose unwinding (e.g. 2PC abort
@@ -156,8 +221,7 @@ let call ?timeout t ~src ~dst thunk =
           end
         in
         (if request_ok then
-           let request_delay = delivery_delay t ~src ~dst in
-           Sim.Engine.schedule t.engine ~delay:request_delay (fun () ->
+           transmit t ~src ~dst (fun () ->
                if t.down.(dst) then
                  (* Request lost in the crash; the thunk never runs. *)
                  t.dropped <- t.dropped + 1
@@ -169,8 +233,7 @@ let call ?timeout t ~src ~dst thunk =
                  t.link_sent.(dst).(src) <- t.link_sent.(dst).(src) + 1;
                  if t.link_down.(dst).(src) then t.dropped <- t.dropped + 1
                  else
-                   let reply_delay = delivery_delay t ~src:dst ~dst:src in
-                   Sim.Engine.schedule t.engine ~delay:reply_delay (fun () ->
+                   transmit t ~src:dst ~dst:src (fun () ->
                        if t.down.(src) || !settled then
                          (* Caller crashed or already timed out: the reply
                             reaches a dead mailbox. *)

@@ -16,6 +16,7 @@ val create :
   ?latency:Latency.t ->
   ?self_latency:float ->
   ?call_timeout:float ->
+  ?batch_window:float ->
   ?metrics:Sim.Metrics.t ->
   unit ->
   'm t
@@ -24,11 +25,23 @@ val create :
     timeout for {!call} (simulated seconds); it defaults to [infinity],
     i.e. callers wait forever unless they pass an explicit [?timeout].
 
+    [batch_window] (default [0.]) enables per-destination message
+    coalescing: every message leg (one-way send, RPC request, RPC reply)
+    queued on one (source, destination) link within the window rides a
+    single {e envelope} — one latency sample, one delivery event, payloads
+    applied in FIFO order on arrival.  The first message of a batch arms
+    the window timer; a link cut or source crash before the flush drops
+    the whole envelope.  RPC timeouts still run from {e call} time, not
+    flush time.  With the default window of [0.] every message is its own
+    envelope and the network behaves exactly as an unbatched build —
+    same latency draws, same event ordering.
+
     When [metrics] is given, every {!call} is recorded against the
     calling node: one [rpc_call] per issued call, the round-trip time
     into the latency histogram when a reply settles it (the callee's
     exception travelling back still counts as a completed RPC), and one
-    [rpc_timeout] when the timeout settles it instead. *)
+    [rpc_timeout] when the timeout settles it instead.  Envelopes are
+    recorded against their source node. *)
 
 val engine : _ t -> Sim.Engine.t
 val node_count : _ t -> int
@@ -89,4 +102,10 @@ val set_link_extra : _ t -> src:int -> dst:int -> float -> unit
 
 val messages_sent : _ t -> int
 val messages_dropped : _ t -> int
+
+val envelopes_sent : _ t -> int
+(** Transport events actually put on the wire.  Equal to the number of
+    delivered message legs when [batch_window = 0]; strictly smaller when
+    coalescing packs several legs into one envelope. *)
+
 val link_count : _ t -> src:int -> dst:int -> int

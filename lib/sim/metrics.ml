@@ -56,6 +56,9 @@ type node_metrics = {
   mutable rpc_calls : int;
   mutable rpc_timeouts : int;
   rpc_latency : hist;
+  mutable envelopes : int;
+  mutable disk_forces : int;
+  mutable records_forced : int;
 }
 
 type t = node_metrics array
@@ -80,6 +83,9 @@ let create ~nodes =
         rpc_calls = 0;
         rpc_timeouts = 0;
         rpc_latency = hist_create ();
+        envelopes = 0;
+        disk_forces = 0;
+        records_forced = 0;
       })
 
 let node_count t = Array.length t
@@ -136,6 +142,15 @@ let record_rpc_timeout t ~node =
   let m = at t node in
   m.rpc_timeouts <- m.rpc_timeouts + 1
 
+let record_envelope t ~node =
+  let m = at t node in
+  m.envelopes <- m.envelopes + 1
+
+let record_disk_force t ~node ~records =
+  let m = at t node in
+  m.disk_forces <- m.disk_forces + 1;
+  m.records_forced <- m.records_forced + records
+
 let sum f t = Array.fold_left (fun acc m -> acc + f m) 0 t
 
 let node_aborts m =
@@ -152,6 +167,9 @@ let total_version_mismatches t = sum (fun m -> m.version_mismatches) t
 let total_advancements t = sum (fun m -> m.advancements) t
 let total_rpc_calls t = sum (fun m -> m.rpc_calls) t
 let total_rpc_timeouts t = sum (fun m -> m.rpc_timeouts) t
+let total_envelopes t = sum (fun m -> m.envelopes) t
+let total_disk_forces t = sum (fun m -> m.disk_forces) t
+let total_records_forced t = sum (fun m -> m.records_forced) t
 
 type hist_snapshot = {
   count : int;
@@ -179,6 +197,9 @@ type node_snapshot = {
   rpc_calls : int;
   rpc_timeouts : int;
   rpc_latency : hist_snapshot;
+  envelopes : int;
+  disk_forces : int;
+  records_forced : int;
 }
 
 type snapshot = node_snapshot list
@@ -216,6 +237,9 @@ let snapshot t =
            rpc_calls = m.rpc_calls;
            rpc_timeouts = m.rpc_timeouts;
            rpc_latency = hist_snapshot m.rpc_latency;
+           envelopes = m.envelopes;
+           disk_forces = m.disk_forces;
+           records_forced = m.records_forced;
          })
 
 let aborts_total (ns : node_snapshot) =
@@ -253,7 +277,10 @@ let node_json b (ns : node_snapshot) =
     (Printf.sprintf {|,"rpc":{"calls":%d,"timeouts":%d,"latency":|}
        ns.rpc_calls ns.rpc_timeouts);
   hist_json b ns.rpc_latency;
-  Buffer.add_string b "}}"
+  Buffer.add_string b
+    (Printf.sprintf
+       {|},"envelopes":%d,"wal":{"forces":%d,"records_forced":%d}}|}
+       ns.envelopes ns.disk_forces ns.records_forced)
 
 let to_json (s : snapshot) =
   let b = Buffer.create 1024 in

@@ -60,6 +60,16 @@ val record_rpc_latency : t -> node:int -> float -> unit
 val record_rpc_timeout : t -> node:int -> unit
 (** An RPC that was settled by its timeout rather than a reply. *)
 
+val record_envelope : t -> node:int -> unit
+(** One transport envelope put on the wire by [node].  Without RPC
+    coalescing every logical message is its own envelope; a coalescing
+    network packs a whole batch window into one. *)
+
+val record_disk_force : t -> node:int -> records:int -> unit
+(** One completed WAL force at [node], covering [records] log records.
+    Group commit amortizes many commits over one force, so
+    [records/forces] is the achieved batch size. *)
+
 (** {1 Totals} *)
 
 val total_commits : t -> int
@@ -74,6 +84,9 @@ val total_version_mismatches : t -> int
 val total_advancements : t -> int
 val total_rpc_calls : t -> int
 val total_rpc_timeouts : t -> int
+val total_envelopes : t -> int
+val total_disk_forces : t -> int
+val total_records_forced : t -> int
 
 (** {1 Snapshots} *)
 
@@ -105,6 +118,9 @@ type node_snapshot = {
   rpc_calls : int;
   rpc_timeouts : int;
   rpc_latency : hist_snapshot;
+  envelopes : int;
+  disk_forces : int;
+  records_forced : int;
 }
 
 type snapshot = node_snapshot list
@@ -121,6 +137,7 @@ val to_json : snapshot -> string
     "root_down_rejections":..,"queries":..,
     "mtf":{"data_access":..,"commit_time":..},"version_mismatches":..,
     "advancements":..,"phase1_duration":H,"phase2_duration":H,
-    "rpc":{"calls":..,"timeouts":..,"latency":H}}] where H is
+    "rpc":{"calls":..,"timeouts":..,"latency":H},"envelopes":..,
+    "wal":{"forces":..,"records_forced":..}}] where H is
     [{"count":..,"sum":..,"min":..,"max":..,
     "buckets":[{"le":..,"count":..},...]}]. *)

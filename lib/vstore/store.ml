@@ -375,8 +375,15 @@ let gc t ~collect ~query =
     t.gc_items_visited <- t.gc_items_visited + 1;
     let entries = entries_desc item in
     let before = List.map (fun e -> e.version) entries in
-    (if List.exists (fun e -> e.version = query) entries then
-       set_entries item (List.filter (fun e -> e.version > collect) entries)
+    (* A reader at [query] resolves to the newest entry at or below it; the
+       entries at or below [collect] are garbage iff such an entry exists
+       strictly above [collect].  Checking for an incarnation at exactly
+       [query] is not enough: when [query] has skipped versions (a lagging
+       collector catching up), an entry strictly between [collect] and
+       [query] protects the item, and renumbering a stale entry up to
+       [query] would shadow it. *)
+    (if List.exists (fun e -> e.version > collect && e.version <= query) entries
+     then set_entries item (List.filter (fun e -> e.version > collect) entries)
      else if t.gc_renumber then begin
        (* Paper rule: no incarnation at [query] — renumber the newest entry
           at or below [collect] so readers of [query] still find the item. *)

@@ -99,10 +99,11 @@ val snapshot_of_items : (string * (version * 'v option) list) list -> 'v snapsho
 (** {1 Garbage collection (advancement Phase 3)} *)
 
 val gc : _ t -> collect:version -> query:version -> unit
-(** For every item: if it exists in version [query], drop every entry with
-    version [<= collect]; otherwise renumber its newest entry [<= collect]
-    to [query] (and drop older ones).  Items left with only a tombstone and
-    no earlier version are removed. *)
+(** For every item: if it has an entry visible to a reader at [query]
+    (version in [(collect, query]]), drop every entry with version
+    [<= collect]; otherwise renumber its newest entry [<= collect] to
+    [query] (and drop older ones).  Items left with only a tombstone and no
+    earlier version are removed. *)
 
 val prune_below : _ t -> keep:version -> unit
 (** MVCC-style garbage collection: for every item, keep the newest entry

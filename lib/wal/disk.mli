@@ -1,0 +1,37 @@
+(** Simulated durable-storage cost model.
+
+    The in-memory {!Log} is free to append to; what costs time on a real
+    system is the {e force} — the synchronous write barrier a committing
+    transaction waits on.  A [Disk] charges a configurable virtual-time
+    latency per force and counts forces and records forced, so experiments
+    can report both the latency the commit path pays and the I/O traffic
+    batching saves.
+
+    The disk is a {e serial} resource: concurrent forces queue behind one
+    another.  That queueing is what makes group commit profitable — a
+    burst of [n] independent committers pays [n] force latencies end to
+    end, while one batched force serves them all. *)
+
+type t
+
+val create : ?force_latency:float -> unit -> t
+(** [force_latency] (default [0.]) is the virtual time one force takes.
+    With the default, {!force} is synchronous and touches no engine state,
+    so a zero-latency disk is behaviourally invisible. *)
+
+val force : t -> unit
+(** Charge one force: queue behind any force already in progress, then
+    sleep [force_latency] (must be called inside a process when the
+    latency is nonzero).  The caller marks the log durable {e after} this
+    returns and reports the records it newly covered via
+    {!note_records}. *)
+
+val note_records : t -> int -> unit
+(** Attribute [n] newly-durable records to this disk's traffic counter.
+    Called after {!force} returns so overlapping forces queued on the
+    serial disk don't double-count the records an earlier force already
+    covered. *)
+
+val force_latency : t -> float
+val forces : t -> int
+val records_forced : t -> int

@@ -1,0 +1,60 @@
+(** Group commit: one disk force covers a batch of committers.
+
+    A committing subtransaction appends its Commit record to the {!Log} and
+    then calls {!sync}, which blocks until the record is durable.  With a
+    batching window, the first waiter arms a flush timer; every committer
+    that arrives within the window (or until {!create}'s [max_batch] is
+    reached, whichever is first) is released by the {e same} force.  The
+    classic trade: each commit waits up to a window longer, but an
+    [n]-transaction batch pays one force instead of [n].
+
+    With a zero window, {!sync} forces immediately on the caller's own
+    time; with a zero window {e and} a zero-latency disk it is synchronous
+    and scheduling-invisible, so the default configuration behaves exactly
+    like a build without the durability model. *)
+
+type 'v t
+
+exception Crashed
+(** Raised from {!sync} when the node crashed before the caller's records
+    reached the disk — the commit acknowledgement must not escape. *)
+
+val create :
+  engine:Sim.Engine.t ->
+  disk:Disk.t ->
+  log:'v Log.t ->
+  ?window:float ->
+  ?max_batch:int ->
+  ?ack_early:bool ->
+  ?on_force:(records:int -> unit) ->
+  unit ->
+  'v t
+(** [window] (default [0.]) is how long the first committer of a batch
+    waits for company; [max_batch] (default [64]) flushes a full batch
+    early.  [on_force] is invoked after every completed force with the
+    number of records it covered (metrics hook).
+
+    [ack_early] (default [false]) builds the {e deliberately broken}
+    variant used by the [group-commit-crash-buggy] model-checking
+    scenario: {!sync} returns at enqueue time, before the force.  Never
+    enable it outside that test. *)
+
+val sync : 'v t -> unit
+(** Block (inside a process) until every record currently in the log is
+    durable.  Raises {!Crashed} if the node crashes first. *)
+
+val crash : _ t -> unit
+(** The node died: fail every parked waiter with {!Crashed} and refuse all
+    future {!sync}s.  The caller separately discards the log's volatile
+    tail ({!Log.drop_volatile}). *)
+
+val active : _ t -> bool
+(** Whether the durability model costs anything ([window > 0] or a nonzero
+    disk force latency).  When [false], crashes must not drop log records
+    — the whole log behaves as synchronously durable, preserving the
+    pre-durability-model semantics. *)
+
+val disk : _ t -> Disk.t
+
+val pending : _ t -> int
+(** Committers currently parked waiting for a force. *)

@@ -1,6 +1,10 @@
-type 'v t = { mutable rev : 'v Record.t list; mutable count : int }
+type 'v t = {
+  mutable rev : 'v Record.t list;
+  mutable count : int;
+  mutable durable : int;
+}
 
-let create () = { rev = []; count = 0 }
+let create () = { rev = []; count = 0; durable = 0 }
 
 let append t r =
   t.rev <- r :: t.rev;
@@ -13,4 +17,24 @@ let fold_rev f init t = List.fold_left f init t.rev
 
 let truncate t =
   t.rev <- [];
-  t.count <- 0
+  t.count <- 0;
+  t.durable <- 0
+
+let durable_length t = t.durable
+
+let mark_durable_to t n =
+  if n > t.count then invalid_arg "Log.mark_durable_to: beyond end of log";
+  if n > t.durable then t.durable <- n
+
+let mark_all_durable t = t.durable <- t.count
+
+let drop_volatile t =
+  let dropped = t.count - t.durable in
+  if dropped > 0 then begin
+    let rec drop n l =
+      if n = 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+    in
+    t.rev <- drop dropped t.rev;
+    t.count <- t.durable
+  end;
+  dropped

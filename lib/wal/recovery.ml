@@ -7,7 +7,10 @@ type versions = {
 let checkpoint log ~store ~u ~q ~g =
   let items = Vstore.Store.snapshot_items (Vstore.Store.snapshot store) in
   Log.truncate log;
-  Log.append log (Record.Checkpoint { items; u; q; g })
+  Log.append log (Record.Checkpoint { items; u; q; g });
+  (* A checkpoint is a synchronous disk write: the snapshot is on stable
+     storage before the truncated log is reused. *)
+  Log.mark_all_durable log
 
 let replay log ?bound ?gc_renumber () =
   let store = ref (Vstore.Store.create ?bound ?gc_renumber ()) in

@@ -124,6 +124,30 @@ let test_race2_clean_small_budget () =
   check_bool "many schedules enumerated" true (r.stats.schedules >= 100);
   check_bool "several choice points per run" true (r.stats.choice_points > 0)
 
+(* {1 Group-commit durability} *)
+
+let test_group_commit_crash_clean () =
+  (* Acks only leave after the disk force: no crash placement may lose an
+     acknowledged commit, on any explored schedule. *)
+  let r = Explorer.explore ~budget:300 Scenarios.group_commit_crash in
+  check_bool "no violation in a bounded exploration" true (r.violation = None);
+  check_bool "several schedules enumerated" true (r.stats.schedules >= 50)
+
+let test_group_commit_crash_buggy_convicted () =
+  (* The ack-before-force twin: some schedule crashes the node between a
+     commit's enqueue and the batch force, losing an acknowledged commit —
+     the explorer must find it and the counterexample must replay. *)
+  let r = Explorer.explore ~budget:300 Scenarios.group_commit_crash_buggy in
+  match r.violation with
+  | None -> Alcotest.fail "explorer missed the early-ack durability bug"
+  | Some v ->
+      let out =
+        Explorer.replay ~record_trace:false Scenarios.group_commit_crash_buggy
+          (List.map (fun (d : Explorer.decision) -> d.index) v.v_decisions)
+      in
+      check_bool "minimized counterexample replays to the violation" true
+        (out.r_messages <> [])
+
 let test_prune_only_skips_converged () =
   (* Pruned and unpruned exploration of an exhaustible space must agree
      on the set of distinct final states. *)
@@ -162,5 +186,9 @@ let () =
         [
           Alcotest.test_case "race2 clean under small budget" `Quick
             test_race2_clean_small_budget;
+          Alcotest.test_case "group-commit crash clean" `Quick
+            test_group_commit_crash_clean;
+          Alcotest.test_case "group-commit early-ack convicted" `Quick
+            test_group_commit_crash_buggy_convicted;
         ] );
     ]

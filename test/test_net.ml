@@ -274,6 +274,98 @@ let test_link_stats () =
   check_int "link 1->2" 1 (Net.Network.link_count net ~src:1 ~dst:2);
   check_int "link 2->0" 0 (Net.Network.link_count net ~src:2 ~dst:0)
 
+(* {1 Message coalescing (batch_window)} *)
+
+let test_batch_coalesces_legs () =
+  (* Three sends inside one window ride a single envelope: one latency
+     draw, one transport event, FIFO payload order on arrival. *)
+  let e = Sim.Engine.create () in
+  let net : int Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 1.0)
+      ~batch_window:2.0 ()
+  in
+  let received = ref [] in
+  Net.Network.set_handler net ~node:1 (fun ~src:_ msg ->
+      received := (msg, Sim.Engine.now e) :: !received);
+  Net.Network.set_handler net ~node:0 (fun ~src:_ _ -> ());
+  Sim.Engine.schedule e ~delay:0.0 (fun () ->
+      Net.Network.send net ~src:0 ~dst:1 1);
+  Sim.Engine.schedule e ~delay:0.5 (fun () ->
+      Net.Network.send net ~src:0 ~dst:1 2);
+  Sim.Engine.schedule e ~delay:1.5 (fun () ->
+      Net.Network.send net ~src:0 ~dst:1 3);
+  Sim.Engine.run e;
+  check_int "one envelope on the wire" 1 (Net.Network.envelopes_sent net);
+  check_int "three message legs" 3 (Net.Network.messages_sent net);
+  Alcotest.(check (list (pair int (float 1e-9))))
+    "FIFO order, all at window + latency"
+    [ (1, 3.0); (2, 3.0); (3, 3.0) ]
+    (List.rev !received)
+
+let test_batch_timeout_from_send_time () =
+  (* The timeout clock starts at the call, not at the batch flush: a
+     3-second timeout inside a 5-second window fires at t = 3, while the
+     request is still queued. *)
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 1.0)
+      ~batch_window:5.0 ()
+  in
+  let raised = ref nan in
+  Sim.Engine.spawn e (fun () ->
+      try ignore (Net.Network.call ~timeout:3.0 net ~src:0 ~dst:1 (fun () -> ()))
+      with Net.Network.Rpc_timeout 1 -> raised := Sim.Engine.now e);
+  Sim.Engine.run e;
+  check_float "Rpc_timeout at call time + timeout" 3.0 !raised
+
+let test_batch_partition_mid_window_drops_envelope () =
+  (* The nemesis cuts the link after the request is queued but before the
+     window flushes: the whole envelope is dropped and the caller learns of
+     it only through the timeout. *)
+  let e = Sim.Engine.create () in
+  let net : unit Net.Network.t =
+    Net.Network.create ~engine:e ~nodes:2 ~latency:(Net.Latency.Constant 1.0)
+      ~batch_window:5.0 ~call_timeout:8.0 ()
+  in
+  let raised = ref nan and ran = ref false in
+  Sim.Engine.spawn e (fun () ->
+      try ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> ran := true))
+      with Net.Network.Rpc_timeout 1 -> raised := Sim.Engine.now e);
+  Sim.Engine.schedule e ~delay:2.0 (fun () ->
+      Net.Network.set_link_down net ~src:0 ~dst:1 true);
+  Sim.Engine.run e;
+  check_float "timeout from call time" 8.0 !raised;
+  check_bool "request never executed" false !ran;
+  check_bool "envelope counted as dropped" true
+    (Net.Network.messages_dropped net > 0)
+
+let test_batch_window_zero_identical () =
+  (* An explicit zero window must behave exactly like the default build:
+     same latency draws, same delivery instants, message for message. *)
+  let run window =
+    let e = Sim.Engine.create ~seed:77L () in
+    let net : int Net.Network.t =
+      Net.Network.create ~engine:e ~nodes:2
+        ~latency:(Net.Latency.Uniform { lo = 0.5; hi = 4.0 })
+        ?batch_window:window ()
+    in
+    let received = ref [] in
+    Net.Network.set_handler net ~node:1 (fun ~src:_ msg ->
+        received := (msg, Sim.Engine.now e) :: !received);
+    Net.Network.set_handler net ~node:0 (fun ~src:_ _ -> ());
+    for i = 1 to 20 do
+      Sim.Engine.schedule e ~delay:(float_of_int i *. 0.3) (fun () ->
+          Net.Network.send net ~src:0 ~dst:1 i)
+    done;
+    Sim.Engine.spawn e (fun () ->
+        ignore (Net.Network.call net ~src:0 ~dst:1 (fun () -> 0)));
+    Sim.Engine.run e;
+    (List.rev !received, Net.Network.envelopes_sent net)
+  in
+  Alcotest.(check bool)
+    "window 0 bit-identical to the unbatched default" true
+    (run None = run (Some 0.0))
+
 let () =
   Alcotest.run "net"
     [
@@ -310,5 +402,16 @@ let () =
             test_call_timeout_resumes_crashed_caller;
           Alcotest.test_case "slow link extra latency" `Quick
             test_call_slow_link_extra_latency;
+        ] );
+      ( "batching",
+        [
+          Alcotest.test_case "coalesces legs into one envelope" `Quick
+            test_batch_coalesces_legs;
+          Alcotest.test_case "timeout runs from send time" `Quick
+            test_batch_timeout_from_send_time;
+          Alcotest.test_case "partition mid-window drops envelope" `Quick
+            test_batch_partition_mid_window_drops_envelope;
+          Alcotest.test_case "window zero identical to default" `Quick
+            test_batch_window_zero_identical;
         ] );
     ]

@@ -130,6 +130,21 @@ let test_gc_preserves_newer () =
   Alcotest.check vopt "renumbered" (Some 10) (Store.read_le s "x" 1);
   Alcotest.check vopt "newest" (Some 12) (Store.read_le s "x" 2)
 
+(* Regression (found by test_recovery_fuzz): the gc drop-path guard must
+   treat any entry strictly between [collect] and [query] as the query
+   reader's target — not only an entry at exactly [query].  Renumbering
+   the stale v0 entry up to the query version would shadow the newer
+   v2. *)
+let test_gc_skipped_query_keeps_newest () =
+  let s : int Store.t = Store.create ~bound:3 () in
+  Store.write s "x" 0 10;
+  Store.write s "x" 2 12;
+  Store.gc s ~collect:1 ~query:3;
+  Alcotest.(check (list int)) "stale entry dropped" [ 2 ]
+    (Store.versions_of s "x");
+  Alcotest.check vopt "query reader sees the newer value" (Some 12)
+    (Store.read_le s "x" 3)
+
 (* The item representation keeps three versions in inline slots and spills
    older entries to a list; a bound above the slot capacity exercises the
    spill path before the bound trips. *)
@@ -372,6 +387,69 @@ let prop_gc_rules_read_equivalent =
       in
       run true = run false)
 
+(* Under a protocol-shaped history — writes at the current update version,
+   advancement rounds that may skip versions, collection trailing behind —
+   the store's read_le at or above the query version always agrees with a
+   naive model that never garbage-collects anything. *)
+let prop_store_matches_reference =
+  let op_gen =
+    QCheck.Gen.(
+      list_size (int_bound 200)
+        (triple key_gen (int_bound 2)
+           (frequency [ (5, return `W); (2, return `D); (2, return `G) ])))
+  in
+  QCheck.Test.make ~name:"store agrees with a gc-free reference model"
+    ~count:100 (QCheck.make op_gen) (fun ops ->
+      let s : int Store.t = Store.create () in
+      let model : (string, (int * int option) list) Hashtbl.t =
+        Hashtbl.create 16
+      in
+      let record k v value =
+        Hashtbl.replace model k
+          ((v, value) :: Option.value (Hashtbl.find_opt model k) ~default:[])
+      in
+      let model_read_le k v =
+        (* Newest write at the highest version <= v; the entry list is in
+           reverse write order, so on a version tie the first hit wins. *)
+        List.fold_left
+          (fun acc (ev, value) ->
+            if ev > v then acc
+            else
+              match acc with
+              | Some (bv, _) when bv >= ev -> acc
+              | _ -> Some (ev, value))
+          None
+          (Option.value (Hashtbl.find_opt model k) ~default:[])
+        |> Option.map snd |> Option.join
+      in
+      let u = ref 1 and q = ref 0 and g = ref (-1) in
+      let next = ref 0 in
+      let ok = ref true in
+      let agree k v = Store.read_le s k v = model_read_le k v in
+      List.iter
+        (fun (k, skip, op) ->
+          (match op with
+          | `W ->
+              incr next;
+              Store.write s k !u !next;
+              record k !u (Some !next)
+          | `D ->
+              Store.delete s k !u;
+              record k !u None
+          | `G ->
+              (* One advancement round; [skip] > 0 makes the query version
+                 jump past unwritten versions — the shape that once tricked
+                 the renumbering rule into shadowing a newer entry. *)
+              u := !u + 1 + skip;
+              q := !u - 1;
+              if !q - 1 > !g then begin
+                incr g;
+                Store.gc s ~collect:!g ~query:!q
+              end);
+          if not (agree k !q && agree k !u && agree k max_int) then ok := false)
+        ops;
+      !ok)
+
 let () =
   let qc = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "vstore"
@@ -416,6 +494,8 @@ let () =
             test_gc_removes_deleted_items;
           Alcotest.test_case "preserves newer versions" `Quick
             test_gc_preserves_newer;
+          Alcotest.test_case "skipped query keeps newest" `Quick
+            test_gc_skipped_query_keeps_newest;
         ] );
       ( "properties",
         qc
@@ -424,6 +504,7 @@ let () =
             prop_gc_preserves_query_snapshot;
             prop_version_index_consistent;
             prop_gc_rules_read_equivalent;
+            prop_store_matches_reference;
           ] );
     ]
 

@@ -284,6 +284,135 @@ let test_checkpoint_discards_pre_history () =
     (Store.read_le recovered "x" 9);
   check_int "single checkpoint record" 1 (Log.length log)
 
+(* Property: truncating the log at a checkpoint is invisible to recovery —
+   [checkpoint + tail] and the full history replay to the same store and
+   version counters, for random committed batches under both schemes. *)
+let prop_checkpoint_transparent =
+  let batch_gen =
+    QCheck.Gen.(
+      list_size (int_bound 25)
+        (pair (map (Printf.sprintf "k%d") (int_bound 8))
+           (oneof [ map (fun v -> Some v) (int_bound 100); return None ])))
+  in
+  QCheck.Test.make ~name:"truncate-after-checkpoint is invisible to recovery"
+    ~count:100
+    (QCheck.make QCheck.Gen.(triple batch_gen batch_gen bool))
+    (fun (b1, b2, use_undo_redo) ->
+      let kind = if use_undo_redo then Scheme.Undo_redo else Scheme.No_undo in
+      let run ~checkpoint =
+        let t, _, log = make kind in
+        let s1 = Scheme.begin_session t ~txn:1 ~version:1 in
+        List.iter (fun (k, v) -> Scheme.write t s1 k v) b1;
+        Scheme.commit t s1 ~final_version:1;
+        Log.append log (Wal.Record.Advance_update 2);
+        Log.append log (Wal.Record.Advance_query 1);
+        if checkpoint then begin
+          let store, _ = Recovery.replay log ~bound:3 () in
+          Recovery.checkpoint log ~store ~u:2 ~q:1 ~g:(-1)
+        end;
+        let s2 = Scheme.begin_session t ~txn:2 ~version:2 in
+        List.iter (fun (k, v) -> Scheme.write t s2 k v) b2;
+        Scheme.commit t s2 ~final_version:2;
+        let recovered, versions = Recovery.replay log ~bound:3 () in
+        ( List.map
+            (fun i ->
+              let k = Printf.sprintf "k%d" i in
+              (Store.read_le recovered k 9, Store.versions_of recovered k))
+            [ 0; 1; 2; 3; 4; 5; 6; 7; 8 ],
+          ( versions.Recovery.update_version,
+            versions.Recovery.query_version,
+            versions.Recovery.collected_version ) )
+      in
+      run ~checkpoint:true = run ~checkpoint:false)
+
+(* {1 Group commit} *)
+
+module Disk = Wal.Disk
+module Gc = Wal.Group_commit
+
+let test_group_commit_batch_release () =
+  (* Four committers arrive inside one window: the first arms the flush
+     timer, a single force covers everybody, and all four wake at the same
+     instant (window + force latency). *)
+  let engine = Sim.Engine.create () in
+  let disk = Disk.create ~force_latency:1.0 () in
+  let log : int Log.t = Log.create () in
+  let gc = Gc.create ~engine ~disk ~log ~window:3.0 () in
+  let done_at = Array.make 4 nan in
+  for i = 0 to 3 do
+    Sim.Engine.schedule engine ~delay:(float_of_int i *. 0.5) (fun () ->
+        Log.append log (Wal.Record.Advance_update (i + 2));
+        Gc.sync gc;
+        done_at.(i) <- Sim.Engine.now engine)
+  done;
+  Sim.Engine.run engine;
+  check_int "one force for the whole batch" 1 (Disk.forces disk);
+  check_int "all four records covered" 4 (Disk.records_forced disk);
+  Array.iter
+    (fun t ->
+      Alcotest.(check (float 1e-9)) "released at window + latency" 4.0 t)
+    done_at
+
+let test_group_commit_max_batch () =
+  (* A full batch flushes early: with max_batch 2 the second arrival
+     triggers the force long before the 50-unit window would expire. *)
+  let engine = Sim.Engine.create () in
+  let disk = Disk.create ~force_latency:1.0 () in
+  let log : int Log.t = Log.create () in
+  let gc = Gc.create ~engine ~disk ~log ~window:50.0 ~max_batch:2 () in
+  let done_at = Array.make 2 nan in
+  for i = 0 to 1 do
+    Sim.Engine.schedule engine ~delay:(float_of_int i) (fun () ->
+        Log.append log (Wal.Record.Advance_update (i + 2));
+        Gc.sync gc;
+        done_at.(i) <- Sim.Engine.now engine)
+  done;
+  Sim.Engine.run engine;
+  check_int "forced once, before the window expired" 1 (Disk.forces disk);
+  Alcotest.(check (float 1e-9))
+    "released at the second arrival + latency" 2.0 done_at.(0);
+  Alcotest.(check (float 1e-9))
+    "both released together" 2.0 done_at.(1)
+
+let test_group_commit_bypass_is_synchronous () =
+  (* Zero window and zero latency: sync completes inline, no time passes,
+     and the durability model is reported inactive — the configuration the
+     rest of the test suite runs under. *)
+  let engine = Sim.Engine.create () in
+  let disk = Disk.create () in
+  let log : int Log.t = Log.create () in
+  let gc = Gc.create ~engine ~disk ~log () in
+  Alcotest.(check bool) "inactive at defaults" false (Gc.active gc);
+  Sim.Engine.schedule engine ~delay:0.0 (fun () ->
+      Log.append log (Wal.Record.Advance_update 2);
+      Gc.sync gc;
+      Alcotest.(check (float 0.0)) "no time passes" 0.0 (Sim.Engine.now engine);
+      check_int "record durable immediately" 1 (Log.durable_length log));
+  Sim.Engine.run engine;
+  check_int "no waiters left" 0 (Gc.pending gc)
+
+let test_group_commit_crash_fails_waiters () =
+  (* A crash inside the window: the parked committer gets Crashed instead
+     of an acknowledgement, nothing is forced, and the volatile tail is
+     droppable. *)
+  let engine = Sim.Engine.create () in
+  let disk = Disk.create ~force_latency:1.0 () in
+  let log : int Log.t = Log.create () in
+  let gc = Gc.create ~engine ~disk ~log ~window:5.0 () in
+  let outcome = ref `Pending in
+  Sim.Engine.schedule engine ~delay:0.0 (fun () ->
+      Log.append log (Wal.Record.Advance_update 2);
+      match Gc.sync gc with
+      | () -> outcome := `Acked
+      | exception Gc.Crashed -> outcome := `Crashed);
+  Sim.Engine.schedule engine ~delay:2.0 (fun () ->
+      Gc.crash gc;
+      check_int "volatile tail dropped" 1 (Log.drop_volatile log));
+  Sim.Engine.run engine;
+  Alcotest.(check bool) "waiter failed with Crashed" true (!outcome = `Crashed);
+  check_int "nothing was forced" 0 (Disk.forces disk);
+  check_int "log empty after dropping the tail" 0 (Log.length log)
+
 let test_snapshot_roundtrip () =
   let s : int Store.t = Store.create ~bound:3 () in
   Store.write s "x" 0 1;
@@ -342,5 +471,22 @@ let () =
           Alcotest.test_case "replays gc renumbering" `Quick
             test_recovery_gc_renumbering;
         ] );
-      ("properties", qc [ prop_schemes_agree; prop_abort_is_identity ]);
+      ( "group commit",
+        [
+          Alcotest.test_case "one force releases the batch" `Quick
+            test_group_commit_batch_release;
+          Alcotest.test_case "full batch flushes early" `Quick
+            test_group_commit_max_batch;
+          Alcotest.test_case "bypass is synchronous" `Quick
+            test_group_commit_bypass_is_synchronous;
+          Alcotest.test_case "crash fails parked waiters" `Quick
+            test_group_commit_crash_fails_waiters;
+        ] );
+      ( "properties",
+        qc
+          [
+            prop_schemes_agree;
+            prop_abort_is_identity;
+            prop_checkpoint_transparent;
+          ] );
     ]
