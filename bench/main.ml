@@ -179,6 +179,180 @@ let run_micro () =
     (Dbsim.Report.render ~header:[ "operation"; "ns/run" ] ~rows)
 
 (* ------------------------------------------------------------------ *)
+(* Engine throughput: simulator events/sec on two representative loads *)
+(* ------------------------------------------------------------------ *)
+
+(* name -> (events, best wall-clock seconds, events/sec) *)
+let engine_rows : (string * (int * float * float)) list ref = ref []
+
+(* Pure scheduler churn: hundreds of processes sleeping in loops, so the
+   run is dominated by heap push/pop and the effect-handler resume path.
+   Event count is a pure function of the seed. *)
+let engine_synthetic () =
+  let engine = Sim.Engine.create ~seed:42L ~trace:false () in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  for _ = 1 to 512 do
+    let first = Sim.Rng.float rng 10.0 in
+    Sim.Engine.schedule engine ~delay:first (fun () ->
+        for _ = 1 to 600 do
+          Sim.Engine.sleep (Sim.Rng.float rng 5.0)
+        done)
+  done;
+  engine
+
+(* Protocol end-to-end: a 64-site cluster running periodic advancement
+   rounds under a spaced update/query load — message delivery, counter
+   waits, WAL appends and advancement barriers all on the hot path. *)
+let engine_cluster () =
+  let engine = Sim.Engine.create ~seed:7L ~trace:false () in
+  let nodes = 64 in
+  let db : int Ava3.Cluster.t = Ava3.Cluster.create ~engine ~nodes () in
+  for n = 0 to nodes - 1 do
+    Ava3.Cluster.load db ~node:n
+      (List.init 8 (fun i -> (Printf.sprintf "n%d-k%d" n i, i)))
+  done;
+  let duration = 1000.0 in
+  Ava3.Cluster.start_periodic_advancement db ~coordinator:0 ~period:20.0
+    ~until:duration;
+  for i = 0 to 1999 do
+    let root = i mod nodes in
+    let remote = (root + 1 + (i mod 7)) mod nodes in
+    Sim.Engine.schedule engine
+      ~delay:(0.5 +. (float_of_int i *. duration /. 2000.0))
+      (fun () ->
+        ignore
+          (Ava3.Cluster.run_update_with_retry db ~root
+             ~ops:
+               [
+                 Ava3.Update_exec.Write
+                   { node = root; key = Printf.sprintf "n%d-k%d" root (i mod 8); value = i };
+                 Ava3.Update_exec.Write
+                   {
+                     node = remote;
+                     key = Printf.sprintf "n%d-k%d" remote (i mod 8);
+                     value = i;
+                   };
+               ]
+             ()))
+  done;
+  for i = 0 to 1199 do
+    let root = (i * 5) mod nodes in
+    Sim.Engine.schedule engine
+      ~delay:(1.0 +. (float_of_int i *. duration /. 1200.0))
+      (fun () ->
+        ignore
+          (Ava3.Cluster.run_query db ~root
+             ~reads:[ (root, Printf.sprintf "n%d-k%d" root (i mod 8)) ]))
+  done;
+  engine
+
+(* Time only [Engine.run]: setup (cluster creation, event scheduling)
+   happens before the clock starts.  Three runs, best wall-clock —
+   event counts are deterministic, so the rate is the only noisy part. *)
+let timed_engine name setup =
+  let best = ref infinity and events = ref 0 in
+  for _ = 1 to 3 do
+    let engine = setup () in
+    let t0 = Unix.gettimeofday () in
+    Sim.Engine.run engine;
+    let dt = Unix.gettimeofday () -. t0 in
+    events := Sim.Engine.events_executed engine;
+    if dt < !best then best := dt
+  done;
+  let rate = float_of_int !events /. !best in
+  engine_rows := !engine_rows @ [ (name, (!events, !best, rate)) ]
+
+(* Crude numeric extraction: the committed baseline is machine-written
+   with unique keys, so "key": <number> lookup is unambiguous. *)
+let find_float_after content key =
+  let klen = String.length key and n = String.length content in
+  let rec search i =
+    if i + klen > n then None
+    else if String.sub content i klen = key then begin
+      let j = ref (i + klen) in
+      while !j < n && (content.[!j] = ' ' || content.[!j] = ':') do incr j done;
+      let k = ref !j in
+      while
+        !k < n
+        && (match content.[!k] with
+           | '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        incr k
+      done;
+      if !k > !j then float_of_string_opt (String.sub content !j (!k - !j))
+      else None
+    end
+    else search (i + 1)
+  in
+  search 0
+
+let write_engine_json path =
+  let oc = open_out path in
+  let row f = String.concat ",\n" (List.map f !engine_rows) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"events_per_sec\": {\n%s\n  },\n\
+    \  \"events\": {\n%s\n  },\n\
+    \  \"wall_s\": {\n%s\n  }\n\
+     }\n"
+    (row (fun (name, (_, _, r)) -> Printf.sprintf "    \"%s\": %.0f" name r))
+    (row (fun (name, (ev, _, _)) -> Printf.sprintf "    \"%s\": %d" name ev))
+    (row (fun (name, (_, w, _)) -> Printf.sprintf "    \"%s\": %.4f" name w));
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* Soft regression report: compare against the committed baseline, print
+   the delta, never fail the run — wall-clock rates are machine-relative,
+   so this is a trend signal, not a gate. *)
+let engine_baseline_report () =
+  let baseline = "BENCH_engine_baseline.json" in
+  if Sys.file_exists baseline then begin
+    let ic = open_in_bin baseline in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    List.iter
+      (fun (name, (_, _, rate)) ->
+        match find_float_after content (Printf.sprintf "\"%s\"" name) with
+        | Some base when base > 0.0 ->
+            let delta = (rate -. base) /. base *. 100.0 in
+            Printf.printf
+              "engine %-12s %10.0f events/s vs committed baseline %10.0f \
+               (%+.1f%%)%s\n"
+              name rate base delta
+              (if delta < -20.0 then "  [soft regression: >20% below baseline]"
+               else "")
+        | _ -> ())
+      !engine_rows
+  end
+  else
+    Printf.printf
+      "no %s present; skipping events/sec comparison\n" baseline
+
+let run_engine () =
+  print_endline "\n== engine throughput: simulator events/sec ==";
+  engine_rows := [];
+  timed_engine "synthetic" engine_synthetic;
+  timed_engine "cluster64" engine_cluster;
+  let rows =
+    List.map
+      (fun (name, (ev, wall, rate)) ->
+        [
+          name;
+          string_of_int ev;
+          Printf.sprintf "%.3f" wall;
+          Printf.sprintf "%.0f" rate;
+        ])
+      !engine_rows
+  in
+  print_string
+    (Dbsim.Report.render
+       ~header:[ "load"; "events"; "best wall (s)"; "events/sec" ]
+       ~rows);
+  write_engine_json "BENCH_engine.json";
+  engine_baseline_report ()
+
+(* ------------------------------------------------------------------ *)
 (* Paper artifacts                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -280,7 +454,7 @@ let run_check () =
       [
         Scenarios.race2; Scenarios.mtf_race; Scenarios.crash_advance;
         Scenarios.group_commit_crash; Scenarios.table1_3site;
-        Scenarios.toy_safe;
+        Scenarios.relay_crash; Scenarios.toy_safe;
       ]
   in
   print_endline
@@ -304,10 +478,13 @@ let experiments =
     ("serializability", run_serializability);
     ("ablations", run_ablations);
     ("scalability", Dbsim.Experiment.print_scalability);
+    ("e12", fun () -> Dbsim.Experiment.print_hierarchy ());
+    ("e12smoke", fun () -> Dbsim.Experiment.print_hierarchy ~sizes:[ 256 ] ());
     ("faults", Dbsim.Experiment.print_faults);
     ("batching", Dbsim.Experiment.print_batching);
     ("check", run_check);
     ("micro", run_micro);
+    ("engine", run_engine);
   ]
 
 (* ------------------------------------------------------------------ *)

@@ -11,7 +11,7 @@
 module Cluster = Ava3.Cluster
 module Update = Ava3.Update_exec
 
-let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis =
+let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis ~hot_theta =
   let engine = Sim.Engine.create ~seed:(Int64.of_int seed) ~trace:false () in
   let config =
     {
@@ -46,12 +46,24 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis =
       (List.init 12 (fun i -> (Printf.sprintf "n%d-k%d" n i, i)))
   done;
   let key n = Printf.sprintf "n%d-k%d" n (Sim.Rng.int rng 12) in
+  (* --hot-theta skews transaction/query roots toward low-numbered sites
+     (hot partitions); the default 0.0 takes the uniform path and leaves
+     the RNG sequence of every existing seed untouched. *)
+  let zipf =
+    if hot_theta > 0.0 then Some (Workload.Zipf.create ~n:nodes ~theta:hot_theta)
+    else None
+  in
+  let pick_root () =
+    match zipf with
+    | Some z -> Workload.Zipf.sample z rng
+    | None -> Sim.Rng.int rng nodes
+  in
   let horizon = 400.0 in
   (* Updates. *)
   for _ = 1 to 25 do
     let delay = Sim.Rng.float rng horizon in
     Sim.Engine.schedule engine ~delay (fun () ->
-        let root = Sim.Rng.int rng nodes in
+        let root = pick_root () in
         let mk _ =
           let n = Sim.Rng.int rng nodes in
           if Sim.Rng.bool rng then
@@ -72,7 +84,7 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis =
     for _ = 1 to 10 do
       let delay = Sim.Rng.float rng horizon in
       Sim.Engine.schedule engine ~delay (fun () ->
-          let root = Sim.Rng.int rng nodes in
+          let root = pick_root () in
           let children =
             List.filteri (fun i _ -> i <> root) (List.init nodes (fun i -> i))
             |> List.filter (fun _ -> Sim.Rng.bool rng)
@@ -92,7 +104,7 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis =
   for _ = 1 to 20 do
     let delay = Sim.Rng.float rng horizon in
     Sim.Engine.schedule engine ~delay (fun () ->
-        let root = Sim.Rng.int rng nodes in
+        let root = pick_root () in
         let reads =
           List.init (1 + Sim.Rng.int rng 5) (fun _ ->
               let n = Sim.Rng.int rng nodes in
@@ -200,14 +212,19 @@ let configurations =
 
 let () =
   let seeds = ref 200 and from = ref 1 and verbose = ref false in
+  let hot_theta = ref 0.0 in
   let spec =
     [
       ("--seeds", Arg.Set_int seeds, "number of seeds to run (default 200)");
       ("--from", Arg.Set_int from, "first seed (default 1)");
+      ( "--hot-theta",
+        Arg.Set_float hot_theta,
+        "Zipf skew of transaction roots over sites (default 0.0 = uniform)" );
       ("-v", Arg.Set verbose, "print each seed");
     ]
   in
-  Arg.parse spec (fun _ -> ()) "stress [--seeds N] [--from S]";
+  Arg.parse spec (fun _ -> ()) "stress [--seeds N] [--from S] [--hot-theta T]";
+  let hot_theta = !hot_theta in
   (* Seeds fan out over domains (AVA3_DOMAINS, see Sim.Pool); each run is a
      self-contained engine, so outcomes are identical at any width.  Workers
      only compute — all printing happens afterwards, in seed order. *)
@@ -217,7 +234,9 @@ let () =
         List.map
           (fun ((nodes, crashes, partitions, use_tree, nemesis) as cfg) ->
             let outcome, metrics =
-              try run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis
+              try
+                run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis
+                  ~hot_theta
               with e -> (Error ("exception: " ^ Printexc.to_string e), [])
             in
             (seed, cfg, outcome, metrics))

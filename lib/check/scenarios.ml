@@ -452,6 +452,92 @@ let group_commit_crash_buggy =
       "group commit acking at enqueue, before the force: some crash \
        schedule loses an acknowledged commit"
 
+(* Hierarchical rounds under the explorer.  Three sites in an arity-1
+   chain (coordinator 0 -> relay 1 -> leaf 2), the smallest tree where a
+   site other than the coordinator holds volatile relay state: every
+   phase frame for the leaf and every aggregated ack back crosses the
+   relay.  [relay-crash] lets the nemesis crash any of the three sites
+   mid-round — including the relay, whose frame state dies with it — and
+   requires coordinator retransmission plus the stalled-round rule to
+   rebuild the tree and finish the round with the usual oracles clean.
+   The [-buggy] twin runs fault-free with [Config.relay_ack_early]: the
+   relay acknowledges upward as soon as its own share is durable,
+   before its subtree is covered, so the coordinator can freeze a
+   version the leaf is still allowed to write.  A paused update rooted
+   at the leaf keeps an old-version write in flight across the round;
+   some schedule commits it into the frozen version after a query has
+   already read that version, and the final-state replay convicts. *)
+let relay_round_variant ~ack_early ~crash ~name ~descr =
+  {
+    Scenario.name;
+    descr;
+    seed = 23L;
+    max_time = 600.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 1.0;
+            write_service_time = 1.0;
+            rpc_timeout = 10.0;
+            advancement_retry = 25.0;
+            tree_arity = 1;
+            relay_ack_early = ack_early;
+          }
+        in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~nodes:3 ()
+        in
+        Ava3.Cluster.load db ~node:0 [ ("a", 1) ];
+        Ava3.Cluster.load db ~node:1 [ ("b", 2) ];
+        Ava3.Cluster.load db ~node:2 [ ("c", 3) ];
+        let keys = [ (0, "a"); (1, "b"); (2, "c") ] in
+        let rec_ =
+          recorder [ ((0, "a"), 1); ((1, "b"), 2); ((2, "c"), 3) ]
+        in
+        if crash then begin
+          let plan =
+            Net.Nemesis.choice_plan
+              ~choose:(fun ~label ~arity ->
+                Sim.Engine.branch engine ~label arity)
+              ~nodes:3 ~horizon:40.0 ~crashes:1
+              ~at_choices:[| 5.0; 7.0; 9.0 |]
+              ~duration_choices:[| 12.0 |]
+              ()
+          in
+          Net.Nemesis.install ~engine (Ava3.Cluster.nemesis_target db) plan
+        end;
+        (* The leaf update opens before the round and commits inside it:
+           the Pause spans the advance-u frame's trip down the chain. *)
+        Sim.Engine.schedule engine ~name:"T1" ~delay:2.0 (fun () ->
+            recorded_update rec_ db ~root:2
+              [ Rmw (2, "c", 7); Pause 6.0 ]);
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:4.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:0));
+        Sim.Engine.schedule engine ~name:"T2" ~delay:6.0 (fun () ->
+            recorded_update rec_ db ~root:1 [ Rmw (1, "b", 11) ]);
+        Sim.Engine.schedule engine ~name:"Q" ~delay:8.0 (fun () ->
+            recorded_query rec_ db ~root:0 [ (0, "a"); (2, "c") ]);
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:80.0 (fun () ->
+            settle db ~coordinator:0;
+            recorded_query rec_ db ~root:0 keys);
+        ava3_instance db rec_ ~keys)
+  }
+
+let relay_crash =
+  relay_round_variant ~ack_early:false ~crash:true ~name:"relay-crash"
+    ~descr:
+      "hierarchical round vs relay crash: retransmission rebuilds the \
+       volatile tree state on every schedule"
+
+let relay_ack_early_buggy =
+  relay_round_variant ~ack_early:true ~crash:false
+    ~name:"relay-ack-early-buggy"
+    ~descr:
+      "relay acking before its subtree is covered: some schedule commits \
+       an update into a version already frozen and read"
+
 (* ---------- toy scenarios (explorer self-validation) ---------- *)
 
 (* A two-item commit racing a two-item query on the toy store.  In buggy
@@ -588,6 +674,8 @@ let all =
     crash_advance;
     group_commit_crash;
     group_commit_crash_buggy;
+    relay_crash;
+    relay_ack_early_buggy;
     toy_torn;
     toy_safe;
     toy_lost_update;

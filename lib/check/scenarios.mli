@@ -17,7 +17,14 @@
       node crash placed by the nemesis, including between a commit's
       enqueue and the batch's disk force.  The buggy twin acknowledges
       before the force ({!Ava3.Config.t.gc_ack_early}), so some schedule
-      loses an acknowledged commit.
+      loses an acknowledged commit;
+    - [relay-crash] (must clear) / [relay-ack-early-buggy] (must convict)
+      — a hierarchical round on an arity-1 chain (coordinator, relay,
+      leaf).  The clean one lets the nemesis crash any site mid-round
+      and requires retransmission to rebuild the volatile relay state;
+      the buggy twin sets {!Ava3.Config.t.relay_ack_early} so the relay
+      acknowledges before its subtree is covered, and some schedule
+      commits a leaf update into a version already frozen and read.
 
     Toy scenarios (explorer self-validation on a deliberately broken
     store, {!Toy}):
@@ -32,6 +39,8 @@ val mtf_race : Scenario.t
 val crash_advance : Scenario.t
 val group_commit_crash : Scenario.t
 val group_commit_crash_buggy : Scenario.t
+val relay_crash : Scenario.t
+val relay_ack_early_buggy : Scenario.t
 val toy_torn : Scenario.t
 val toy_safe : Scenario.t
 val toy_lost_update : Scenario.t

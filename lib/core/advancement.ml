@@ -22,42 +22,53 @@ let gc_lag cs = if cs.config.Config.retain_extra_version then 1 else 0
    must hit the disk before the ack leaves — otherwise a crash after the
    ack reverts the node's version below what the coordinator saw.  Free
    when the durability model is off; if the node crashes while the force
-   is in flight, the ack is simply withheld (the coordinator's
-   retransmission covers the recovered node). *)
-let durable_then_ack cs nd ~dst ack =
+   is in flight, the completion is simply withheld (the coordinator's
+   retransmission covers the recovered node).  [complete] abstracts what an
+   acknowledgment is: a direct message to the coordinator in a flat round,
+   a contribution to the local relay aggregation in a hierarchical one. *)
+let durable_then cs nd complete =
+  ignore cs;
   match Node_state.commit_durable nd with
-  | () -> Net.Network.send cs.net ~src:(Node_state.id nd) ~dst ack
+  | () -> complete ()
   | exception Wal.Group_commit.Crashed -> ()
 
-let handle_advance_u cs i ~src ~newu =
+let advance_u_local cs i ~newu ~complete =
   let nd = node cs i in
   if Node_state.u nd <= newu then begin
     catch_up_gc cs nd ~target:(newu - 3 - gc_lag cs);
     if Node_state.u nd < newu then begin
       Node_state.set_u nd newu;
-      emit cs ~tag (Printf.sprintf "node%d: u := %d" i newu);
+      if tracing cs then emit cs ~tag (Printf.sprintf "node%d: u := %d" i newu);
       note_version_change cs
     end;
     (* Wait for local update subtransactions that started on the previous
-       version to finish, then acknowledge to this message's coordinator. *)
+       version to finish, then acknowledge. *)
     Node_state.await_no_updates nd ~version:(newu - 1);
-    durable_then_ack cs nd ~dst:src (Messages.Ack_advance_u { newu })
+    durable_then cs nd complete
   end
 
-let handle_advance_q cs i ~src ~newq =
+let advance_q_local cs i ~newq ~complete =
   let nd = node cs i in
   if Node_state.q nd <= newq then begin
     if Node_state.q nd < newq then begin
       Node_state.set_q nd newq;
-      emit cs ~tag (Printf.sprintf "node%d: q := %d" i newq);
+      if tracing cs then emit cs ~tag (Printf.sprintf "node%d: q := %d" i newq);
       note_version_change cs
     end;
     (* Four-version baseline: the old query version survives one more round,
        so Phase 2 need not wait for queries still reading it. *)
     if not cs.config.Config.retain_extra_version then
       Node_state.await_no_queries nd ~version:(newq - 1);
-    durable_then_ack cs nd ~dst:src (Messages.Ack_advance_q { newq })
+    durable_then cs nd complete
   end
+
+let handle_advance_u cs i ~src ~newu =
+  advance_u_local cs i ~newu ~complete:(fun () ->
+      Net.Network.send cs.net ~src:i ~dst:src (Messages.Ack_advance_u { newu }))
+
+let handle_advance_q cs i ~src ~newq =
+  advance_q_local cs i ~newq ~complete:(fun () ->
+      Net.Network.send cs.net ~src:i ~dst:src (Messages.Ack_advance_q { newq }))
 
 let handle_garbage_collect cs i ~src ~newg =
   ignore src;
@@ -71,11 +82,107 @@ let handle_garbage_collect cs i ~src ~newg =
     if cs.config.Config.retain_extra_version then
       Node_state.await_no_queries nd ~version:newg;
     catch_up_gc cs nd ~target:newg;
-    emit cs ~tag (Printf.sprintf "node%d: collected version %d" i newg);
+    if tracing cs then
+      emit cs ~tag (Printf.sprintf "node%d: collected version %d" i newg);
     note_version_change cs
   end
 
 let all_acked acks = Array.for_all (fun x -> x) acks
+
+(* ---- Hierarchical rounds (Config.tree_arity > 0) -----------------------
+
+   The coordinator no longer broadcasts each phase to all N sites: it sends
+   its own site a plain phase message and hands each direct child of a
+   relay tree a [Relay] frame covering that child's whole subtree.  Relays
+   forward downward first, do their local share, and send one aggregated
+   [Relay_ack] upward once their own work is durable and every participant
+   child subtree has acknowledged.  The coordinator therefore exchanges
+   O(arity) messages per phase instead of O(N), at O(log_arity N) extra
+   message depth.
+
+   Soundness notes.  Per-link FIFO delivery plus reusing one tree for both
+   phases of a round means no site can see a round's advance-q before its
+   advance-u, so q < u is preserved even at fire-and-forget sites.  The
+   stalled-round re-initiation rule, coordinator retransmission, and
+   abandonment all apply unchanged: relays are volatile, a crashed relay's
+   state is rebuilt by the retransmitted frame, and duplicate frames repair
+   the tree idempotently (re-forward to unacknowledged subtrees, re-ack
+   upward when already complete). *)
+
+(* Tree layout of one round: the coordinator at the root, then the barrier
+   participants in ascending site order, then the fire-and-forget tail.
+   With [partition_aware] the tail holds the data-empty sites — sound only
+   under the confinement contract that writes and transaction/query roots
+   stay on data-hosting sites (see {!Config.t}). *)
+let tree_layout cs k =
+  let n = node_count cs in
+  let participant i =
+    (not cs.config.Config.partition_aware)
+    || Vstore.Store.item_count (Node_state.store (node cs i)) > 0
+  in
+  let parts = ref [] and rest = ref [] in
+  for i = n - 1 downto 0 do
+    if i <> k then
+      if participant i then parts := i :: !parts else rest := i :: !rest
+  done;
+  let sites = Array.of_list ((k :: !parts) @ !rest) in
+  (sites, 1 + List.length !parts)
+
+let tree_parent cs pos = (pos - 1) / cs.config.Config.tree_arity
+let tree_first_child cs pos = (cs.config.Config.tree_arity * pos) + 1
+
+let relay_find cs i ~root ~ver ~kind =
+  List.find_opt
+    (fun r -> r.r_root = root && r.r_ver = ver && r.r_kind = kind)
+    cs.relays.(i)
+
+(* Send [inner] on to this position's children; [skip] masks child slots
+   (repair paths resend only to subtrees that have not acknowledged). *)
+let relay_forward cs i ~sites ~nparts ~pos ~inner ~skip =
+  let n = Array.length sites in
+  let first = tree_first_child cs pos in
+  for c = 0 to cs.config.Config.tree_arity - 1 do
+    let cp = first + c in
+    if cp < n && not (skip c) then
+      Net.Network.send cs.net ~src:i ~dst:sites.(cp)
+        (Messages.Relay { sites; nparts; pos = cp; inner })
+  done
+
+let relay_ack_up cs i r =
+  r.r_acked <- true;
+  let parent = r.r_sites.(tree_parent cs r.r_pos) in
+  let inner =
+    match r.r_kind with
+    | `U -> Messages.Ack_advance_u { newu = r.r_ver }
+    | `Q -> Messages.Ack_advance_q { newq = r.r_ver }
+  in
+  Net.Network.send cs.net ~src:i ~dst:parent
+    (Messages.Relay_ack { root = r.r_root; inner })
+
+let relay_maybe_complete cs i r =
+  if
+    (not r.r_acked) && r.r_self_done
+    && (cs.config.Config.relay_ack_early || all_acked r.r_child_acks)
+  then relay_ack_up cs i r
+
+(* Launch one phase of a hierarchical round: the coordinator takes its own
+   share via a plain self-addressed message (acknowledging itself like any
+   participant) and each direct child receives the frame for its subtree.
+   Fire-and-forget children (non-participant positions) get the frame too
+   at round start so their counters converge, but are never waited on. *)
+let send_phase_tree cs k c inner =
+  Net.Network.send cs.net ~src:k ~dst:k inner;
+  let arity = cs.config.Config.tree_arity in
+  for p = 1 to min arity (Array.length c.c_sites - 1) do
+    Net.Network.send cs.net ~src:k ~dst:c.c_sites.(p)
+      (Messages.Relay { sites = c.c_sites; nparts = c.c_nparts; pos = p; inner })
+  done
+
+(* Fan a phase out: through the round's tree when it has one, by the
+   paper's flat broadcast otherwise. *)
+let send_phase cs k c inner =
+  if c.c_nparts > 0 then send_phase_tree cs k c inner
+  else Net.Network.broadcast cs.net ~src:k inner
 
 let handle_ack_advance_u cs k ~src ~newu =
   match cs.coords.(k) with
@@ -91,9 +198,10 @@ let handle_ack_advance_u cs k ~src ~newu =
         Sim.Metrics.record_phase1_duration cs.metrics ~node:k
           (c.c_phase1_done -. c.c_started);
         let newq = newu - 1 in
-        emit cs ~tag
-          (Printf.sprintf "node%d: phase 1 complete, advance-q(%d)" k newq);
-        Net.Network.broadcast cs.net ~src:k (Messages.Advance_q { newq })
+        if tracing cs then
+          emit cs ~tag
+            (Printf.sprintf "node%d: phase 1 complete, advance-q(%d)" k newq);
+        send_phase cs k c (Messages.Advance_q { newq })
       end
   | _ -> ()
 
@@ -108,22 +216,139 @@ let handle_ack_advance_q cs k ~src ~newq =
         Sim.Metrics.record_phase2_duration cs.metrics ~node:k
           (now cs -. c.c_phase1_done);
         let newg = newq - 1 in
-        emit cs ~tag
-          (Printf.sprintf "node%d: phase 2 complete, garbage-collect(%d)" k
-             newg);
-        Net.Network.broadcast cs.net ~src:k (Messages.Garbage_collect { newg })
+        if tracing cs then
+          emit cs ~tag
+            (Printf.sprintf "node%d: phase 2 complete, garbage-collect(%d)" k
+               newg);
+        send_phase cs k c (Messages.Garbage_collect { newg })
       end
   | _ -> ()
+
+(* One relay frame: forward down the tree first — a child subtree must not
+   wait on this site's local share, which may suspend on the update/query
+   barriers — then do the local work.  Advance phases aggregate
+   acknowledgments per (root, version, kind); garbage collection is
+   stateless (a lost GC broadcast is repaired by the next round's catch-up
+   rule, exactly as in flat rounds). *)
+let handle_relay cs i ~sites ~nparts ~pos ~inner =
+  let root = sites.(0) in
+  match inner with
+  | Messages.Garbage_collect { newg } ->
+      relay_forward cs i ~sites ~nparts ~pos ~inner ~skip:(fun _ -> false);
+      handle_garbage_collect cs i ~src:root ~newg
+  | Messages.Advance_u _ | Messages.Advance_q _ -> (
+      let kind, ver =
+        match inner with
+        | Messages.Advance_u { newu } -> (`U, newu)
+        | Messages.Advance_q { newq } -> (`Q, newq)
+        | _ -> assert false
+      in
+      match relay_find cs i ~root ~ver ~kind with
+      | Some r ->
+          (* Duplicate (coordinator retransmission): repair the subtree
+             idempotently — re-forward to children that have not
+             acknowledged, and re-send the aggregate ack if complete (the
+             earlier one may have been lost with a crashed parent). *)
+          relay_forward cs i ~sites ~nparts ~pos ~inner ~skip:(fun c ->
+              r.r_child_acks.(c));
+          if r.r_acked then relay_ack_up cs i r
+      | None ->
+          if pos >= nparts then begin
+            (* Fire-and-forget position: pure fan-out plus local version
+               convergence; nothing upward ever waits on this site. *)
+            relay_forward cs i ~sites ~nparts ~pos ~inner
+              ~skip:(fun _ -> false);
+            match inner with
+            | Messages.Advance_u { newu } ->
+                advance_u_local cs i ~newu ~complete:ignore
+            | Messages.Advance_q { newq } ->
+                advance_q_local cs i ~newq ~complete:ignore
+            | _ -> ()
+          end
+          else begin
+            let first = tree_first_child cs pos in
+            let r =
+              {
+                r_root = root;
+                r_ver = ver;
+                r_kind = kind;
+                r_sites = sites;
+                r_nparts = nparts;
+                r_pos = pos;
+                (* child slots past the tree or at fire-and-forget
+                   positions can never ack and start settled *)
+                r_child_acks =
+                  Array.init cs.config.Config.tree_arity (fun c ->
+                      first + c >= nparts);
+                r_self_done = false;
+                r_acked = false;
+              }
+            in
+            (* Rounds more than two versions back can never complete (their
+               coordinator has been superseded); drop their state here so
+               the list stays bounded by the handful of live rounds. *)
+            cs.relays.(i) <-
+              r
+              :: List.filter (fun r' -> r'.r_ver + 2 >= ver) cs.relays.(i);
+            relay_forward cs i ~sites ~nparts ~pos ~inner
+              ~skip:(fun _ -> false);
+            let complete () =
+              r.r_self_done <- true;
+              relay_maybe_complete cs i r
+            in
+            match inner with
+            | Messages.Advance_u { newu } ->
+                advance_u_local cs i ~newu ~complete
+            | Messages.Advance_q { newq } ->
+                advance_q_local cs i ~newq ~complete
+            | _ -> ()
+          end)
+  | _ -> ()
+
+(* Upward aggregated acknowledgment.  At the round's coordinator it settles
+   the direct child's subtree in the ordinary site-indexed collection; at
+   an inner relay it settles one child slot of the matching relay state.
+   An unknown (root, version, kind) is stale — e.g. this relay crashed and
+   lost its state — and is dropped; the coordinator's retransmission
+   rebuilds the state and the subtree re-acknowledges. *)
+let handle_relay_ack cs i ~src ~root ~inner =
+  if i = root then
+    match inner with
+    | Messages.Ack_advance_u { newu } -> handle_ack_advance_u cs i ~src ~newu
+    | Messages.Ack_advance_q { newq } -> handle_ack_advance_q cs i ~src ~newq
+    | _ -> ()
+  else
+    let key =
+      match inner with
+      | Messages.Ack_advance_u { newu } -> Some (`U, newu)
+      | Messages.Ack_advance_q { newq } -> Some (`Q, newq)
+      | _ -> None
+    in
+    match key with
+    | None -> ()
+    | Some (kind, ver) -> (
+        match relay_find cs i ~root ~ver ~kind with
+        | None -> ()
+        | Some r ->
+            let first = tree_first_child cs r.r_pos in
+            let n = Array.length r.r_sites in
+            for c = 0 to cs.config.Config.tree_arity - 1 do
+              let cp = first + c in
+              if cp < n && r.r_sites.(cp) = src then r.r_child_acks.(c) <- true
+            done;
+            relay_maybe_complete cs i r)
 
 (* Abandonment (paper §3.2, generalised): a coordinator stops its run when
    a message shows another coordinator is a phase ahead in the same round,
    or that the system has already moved to a later round.  Stale runs would
-   otherwise wait forever for acknowledgments that can no longer arrive. *)
+   otherwise wait forever for acknowledgments that can no longer arrive.
+   Relay frames count through their payload: a relayed advance carries the
+   same evidence as a broadcast one. *)
 let maybe_abandon cs i ~src msg =
   match cs.coords.(i) with
   | Some c when not c.c_abandoned ->
       let obsolete =
-        match msg with
+        match Messages.payload msg with
         | Messages.Advance_u { newu } -> newu > c.c_newu
         | Messages.Advance_q { newq } ->
             newq > c.c_newu - 1
@@ -131,14 +356,18 @@ let maybe_abandon cs i ~src msg =
         | Messages.Garbage_collect { newg } ->
             newg > c.c_newu - 2
             || (src <> i && c.c_phase = `Collect_q && newg = c.c_newu - 2)
-        | Messages.Ack_advance_u _ | Messages.Ack_advance_q _ -> false
+        | Messages.Ack_advance_u _ | Messages.Ack_advance_q _
+        | Messages.Relay _ | Messages.Relay_ack _ ->
+            false
       in
       if obsolete then begin
         c.c_abandoned <- true;
         cs.coords.(i) <- None;
-        emit cs ~tag
-          (Printf.sprintf "node%d: abandons coordination of round %d (node%d is ahead)"
-             i c.c_newu src)
+        if tracing cs then
+          emit cs ~tag
+            (Printf.sprintf
+               "node%d: abandons coordination of round %d (node%d is ahead)" i
+               c.c_newu src)
       end
   | _ -> ()
 
@@ -150,6 +379,9 @@ let handler cs i ~src msg =
   | Messages.Advance_q { newq } -> handle_advance_q cs i ~src ~newq
   | Messages.Ack_advance_q { newq } -> handle_ack_advance_q cs i ~src ~newq
   | Messages.Garbage_collect { newg } -> handle_garbage_collect cs i ~src ~newg
+  | Messages.Relay { sites; nparts; pos; inner } ->
+      handle_relay cs i ~sites ~nparts ~pos ~inner
+  | Messages.Relay_ack { root; inner } -> handle_relay_ack cs i ~src ~root ~inner
 
 let install cs =
   for i = 0 to node_count cs - 1 do
@@ -171,10 +403,29 @@ let retransmit cs k c =
     match cs.coords.(k) with
     | Some c' when c' == c && not c.c_abandoned ->
         let resend acks msg =
-          Array.iteri
-            (fun j acked ->
-              if not acked then Net.Network.send cs.net ~src:k ~dst:j msg)
-            acks
+          if c.c_nparts = 0 then
+            Array.iteri
+              (fun j acked ->
+                if not acked then Net.Network.send cs.net ~src:k ~dst:j msg)
+              acks
+          else begin
+            (* Hierarchical round: re-send down the unacknowledged limbs
+               only — the coordinator's own plain message if it has not
+               settled, and the frame of each direct participant child
+               whose subtree has not aggregated up yet.  The duplicate
+               frame repairs deeper losses as it travels (see
+               [handle_relay]). *)
+            if not acks.(k) then Net.Network.send cs.net ~src:k ~dst:k msg;
+            for p = 1 to min cs.config.Config.tree_arity
+                             (Array.length c.c_sites - 1) do
+              let site = c.c_sites.(p) in
+              if p < c.c_nparts && not acks.(site) then
+                Net.Network.send cs.net ~src:k ~dst:site
+                  (Messages.Relay
+                     { sites = c.c_sites; nparts = c.c_nparts; pos = p;
+                       inner = msg })
+            done
+          end
         in
         (match c.c_phase with
         | `Collect_u -> resend c.c_acks_u (Messages.Advance_u { newu })
@@ -187,20 +438,50 @@ let retransmit cs k c =
 
 let start_round cs k ~newu =
   let n = node_count cs in
+  let arity = cs.config.Config.tree_arity in
   let c =
-    {
-      c_newu = newu;
-      c_started = now cs;
-      c_phase = `Collect_u;
-      c_phase1_done = now cs;
-      c_acks_u = Array.make n false;
-      c_acks_q = Array.make n false;
-      c_abandoned = false;
-    }
+    if arity <= 0 then
+      {
+        c_newu = newu;
+        c_started = now cs;
+        c_phase = `Collect_u;
+        c_phase1_done = now cs;
+        c_acks_u = Array.make n false;
+        c_acks_q = Array.make n false;
+        c_abandoned = false;
+        c_sites = [||];
+        c_nparts = 0;
+      }
+    else begin
+      let sites, nparts = tree_layout cs k in
+      (* Acknowledgments stay site-indexed, but only the coordinator itself
+         and its direct participant children ever report here (each child
+         ack covers its whole subtree); every other site starts settled. *)
+      let acks () =
+        let a = Array.make n true in
+        a.(k) <- false;
+        for p = 1 to min arity (Array.length sites - 1) do
+          if p < nparts then a.(sites.(p)) <- false
+        done;
+        a
+      in
+      {
+        c_newu = newu;
+        c_started = now cs;
+        c_phase = `Collect_u;
+        c_phase1_done = now cs;
+        c_acks_u = acks ();
+        c_acks_q = acks ();
+        c_abandoned = false;
+        c_sites = sites;
+        c_nparts = nparts;
+      }
+    end
   in
   cs.coords.(k) <- Some c;
-  emit cs ~tag (Printf.sprintf "node%d: initiates advancement to u=%d" k newu);
-  Net.Network.broadcast cs.net ~src:k (Messages.Advance_u { newu });
+  if tracing cs then
+    emit cs ~tag (Printf.sprintf "node%d: initiates advancement to u=%d" k newu);
+  send_phase cs k c (Messages.Advance_u { newu });
   retransmit cs k c
 
 let initiate cs ~coordinator:k =

@@ -134,6 +134,10 @@ let crash cs ~node:i =
       c.Cluster_state.c_abandoned <- true;
       cs.Cluster_state.coords.(i) <- None
   | None -> ());
+  (* Relay aggregation state of hierarchical rounds is volatile too: the
+     recovered node answers only frames it receives after recovery (the
+     coordinator's retransmission re-delivers the current phase). *)
+  cs.Cluster_state.relays.(i) <- [];
   Net.Network.set_down cs.Cluster_state.net ~node:i true;
   Cluster_state.emit cs ~tag:"crash" (Printf.sprintf "node%d: crashed" i)
 

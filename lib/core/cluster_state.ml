@@ -6,6 +6,20 @@ type coord = {
   mutable c_acks_u : bool array;
   mutable c_acks_q : bool array;
   mutable c_abandoned : bool;
+  c_sites : int array;
+  c_nparts : int;
+}
+
+type relay = {
+  r_root : int;
+  r_ver : int;
+  r_kind : [ `U | `Q ];
+  r_sites : int array;
+  r_nparts : int;
+  r_pos : int;
+  r_child_acks : bool array;
+  mutable r_self_done : bool;
+  mutable r_acked : bool;
 }
 
 type 'v t = {
@@ -16,6 +30,7 @@ type 'v t = {
   lock_group : Lockmgr.Lock_table.group;
   mutable nodes : 'v Node_state.t array;
   coords : coord option array;
+  relays : relay list array;
   frozen_at : (int, float) Hashtbl.t;
   state_changed : Sim.Condition.t;
 }
@@ -47,11 +62,13 @@ let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
       lock_group;
       net =
         Net.Network.create ~engine ~nodes ~latency
+          ~send_occupancy:config.Config.send_occupancy
           ~call_timeout:config.Config.rpc_timeout
           ~batch_window:config.Config.rpc_batch_window ~metrics ();
       metrics;
       nodes = Array.init nodes make_node;
       coords = Array.make nodes None;
+      relays = Array.make nodes [];
       frozen_at = Hashtbl.create 16;
       state_changed = Sim.Condition.create ();
     }
@@ -67,6 +84,7 @@ let node t i =
 
 let node_count t = Array.length t.nodes
 let emit t ~tag message = Sim.Engine.emit t.engine ~tag message
+let tracing t = Sim.Engine.trace_enabled t.engine
 let now t = Sim.Engine.now t.engine
 
 let note_version_change t = Sim.Condition.broadcast t.state_changed

@@ -15,6 +15,32 @@ type coord = {
   mutable c_acks_u : bool array;
   mutable c_acks_q : bool array;
   mutable c_abandoned : bool;
+  c_sites : int array;
+      (** hierarchical rounds: the round's tree layout (see
+          {!Messages.t}'s [Relay]); [[||]] for a flat round *)
+  c_nparts : int;
+      (** hierarchical rounds: how many leading positions of [c_sites] are
+          barrier participants; [0] for a flat round *)
+}
+
+(** Relay-side state of one hierarchical advancement phase at one site:
+    which direct child subtrees have acknowledged and whether the site's
+    own local work is durably complete.  Keyed by [(root, version, kind)] —
+    racing coordinators can run the same version with different trees, and
+    their aggregation must stay separate.  Volatile: wiped by a crash, and
+    rebuilt by the coordinator's retransmission after recovery. *)
+type relay = {
+  r_root : int;
+  r_ver : int;
+  r_kind : [ `U | `Q ];
+  r_sites : int array;
+  r_nparts : int;
+  r_pos : int;
+  r_child_acks : bool array;
+      (** indexed by child slot [0 .. arity-1]; slots whose position is
+          past the tree or non-participant start [true] *)
+  mutable r_self_done : bool;
+  mutable r_acked : bool;  (** upward [Relay_ack] already sent *)
 }
 
 type 'v t = {
@@ -29,6 +55,9 @@ type 'v t = {
       (** shared deadlock-detection group spanning all nodes *)
   mutable nodes : 'v Node_state.t array;
   coords : coord option array;  (** per-node active coordination, if any *)
+  relays : relay list array;
+      (** per-node relay aggregation state of hierarchical rounds (empty
+          with flat advancement) *)
   frozen_at : (int, float) Hashtbl.t;
       (** version -> virtual time it became stable (all its update
           transactions finished); feeds the staleness metric of §8 *)
@@ -47,6 +76,12 @@ val create :
 val node : 'v t -> int -> 'v Node_state.t
 val node_count : _ t -> int
 val emit : _ t -> tag:string -> string -> unit
+
+val tracing : _ t -> bool
+(** Whether the engine trace is recording.  Hot emit sites test this before
+    building their message with [Printf.sprintf], so large disabled-trace
+    runs (benchmarks, stress, exploration) skip the formatting cost. *)
+
 val now : _ t -> float
 
 val note_version_change : _ t -> unit

@@ -18,6 +18,10 @@ type t = {
   group_commit_batch : int;
   gc_ack_early : bool;
   rpc_batch_window : float;
+  send_occupancy : float;
+  tree_arity : int;
+  partition_aware : bool;
+  relay_ack_early : bool;
 }
 
 let default =
@@ -41,6 +45,10 @@ let default =
     group_commit_batch = 64;
     gc_ack_early = false;
     rpc_batch_window = 0.0;
+    send_occupancy = 0.0;
+    tree_arity = 0;
+    partition_aware = false;
+    relay_ack_early = false;
   }
 
 let durability_active t =
@@ -50,9 +58,10 @@ let pp ppf t =
   Format.fprintf ppf
     "{scheme=%s; eager_handoff=%b; piggyback=%b; root_only_qc=%b; \
      overlap_gc=%b; read=%g; write=%g; gc_item=%g; retry=%g; rpc_timeout=%g; \
-     force=%g; gc_window=%g/%d; rpc_window=%g}"
+     force=%g; gc_window=%g/%d; rpc_window=%g; tree=%d%s}"
     (Wal.Scheme.kind_name t.scheme)
     t.eager_counter_handoff t.piggyback_version t.root_only_query_counters
     t.overlap_gc t.read_service_time t.write_service_time t.gc_item_time
     t.advancement_retry t.rpc_timeout t.disk_force_latency
-    t.group_commit_window t.group_commit_batch t.rpc_batch_window
+    t.group_commit_window t.group_commit_batch t.rpc_batch_window t.tree_arity
+    (if t.partition_aware then "/pa" else "")

@@ -87,6 +87,35 @@ type t = {
       (** Per-destination message-coalescing window for the network
           ({!Net.Network.create}'s [batch_window]).  Default [0.] — every
           message is its own envelope. *)
+  send_occupancy : float;
+      (** Sender-side serialization cost per remote message
+          ({!Net.Network.create}'s [send_occupancy]): each outbound message
+          reserves the source's transmitter that long before departing, so
+          an [O(N)] coordinator broadcast pays [O(N)] at the sender.
+          Default [0.] — departure is immediate, as in earlier builds. *)
+  tree_arity : int;
+      (** Hierarchical advancement: fan advance/GC rounds through a relay
+          tree of this arity instead of a flat coordinator broadcast, with
+          acknowledgments aggregated bottom-up ({!Messages.t}'s [Relay] /
+          [Relay_ack]).  Cuts the coordinator's per-round traffic from
+          [O(N)] messages to [O(arity)] at depth [O(log_arity N)].  [0]
+          (default) keeps the paper's flat rounds — bit-identical to the
+          pre-tree protocol. *)
+  partition_aware : bool;
+      (** With [tree_arity > 0]: exclude sites that host no data items from
+          the Phase 1/2 acknowledgment barriers (they still receive every
+          advancement message fire-and-forget, so their version counters
+          converge).  Sound only under the confinement contract: update
+          writes, transaction roots, and query roots never run at data-empty
+          sites — excluding a site that can start transactions or queries
+          would break the freeze barrier.  Default [false]. *)
+  relay_ack_early : bool;
+      (** Fault injection for the model checker: a relay acknowledges
+          upward as soon as its {e own} local work is durable, before its
+          subtree has acknowledged — the coordinator can then freeze a
+          version while a descendant still runs updates in it, the bug the
+          [relay-ack-early-buggy] scenario convicts.  Never enable outside
+          the checker.  Default [false]. *)
 }
 
 val default : t

@@ -4,12 +4,25 @@ type t =
   | Advance_q of { newq : int }
   | Ack_advance_q of { newq : int }
   | Garbage_collect of { newg : int }
+  | Relay of { sites : int array; nparts : int; pos : int; inner : t }
+  | Relay_ack of { root : int; inner : t }
 
-let pp ppf = function
+let rec pp ppf = function
   | Advance_u { newu } -> Format.fprintf ppf "advance-u(%d)" newu
   | Ack_advance_u { newu } -> Format.fprintf ppf "ack-advance-u(%d)" newu
   | Advance_q { newq } -> Format.fprintf ppf "advance-q(%d)" newq
   | Ack_advance_q { newq } -> Format.fprintf ppf "ack-advance-q(%d)" newq
   | Garbage_collect { newg } -> Format.fprintf ppf "garbage-collect(%d)" newg
+  | Relay { sites; nparts; pos; inner } ->
+      Format.fprintf ppf "relay(root=%d, pos=%d/%d of %d, %a)" sites.(0) pos
+        nparts (Array.length sites) pp inner
+  | Relay_ack { root; inner } ->
+      Format.fprintf ppf "relay-ack(root=%d, %a)" root pp inner
 
 let to_string t = Format.asprintf "%a" pp t
+
+(* The protocol meaning of a message, with relay framing stripped: what the
+   abandonment rule and round comparisons care about. *)
+let rec payload = function
+  | (Relay { inner; _ } | Relay_ack { inner; _ }) -> payload inner
+  | m -> m

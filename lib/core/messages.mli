@@ -1,7 +1,13 @@
 (** Version-advancement protocol messages (paper §3.2).
 
     These are the only messages AVA3 itself adds to the system; user
-    transactions travel over the R*-style RPC path instead. *)
+    transactions travel over the R*-style RPC path instead.
+
+    With hierarchical advancement ([Config.tree_arity > 0]) the phase
+    messages travel wrapped in [Relay] frames down a coordinator-rooted
+    relay tree, and acknowledgments travel back up aggregated in
+    [Relay_ack] frames; with a flat round (the default) neither wrapper
+    ever appears on the wire. *)
 
 type t =
   | Advance_u of { newu : int }
@@ -13,6 +19,25 @@ type t =
       (** Phase 2: switch new queries to version [newq]. *)
   | Ack_advance_q of { newq : int }
   | Garbage_collect of { newg : int }  (** Phase 3. *)
+  | Relay of { sites : int array; nparts : int; pos : int; inner : t }
+      (** Tree frame for [inner], addressed to the site at [sites.(pos)].
+          [sites] lays the whole round out as an implicit tree rooted at
+          the coordinator [sites.(0)]: the children of position [p] are
+          positions [arity*p + 1 .. arity*p + arity].  The first [nparts]
+          positions are barrier participants; later positions receive
+          messages fire-and-forget (version-counter convergence) and never
+          acknowledge.  Since positions only grow downward, a
+          non-participant's subtree is entirely non-participant. *)
+  | Relay_ack of { root : int; inner : t }
+      (** Aggregated upward acknowledgment: the sender's entire subtree has
+          locally completed (and made durable) the phase that [inner]
+          acknowledges.  [root] names the coordinator whose round this is —
+          two coordinators can race the same version number with different
+          trees, and their acknowledgment flows must not mix. *)
 
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
+
+val payload : t -> t
+(** The protocol message inside any nesting of relay frames: what round
+    comparisons (abandonment, staleness checks) care about. *)

@@ -37,9 +37,10 @@ let start cs ~root ~kind =
   let v = Node_state.q root_node in
   Node_state.incr_query_count root_node ~version:v;
   let kind = match kind with `Read -> "" | `Scan -> "scan " in
-  emit cs ~tag:"query"
-    (Printf.sprintf "Q%d: %sstarts at node%d with version %d" txn_id kind root
-       v);
+  if tracing cs then
+    emit cs ~tag:"query"
+      (Printf.sprintf "Q%d: %sstarts at node%d with version %d" txn_id kind root
+         v);
   {
     cs;
     root;
@@ -117,7 +118,8 @@ let finish t =
 let complete t ~values =
   finish t;
   Sim.Metrics.record_query t.cs.metrics ~node:t.root;
-  emit t.cs ~tag:"query" (Printf.sprintf "Q%d: %scompleted" t.txn_id t.kind);
+  if tracing t.cs then
+    emit t.cs ~tag:"query" (Printf.sprintf "Q%d: %scompleted" t.txn_id t.kind);
   {
     txn_id = t.txn_id;
     version = t.version;

@@ -43,9 +43,10 @@ let start cs ~txn_id ~state ~node:nd ~carried =
     Wal.Scheme.begin_session (Node_state.scheme nd) ~txn:txn_id ~version:v
   in
   Node_state.incr_update_count nd ~version:v;
-  emit cs ~tag:"txn"
-    (Printf.sprintf "T%d: subtransaction at node%d starts in version %d" txn_id
-       (Node_state.id nd) v);
+  if tracing cs then
+    emit cs ~tag:"txn"
+      (Printf.sprintf "T%d: subtransaction at node%d starts in version %d"
+         txn_id (Node_state.id nd) v);
   { txn_id; txn_state = state; sub_node = nd; session; counted = v; is_finished = false }
 
 let node t = t.sub_node
@@ -61,10 +62,11 @@ let move_to cs t ~newv ~at_commit =
       raise (Txn_abort `Version_mismatch);
     Wal.Scheme.move_to_future (Node_state.scheme t.sub_node) t.session
       ~new_version:newv;
-    emit cs ~tag:"txn"
-      (Printf.sprintf "T%d: moveToFuture(%d) at node%d (%s)" t.txn_id newv
-         (Node_state.id t.sub_node)
-         (if at_commit then "commit time" else "data access"));
+    if tracing cs then
+      emit cs ~tag:"txn"
+        (Printf.sprintf "T%d: moveToFuture(%d) at node%d (%s)" t.txn_id newv
+           (Node_state.id t.sub_node)
+           (if at_commit then "commit time" else "data access"));
     Sim.Metrics.record_mtf cs.metrics ~node:(Node_state.id t.sub_node)
       ~at_commit;
     if cs.config.Config.eager_counter_handoff then begin

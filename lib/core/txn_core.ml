@@ -104,9 +104,10 @@ let decide_version t versions =
 let finish_commit t ~final_version =
   t.state := Subtxn.Finished;
   Sim.Metrics.record_commit t.cs.metrics ~node:t.root;
-  emit t.cs ~tag:"txn"
-    (Printf.sprintf "T%d: committed in version %d (root node%d)" t.txn_id
-       final_version t.root)
+  if tracing t.cs then
+    emit t.cs ~tag:"txn"
+      (Printf.sprintf "T%d: committed in version %d (root node%d)" t.txn_id
+         final_version t.root)
 
 let pp_reason = function
   | `Deadlock -> "deadlock"
@@ -123,9 +124,10 @@ let abort_all t reason =
   t.state := Subtxn.Aborting;
   List.iter (fun s -> Subtxn.abort t.cs s) (sub_list t);
   Sim.Metrics.record_abort t.cs.metrics ~node:t.root reason;
-  emit t.cs ~tag:"txn"
-    (Printf.sprintf "T%d: aborted at root node%d (%s)" t.txn_id t.root
-       (pp_reason reason));
+  if tracing t.cs then
+    emit t.cs ~tag:"txn"
+      (Printf.sprintf "T%d: aborted at root node%d (%s)" t.txn_id t.root
+         (pp_reason reason));
   Aborted { txn_id = t.txn_id; reason }
 
 let protect t body =

@@ -1617,3 +1617,179 @@ let print_batching () =
         "messages";
       ]
     ~rows
+
+(* ------------------------------------------------------------------ *)
+(* E12 — hierarchical advancement at scale                             *)
+(* ------------------------------------------------------------------ *)
+
+type hierarchy_row = {
+  hr_nodes : int;
+  hr_mode : string;
+  hr_rounds : int;
+  hr_phase1_mean : float;
+  hr_phase2_mean : float;
+  hr_coord_egress : float;
+  hr_commits : int;
+  hr_aborts : int;
+  hr_mtf : int;
+  hr_events_per_sec : float;
+}
+
+(* One run: a cluster of [nodes] sites whose data lives on the first
+   max(2, nodes/8) of them, driven by a Zipf-skewed (hot-partition),
+   storm-bursty update/query mix confined to the data sites.  The
+   coordinator is the last site — it hosts no data and runs no
+   transactions, so its network egress is purely advancement-protocol
+   traffic and divides cleanly by the number of completed rounds.  Rows
+   run sequentially in this domain so the wall-clock events/sec figures
+   are not distorted by sibling domains. *)
+let hierarchy_one ~seed ~nodes ~mode ~tree_arity ~partition_aware =
+  let duration = 600.0 in
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  (* A per-message transmitter cost is what makes the flat O(N) broadcast
+     expensive at the coordinator; without it a 1000-wide fan-out departs
+     in zero simulated time and the tree could only lose (it adds hops). *)
+  let config =
+    {
+      Ava3.Config.default with
+      tree_arity;
+      partition_aware;
+      send_occupancy = 0.05;
+    }
+  in
+  let db : int Ava3.Cluster.t = Ava3.Cluster.create ~engine ~config ~nodes () in
+  let data_sites = max 2 (nodes / 8) in
+  let keys_per_site = 12 in
+  let key s i = Printf.sprintf "n%d-k%d" s i in
+  for s = 0 to data_sites - 1 do
+    Ava3.Cluster.load db ~node:s
+      (List.init keys_per_site (fun i -> (key s i, 0)))
+  done;
+  let coordinator = nodes - 1 in
+  Ava3.Cluster.start_periodic_advancement db ~coordinator ~period:60.0
+    ~until:duration;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let zipf = Workload.Zipf.create ~n:data_sites ~theta:0.9 in
+  let pick_site () = Workload.Zipf.sample zipf rng in
+  let pick_key s = key s (Sim.Rng.int rng keys_per_site) in
+  List.iter
+    (fun at ->
+      Sim.Engine.schedule engine ~delay:at (fun () ->
+          let root = pick_site () in
+          let other = pick_site () in
+          (* Write in canonical (site, key) order: with every transaction
+             acquiring its two hot-partition locks the same way, the storm
+             cannot manufacture lock-order deadlock cycles, and the sweep
+             measures advancement behavior rather than retry meltdown. *)
+          let w1 = (root, pick_key root) and w2 = (other, pick_key other) in
+          let (a, ka), (b, kb) = if w1 <= w2 then (w1, w2) else (w2, w1) in
+          let ops =
+            [
+              Ava3.Update_exec.Write
+                { node = a; key = ka; value = Sim.Rng.int rng 1000 };
+              Ava3.Update_exec.Write
+                { node = b; key = kb; value = Sim.Rng.int rng 1000 };
+            ]
+          in
+          ignore (Ava3.Cluster.run_update_with_retry db ~root ~ops ())))
+    (Workload.Driver.arrival_times rng
+       ~rate:(0.02 *. float_of_int data_sites)
+       ~duration ~storm_factor:3.0 ~storm_period:150.0 ());
+  List.iter
+    (fun at ->
+      Sim.Engine.schedule engine ~delay:at (fun () ->
+          let root = pick_site () in
+          ignore (Ava3.Cluster.run_query db ~root ~reads:[ (root, pick_key root) ])))
+    (Workload.Driver.arrival_times rng
+       ~rate:(0.02 *. float_of_int data_sites)
+       ~duration ~storm_factor:3.0 ~storm_period:150.0 ());
+  let t0 = Unix.gettimeofday () in
+  Sim.Engine.run engine;
+  let wall = Unix.gettimeofday () -. t0 in
+  let snapshot = Ava3.Cluster.metrics_snapshot db in
+  Report.record_metrics ~experiment:"E12-hierarchy"
+    ~label:(Printf.sprintf "nodes=%d mode=%s" nodes mode)
+    snapshot;
+  let hist_totals f =
+    List.fold_left
+      (fun (c, s) (n : Sim.Metrics.node_snapshot) ->
+        let h : Sim.Metrics.hist_snapshot = f n in
+        (c + h.Sim.Metrics.count, s +. h.Sim.Metrics.sum))
+      (0, 0.0) snapshot
+  in
+  let mean f =
+    let c, s = hist_totals f in
+    if c = 0 then 0.0 else s /. float_of_int c
+  in
+  let stats = Ava3.Cluster.stats db in
+  let rounds = stats.Ava3.Cluster.advancements in
+  let net = Ava3.Cluster.network db in
+  let egress = ref 0 in
+  for dst = 0 to nodes - 1 do
+    egress := !egress + Net.Network.link_count net ~src:coordinator ~dst
+  done;
+  {
+    hr_nodes = nodes;
+    hr_mode = mode;
+    hr_rounds = rounds;
+    hr_phase1_mean = mean (fun n -> n.Sim.Metrics.phase1_duration);
+    hr_phase2_mean = mean (fun n -> n.Sim.Metrics.phase2_duration);
+    hr_coord_egress =
+      (if rounds = 0 then 0.0
+       else float_of_int !egress /. float_of_int rounds);
+    hr_commits = stats.Ava3.Cluster.commits;
+    hr_aborts = stats.Ava3.Cluster.aborts;
+    hr_mtf = stats.Ava3.Cluster.mtf_data_access + stats.Ava3.Cluster.mtf_commit_time;
+    hr_events_per_sec =
+      (if wall <= 0.0 then 0.0
+       else float_of_int (Sim.Engine.events_executed engine) /. wall);
+  }
+
+let hierarchy ?(seed = 83L) ?(sizes = [ 64; 256; 1024 ]) () =
+  let modes =
+    [ ("flat", 0, false); ("tree-8", 8, false); ("tree-8+pa", 8, true) ]
+  in
+  List.concat_map
+    (fun nodes ->
+      List.map
+        (fun (mode, tree_arity, partition_aware) ->
+          hierarchy_one ~seed ~nodes ~mode ~tree_arity ~partition_aware)
+        modes)
+    sizes
+
+let print_hierarchy ?sizes () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Report.i r.hr_nodes;
+          r.hr_mode;
+          Report.i r.hr_rounds;
+          Report.f2 r.hr_phase1_mean;
+          Report.f2 r.hr_phase2_mean;
+          Report.f1 r.hr_coord_egress;
+          Report.i r.hr_commits;
+          Report.i r.hr_aborts;
+          Report.i r.hr_mtf;
+          Printf.sprintf "%.0fk" (r.hr_events_per_sec /. 1000.0);
+        ])
+      (hierarchy ?sizes ())
+  in
+  Report.print
+    ~title:
+      "E12: hierarchical advancement at scale (hot Zipf partitions, arrival \
+       storms; data on n/8 sites)"
+    ~header:
+      [
+        "nodes";
+        "mode";
+        "rounds";
+        "phase1 mean";
+        "phase2 mean";
+        "coord msgs/round";
+        "commits";
+        "aborts";
+        "mtf";
+        "events/s";
+      ]
+    ~rows

@@ -251,3 +251,30 @@ val batching : ?seed:int64 -> ?domains:int -> unit -> batching_row list
     down. *)
 
 val print_batching : unit -> unit
+
+(** {1 E12 — hierarchical advancement at scale} *)
+
+type hierarchy_row = {
+  hr_nodes : int;
+  hr_mode : string;  (** ["flat"], ["tree-8"], or ["tree-8+pa"] *)
+  hr_rounds : int;  (** advancement rounds completed *)
+  hr_phase1_mean : float;
+  hr_phase2_mean : float;
+  hr_coord_egress : float;
+      (** messages the (data-free) coordinator put on the wire per round —
+          O(n) flat, O(arity) hierarchical *)
+  hr_commits : int;
+  hr_aborts : int;
+  hr_mtf : int;
+  hr_events_per_sec : float;  (** simulator events per wall-clock second *)
+}
+
+val hierarchy :
+  ?seed:int64 -> ?sizes:int list -> unit -> hierarchy_row list
+(** Sweep cluster sizes (default 64/256/1024) under a hot-partition
+    (Zipf 0.9 over the n/8 data sites), arrival-storm workload, comparing
+    flat advancement against a tree of arity 8 with and without
+    partition-aware participant sets.  Rows run sequentially so the
+    events/sec column reflects single-domain wall-clock. *)
+
+val print_hierarchy : ?sizes:int list -> unit -> unit

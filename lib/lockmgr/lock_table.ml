@@ -19,6 +19,10 @@ type t = {
   table : (string, lock) Hashtbl.t;
   owned : (int, (string, unit) Hashtbl.t) Hashtbl.t;
   peers : t list ref; (* all tables sharing deadlock detection, incl. self *)
+  mutable live_waiters : int;
+      (* live queued requests in this table; lets the group-wide cycle
+         check skip the (at scale, vast) majority of tables with nobody
+         waiting instead of folding over every peer's whole key table *)
   mutable waits : int;
   mutable deadlocks : int;
   mutable total_wait_time : float;
@@ -35,6 +39,7 @@ let create ?group () =
       table = Hashtbl.create 1024;
       owned = Hashtbl.create 64;
       peers;
+      live_waiters = 0;
       waits = 0;
       deadlocks = 0;
       total_wait_time = 0.0;
@@ -100,20 +105,21 @@ let add_holder lock ~owner ~mode =
         lock.holders <- (owner, Shared) :: lock.holders
 
 (* Grant queued requests from the front while compatible. *)
-let rec try_grant lock =
+let rec try_grant t lock =
   match lock.queue with
   | [] -> ()
   | w :: rest ->
       if not w.w_live then begin
         lock.queue <- rest;
-        try_grant lock
+        try_grant t lock
       end
       else if compatible lock ~owner:w.w_owner ~mode:w.w_mode then begin
         lock.queue <- rest;
         w.w_live <- false;
+        t.live_waiters <- t.live_waiters - 1;
         add_holder lock ~owner:w.w_owner ~mode:w.w_mode;
         w.w_resume `Granted;
-        try_grant lock
+        try_grant t lock
       end
 
 (* Wait-for edges of [owner] within one table: if it has a live queued
@@ -150,9 +156,14 @@ let local_wait_for_edges t owner =
     t.table []
 
 (* A transaction may wait at any node of the group while holding locks at
-   others, so edges are the union over all peer tables. *)
+   others, so edges are the union over all peer tables.  Only tables with a
+   live waiter can contribute an edge — skipping the rest keeps the cycle
+   check O(contended tables), not O(cluster size), per DFS node. *)
 let wait_for_edges t owner =
-  List.concat_map (fun peer -> local_wait_for_edges peer owner) !(t.peers)
+  List.concat_map
+    (fun peer ->
+      if peer.live_waiters = 0 then [] else local_wait_for_edges peer owner)
+    !(t.peers)
 
 (* Would granting-by-waiting create a cycle through [start]?  DFS over the
    wait-for graph derived from the current group state. *)
@@ -206,10 +217,12 @@ let acquire t ~owner ~key mode =
               in
               if is_upgrade lock owner mode then lock.queue <- w :: lock.queue
               else lock.queue <- lock.queue @ [ w ];
+              t.live_waiters <- t.live_waiters + 1;
               if creates_cycle t ~start:owner then begin
                 (* Deny instead of blocking forever: the requester is the
                    transaction closing the cycle. *)
                 w.w_live <- false;
+                t.live_waiters <- t.live_waiters - 1;
                 t.deadlocks <- t.deadlocks + 1;
                 resume `Deadlock
               end)
@@ -238,7 +251,7 @@ let release_key t ~owner ~key ~only_shared =
         (match Hashtbl.find_opt t.owned owner with
         | Some keys when holder_mode lock owner = None -> Hashtbl.remove keys key
         | _ -> ());
-        try_grant lock;
+        try_grant t lock;
         if lock.holders = [] && lock.queue = [] then Hashtbl.remove t.table key
       end
 

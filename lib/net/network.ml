@@ -6,6 +6,9 @@ type 'm t = {
   nodes : int;
   latency : Latency.t;
   self_latency : float;
+  send_occupancy : float;
+  (* Sender serialization: earliest time each node's transmitter is free. *)
+  send_clock : float array;
   call_timeout : float;
   batch_window : float;
   metrics : Sim.Metrics.t option;
@@ -27,14 +30,19 @@ type 'm t = {
 }
 
 let create ~engine ~nodes ?(latency = Latency.Constant 1.0) ?(self_latency = 0.0)
-    ?(call_timeout = infinity) ?(batch_window = 0.0) ?metrics () =
+    ?(send_occupancy = 0.0) ?(call_timeout = infinity) ?(batch_window = 0.0)
+    ?metrics () =
   if nodes <= 0 then invalid_arg "Network.create: need at least one node";
   if batch_window < 0.0 then invalid_arg "Network.create: negative batch window";
+  if send_occupancy < 0.0 then
+    invalid_arg "Network.create: negative send occupancy";
   {
     engine;
     nodes;
     latency;
     self_latency;
+    send_occupancy;
+    send_clock = Array.make nodes 0.0;
     call_timeout;
     batch_window;
     metrics;
@@ -101,7 +109,22 @@ let delivery_delay t ~src ~dst =
     +. t.link_extra.(src).(dst)
   in
   let now = Sim.Engine.now t.engine in
-  let at = now +. raw in
+  (* Sender serialization: with a nonzero occupancy, each remote message
+     reserves the source's transmitter for [send_occupancy] before it can
+     depart, so a wide fan-out pays O(n) at the sender instead of being
+     free.  Local (self) messages skip the transmitter.  The default 0.0
+     leaves departure at [now] — behavior identical to an occupancy-free
+     network. *)
+  let depart =
+    if t.send_occupancy > 0.0 && src <> dst then begin
+      let free = t.send_clock.(src) in
+      let d = (if free > now then free else now) +. t.send_occupancy in
+      t.send_clock.(src) <- d;
+      d
+    end
+    else now
+  in
+  let at = depart +. raw in
   let at = if at < t.link_clock.(src).(dst) then t.link_clock.(src).(dst) else at in
   t.link_clock.(src).(dst) <- at;
   at -. now
@@ -173,9 +196,19 @@ let send t ~src ~dst msg =
   if t.down.(src) || t.link_down.(src).(dst) then t.dropped <- t.dropped + 1
   else transmit t ~src ~dst (fun () -> deliver t ~src ~dst msg)
 
+(* Inlined [send] loop: the per-destination node checks and row lookups are
+   hoisted out, but counters, drop decisions, and latency-RNG draw order are
+   exactly those of [send] applied to destinations 0..n-1. *)
 let broadcast t ~src msg =
+  check_node t src;
+  let src_down = t.down.(src) in
+  let link_down_row = t.link_down.(src) in
+  let link_sent_row = t.link_sent.(src) in
+  t.sent <- t.sent + t.nodes;
   for dst = 0 to t.nodes - 1 do
-    send t ~src ~dst msg
+    link_sent_row.(dst) <- link_sent_row.(dst) + 1;
+    if src_down || link_down_row.(dst) then t.dropped <- t.dropped + 1
+    else transmit t ~src ~dst (fun () -> deliver t ~src ~dst msg)
   done
 
 (* RPC with timeout-based failure detection.  The caller has no oracle: a

@@ -15,6 +15,7 @@ val create :
   nodes:int ->
   ?latency:Latency.t ->
   ?self_latency:float ->
+  ?send_occupancy:float ->
   ?call_timeout:float ->
   ?batch_window:float ->
   ?metrics:Sim.Metrics.t ->
@@ -24,6 +25,15 @@ val create :
     sends to itself) defaults to [0.].  [call_timeout] is the default
     timeout for {!call} (simulated seconds); it defaults to [infinity],
     i.e. callers wait forever unless they pass an explicit [?timeout].
+
+    [send_occupancy] (default [0.]) models sender-side serialization:
+    each remote message reserves the source node's transmitter for that
+    long before departing, so a node fanning out to [n] destinations pays
+    [n *. send_occupancy] at the sender — the cost that makes O(n)
+    coordinator broadcasts slow in real clusters and that hierarchical
+    (tree) dissemination avoids.  Self-messages bypass the transmitter.
+    At the default [0.] departure is immediate and behavior (including
+    RNG draws and event order) is identical to earlier builds.
 
     [batch_window] (default [0.]) enables per-destination message
     coalescing: every message leg (one-way send, RPC request, RPC reply)

@@ -19,6 +19,9 @@ type t = {
   trace_rec : Trace.t;
   mutable running : bool;
   mutable suspended : int;
+  mutable executed : int;
+      (* events popped and run since creation; divided by wall-clock time
+         this is the simulator's events/sec throughput (bench engine) *)
   mutable current_name : string option;
       (* name of the process whose code is executing right now; threaded
          into trace entries so per-process events are attributable *)
@@ -45,6 +48,7 @@ let create ?(seed = 0x5EEDL) ?(trace = true) ?trace_capacity () =
     trace_rec = Trace.create ~enabled:trace ?capacity:trace_capacity ();
     running = false;
     suspended = 0;
+    executed = 0;
     current_name = None;
     chooser = None;
   }
@@ -52,6 +56,7 @@ let create ?(seed = 0x5EEDL) ?(trace = true) ?trace_capacity () =
 let now t = t.clock
 let rng t = t.root_rng
 let trace t = t.trace_rec
+let trace_enabled t = Trace.enabled t.trace_rec
 let current_process t = t.current_name
 
 let set_chooser t chooser = t.chooser <- chooser
@@ -130,91 +135,97 @@ let stop t = t.running <- false
 
 let suspended_count t = t.suspended
 let pending_events t = Heap.size t.queue
+let events_executed t = t.executed
 
 let pending_summary t =
   let acc = ref [] in
   Heap.iter t.queue (fun time _seq ev -> acc := (time, ev.label) :: !acc);
   List.sort compare !acc
 
-(* Next event to execute.  Without a chooser this is a plain heap pop
-   (zero overhead on the normal path).  With one, every event at the
-   minimal virtual time is drained, grouped into scheduling alternatives —
-   one group per named process (its events stay in program order), one per
-   anonymous event — and the chooser picks which group's first event runs;
-   the rest go back on the heap with their original sequence numbers, so
-   the unchosen alternatives keep their relative order and remain
-   candidates at the next iteration. *)
-let pop_event t =
-  match t.chooser with
-  | None -> Heap.pop t.queue
-  | Some choose -> (
-      match Heap.peek_time t.queue with
-      | None -> None
-      | Some tmin -> (
-          let rec drain acc =
-            match Heap.peek_time t.queue with
-            | Some tm when tm = tmin -> (
-                match Heap.pop t.queue with
-                | Some e -> drain (e :: acc)
-                | None -> acc)
-            | _ -> acc
-          in
-          let batch = List.rev (drain []) in
-          match batch with
-          | [] -> None
-          | [ e ] -> Some e
-          | batch ->
-              let seen = Hashtbl.create 8 in
-              let candidates =
-                List.filter
-                  (fun (_, _, ev) ->
-                    match ev.label with
-                    | None -> true
-                    | Some l ->
-                        if Hashtbl.mem seen l then false
-                        else begin
-                          Hashtbl.add seen l ();
-                          true
-                        end)
-                  batch
+(* Chooser-mode pop, called with the minimal virtual time [tmin] already
+   read off the heap.  When exactly one event sits at [tmin] there is no
+   scheduling alternative, so it runs directly (the common case even under
+   exploration).  Otherwise every event at [tmin] is drained, grouped into
+   scheduling alternatives — one group per named process (its events stay
+   in program order), one per anonymous event — and the chooser picks which
+   group's first event runs; the rest go back on the heap with their
+   original sequence numbers, so the unchosen alternatives keep their
+   relative order and remain candidates at the next iteration. *)
+let pop_event_choosing t choose tmin =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some ((_, _, ev1) as first) ->
+      if Heap.is_empty t.queue || Heap.min_time t.queue <> tmin then Some ev1
+      else begin
+        let rec drain acc =
+          if (not (Heap.is_empty t.queue)) && Heap.min_time t.queue = tmin then
+            match Heap.pop t.queue with
+            | Some e -> drain (e :: acc)
+            | None -> acc
+          else acc
+        in
+        let batch = first :: List.rev (drain []) in
+        let seen = Hashtbl.create 8 in
+        let candidates =
+          List.filter
+            (fun (_, _, ev) ->
+              match ev.label with
+              | None -> true
+              | Some l ->
+                  if Hashtbl.mem seen l then false
+                  else begin
+                    Hashtbl.add seen l ();
+                    true
+                  end)
+            batch
+        in
+        let chosen =
+          match candidates with
+          | [ _ ] -> List.hd batch
+          | _ ->
+              let labels =
+                Array.of_list (List.map (fun (_, _, ev) -> ev.label) candidates)
               in
-              let chosen =
-                match candidates with
-                | [ _ ] -> List.hd batch
-                | _ ->
-                    let labels =
-                      Array.of_list
-                        (List.map (fun (_, _, ev) -> ev.label) candidates)
-                    in
-                    let idx = choose (Tie { labels }) in
-                    let idx =
-                      if idx < 0 || idx >= Array.length labels then 0 else idx
-                    in
-                    List.nth candidates idx
+              let idx = choose (Tie { labels }) in
+              let idx =
+                if idx < 0 || idx >= Array.length labels then 0 else idx
               in
-              let _, chosen_seq, _ = chosen in
-              List.iter
-                (fun (time, seq, ev) ->
-                  if seq <> chosen_seq then Heap.push t.queue ~time ~seq ev)
-                batch;
-              Some chosen))
+              List.nth candidates idx
+        in
+        let _, chosen_seq, chosen_ev = chosen in
+        List.iter
+          (fun (time, seq, ev) ->
+            if seq <> chosen_seq then Heap.push t.queue ~time ~seq ev)
+          batch;
+        Some chosen_ev
+      end
 
 let run ?until t =
   let limit = match until with None -> infinity | Some u -> u in
   t.running <- true;
   let rec loop () =
-    if not t.running then ()
+    if not t.running || Heap.is_empty t.queue then ()
     else
-      match Heap.peek_time t.queue with
-      | None -> ()
-      | Some time when time > limit -> t.clock <- limit
-      | Some _ -> (
-          match pop_event t with
-          | None -> ()
-          | Some (time, _, ev) ->
-              t.clock <- time;
-              ev.fn ();
-              loop ())
+      let time = Heap.min_time t.queue in
+      if time > limit then t.clock <- limit
+      else
+        match t.chooser with
+        | None ->
+            (* hot path: no chooser installed — straight off the heap with
+               no option or tuple allocation per event *)
+            let ev = Heap.pop_unsafe t.queue in
+            t.clock <- time;
+            t.executed <- t.executed + 1;
+            ev.fn ();
+            loop ()
+        | Some choose -> (
+            match pop_event_choosing t choose time with
+            | None -> ()
+            | Some ev ->
+                t.clock <- time;
+                t.executed <- t.executed + 1;
+                ev.fn ();
+                loop ())
   in
   loop ();
   t.running <- false

@@ -75,6 +75,11 @@ val rng : t -> Rng.t
 
 val trace : t -> Trace.t
 
+val trace_enabled : t -> bool
+(** Whether the trace is recording.  Hot emit sites that build their
+    message with [Printf.sprintf] should test this first so disabled-trace
+    runs skip the formatting entirely. *)
+
 val emit : t -> tag:string -> string -> unit
 (** Record a trace entry stamped with the current virtual time. *)
 
@@ -105,6 +110,11 @@ val suspended_count : t -> int
 (** Number of processes currently suspended on a {!suspend}. *)
 
 val pending_events : t -> int
+
+val events_executed : t -> int
+(** Total events popped and executed by {!run} since creation.  Divided by
+    the wall-clock time a run took, this is the simulator's events/sec —
+    the throughput metric [bench engine] tracks across revisions. *)
 
 val pending_summary : t -> (float * string option) list
 (** The (time, process label) of every pending event, sorted.  A

@@ -31,7 +31,16 @@ let hist_add h v =
   let idx =
     if v <= 0.0 then 0
     else
-      let _, e = Float.frexp v in
+      (* frexp exponent read straight off the IEEE bits: for a normal v the
+         biased exponent is bits[62:52] and frexp's e is (biased - 1022), so
+         this avoids frexp's float-pair allocation on the hot record path.
+         Subnormals give e = -1022 here instead of their true exponent, but
+         both clamp to [exp_min] identically. *)
+      let e =
+        (Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float v) 52)
+        land 0x7ff)
+        - 1022
+      in
       1 + max 0 (min (exp_max - exp_min) (e - exp_min))
   in
   h.slots.(idx) <- h.slots.(idx) + 1

@@ -5,71 +5,96 @@ type entry = {
   process : string option;
 }
 
+let dummy = { time = nan; tag = ""; message = ""; process = None }
+
+(* Two storage modes, selected by [capacity]:
+   - unbounded: a newest-first list, O(1) cons per emit;
+   - bounded: a preallocated ring of exactly [capacity] slots, so a hot
+     bounded trace (schedule exploration creates millions of short-lived
+     engines) never conses per emit and never triggers the old amortized
+     list truncation.
+   Vacated ring slots are scrubbed with [dummy] so dropped entries are
+   collectable. *)
 type t = {
-  mutable rev_entries : entry list;
-  mutable len : int;
   mutable enabled : bool;
   mutable capacity : int option;
   mutable dropped : int;
+  mutable rev_entries : entry list; (* unbounded mode *)
+  mutable ring : entry array; (* bounded mode *)
+  mutable head : int; (* next ring slot to write *)
+  mutable count : int; (* live ring entries *)
 }
 
 let create ?(enabled = true) ?capacity () =
   (match capacity with
   | Some c when c <= 0 -> invalid_arg "Trace.create: capacity must be positive"
   | _ -> ());
-  { rev_entries = []; len = 0; enabled; capacity; dropped = 0 }
+  let ring =
+    match capacity with Some c -> Array.make c dummy | None -> [||]
+  in
+  { enabled; capacity; dropped = 0; rev_entries = []; ring; head = 0; count = 0 }
 
 let enabled t = t.enabled
 let set_enabled t flag = t.enabled <- flag
 
-let rec take n = function
-  | x :: rest when n > 0 -> x :: take (n - 1) rest
-  | _ -> []
-
-(* Bounded traces drop their oldest entries.  [rev_entries] is newest
-   first, so truncation keeps a prefix; doing it only once the list grows
-   to twice the capacity makes the cost amortized O(1) per emit. *)
-let truncate t =
-  match t.capacity with
-  | Some cap when t.len > 2 * cap ->
-      t.rev_entries <- take cap t.rev_entries;
-      t.dropped <- t.dropped + (t.len - cap);
-      t.len <- cap
-  | _ -> ()
-
 let emit t ~time ?process ~tag message =
-  if t.enabled then begin
-    t.rev_entries <- { time; tag; message; process } :: t.rev_entries;
-    t.len <- t.len + 1;
-    truncate t
-  end
+  if t.enabled then
+    let e = { time; tag; message; process } in
+    match t.capacity with
+    | None -> t.rev_entries <- e :: t.rev_entries
+    | Some cap ->
+        t.ring.(t.head) <- e;
+        t.head <- (t.head + 1) mod cap;
+        if t.count = cap then t.dropped <- t.dropped + 1
+        else t.count <- t.count + 1
 
 let entries t =
-  (match t.capacity with
-  | Some cap when t.len > cap ->
-      (* Present at most [capacity] entries even between truncations. *)
-      t.rev_entries <- take cap t.rev_entries;
-      t.dropped <- t.dropped + (t.len - cap);
-      t.len <- cap
-  | _ -> ());
-  List.rev t.rev_entries
+  match t.capacity with
+  | None -> List.rev t.rev_entries
+  | Some cap ->
+      let start = (t.head - t.count + cap) mod cap in
+      List.init t.count (fun i -> t.ring.((start + i) mod cap))
 
 let find t ~tag = List.filter (fun e -> String.equal e.tag tag) (entries t)
 
 let clear t =
   t.rev_entries <- [];
-  t.len <- 0;
-  t.dropped <- 0
+  t.dropped <- 0;
+  if Array.length t.ring > 0 then
+    Array.fill t.ring 0 (Array.length t.ring) dummy;
+  t.head <- 0;
+  t.count <- 0
 
 let capacity t = t.capacity
 
-let set_capacity t capacity =
-  (match capacity with
+let rec drop_first n l =
+  if n <= 0 then l
+  else match l with [] -> [] | _ :: rest -> drop_first (n - 1) rest
+
+let set_capacity t cap =
+  (match cap with
   | Some c when c <= 0 ->
       invalid_arg "Trace.set_capacity: capacity must be positive"
   | _ -> ());
-  t.capacity <- capacity;
-  truncate t
+  let current = entries t in
+  let n = List.length current in
+  (match cap with
+  | None ->
+      t.rev_entries <- List.rev current;
+      t.ring <- [||];
+      t.head <- 0;
+      t.count <- 0
+  | Some c ->
+      let keep = min n c in
+      let kept = drop_first (n - keep) current in
+      t.dropped <- t.dropped + (n - keep);
+      let ring = Array.make c dummy in
+      List.iteri (fun i e -> ring.(i) <- e) kept;
+      t.rev_entries <- [];
+      t.ring <- ring;
+      t.head <- keep mod c;
+      t.count <- keep);
+  t.capacity <- cap
 
 let dropped t = t.dropped
 

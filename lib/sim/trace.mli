@@ -15,10 +15,11 @@ type entry = {
 type t
 
 val create : ?enabled:bool -> ?capacity:int -> unit -> t
-(** [capacity], if given, bounds the trace to (at least) the most recent
-    [capacity] entries; older ones are dropped and counted in {!dropped}.
-    Unbounded by default.  A bound keeps memory flat when millions of
-    short engine runs each record a trace (schedule exploration). *)
+(** [capacity], if given, bounds the trace to the most recent [capacity]
+    entries, kept in a preallocated ring (no allocation per emit); older
+    ones are dropped and counted in {!dropped}.  Unbounded by default.  A
+    bound keeps memory flat when millions of short engine runs each record
+    a trace (schedule exploration). *)
 
 val enabled : t -> bool
 val set_enabled : t -> bool -> unit

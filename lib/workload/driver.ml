@@ -8,6 +8,9 @@ type spec = {
   remote_fraction : float;
   long_query_period : float;
   long_query_reads : int;
+  node_theta : float;
+  storm_factor : float;
+  storm_period : float;
 }
 
 let default_spec =
@@ -21,6 +24,9 @@ let default_spec =
     remote_fraction = 0.3;
     long_query_period = 0.0;
     long_query_reads = 50;
+    node_theta = 0.0;
+    storm_factor = 1.0;
+    storm_period = 0.0;
   }
 
 type report = {
@@ -43,13 +49,40 @@ let query_throughput r =
   if r.generated_duration <= 0.0 then 0.0
   else float_of_int (r.queries_ok + r.queries_failed) /. r.generated_duration
 
-(* Poisson arrival times over [0, duration). *)
-let arrival_times rng ~rate ~duration =
+(* Poisson arrival times over [0, duration).  With a storm configured the
+   rate is piecewise constant — [rate *. storm_factor] during the first
+   quarter of every [storm_period], [rate] otherwise — and the process is
+   generated segment by segment: when an exponential gap would cross a rate
+   boundary we restart the draw at the boundary, which by memorylessness
+   yields exactly the inhomogeneous Poisson process.  A spec without storms
+   takes the original single-rate path, leaving its RNG sequence (and so
+   every existing experiment) untouched. *)
+let arrival_times rng ~rate ~duration ?(storm_factor = 1.0)
+    ?(storm_period = 0.0) () =
   if rate <= 0.0 then []
-  else begin
+  else if storm_period <= 0.0 || storm_factor = 1.0 then begin
     let rec collect t acc =
       let t = t +. Sim.Rng.exponential rng ~mean:(1.0 /. rate) in
       if t >= duration then List.rev acc else collect t (t :: acc)
+    in
+    collect 0.0 []
+  end
+  else begin
+    let burst = storm_period /. 4.0 in
+    let rec collect t acc =
+      if t >= duration then List.rev acc
+      else begin
+        let phase = Float.rem t storm_period in
+        let in_burst = phase < burst in
+        let r = if in_burst then rate *. storm_factor else rate in
+        let boundary =
+          t -. phase +. (if in_burst then burst else storm_period)
+        in
+        let t' = t +. Sim.Rng.exponential rng ~mean:(1.0 /. r) in
+        if t' > boundary then collect boundary acc
+        else if t' >= duration then List.rev acc
+        else collect t' (t' :: acc)
+      end
     in
     collect 0.0 []
   end
@@ -57,6 +90,19 @@ let arrival_times rng ~rate ~duration =
 let run (type db) (module Db : Db_intf.DB with type t = db) (db : db) ~engine
     ~rng ~keyspace ~spec =
   let nodes = Keyspace.nodes keyspace in
+  (* Hot partitions: transaction/query roots drawn Zipf-skewed over the
+     sites.  Because most ops stay local to their root (remote_fraction),
+     skewing the root concentrates the data traffic too. *)
+  let node_zipf =
+    if spec.node_theta > 0.0 then
+      Some (Zipf.create ~n:nodes ~theta:spec.node_theta)
+    else None
+  in
+  let pick_root () =
+    match node_zipf with
+    | Some z -> Zipf.sample z rng
+    | None -> Sim.Rng.int rng nodes
+  in
   let committed = ref 0 and aborted = ref 0 in
   let queries_ok = ref 0 and queries_failed = ref 0 in
   let update_latency = Histogram.create () in
@@ -85,7 +131,7 @@ let run (type db) (module Db : Db_intf.DB with type t = db) (db : db) ~engine
   (* Update stream. *)
   List.iter
     (fun at ->
-      let root = Sim.Rng.int rng nodes in
+      let root = pick_root () in
       let ops = gen_update_ops root in
       Sim.Engine.schedule engine ~delay:at (fun () ->
           let t0 = Sim.Engine.now engine in
@@ -94,7 +140,8 @@ let run (type db) (module Db : Db_intf.DB with type t = db) (db : db) ~engine
               incr committed;
               Histogram.add update_latency (Sim.Engine.now engine -. t0)
           | Db_intf.Aborted -> incr aborted))
-    (arrival_times rng ~rate:spec.update_rate ~duration:spec.duration);
+    (arrival_times rng ~rate:spec.update_rate ~duration:spec.duration
+       ~storm_factor:spec.storm_factor ~storm_period:spec.storm_period ());
   (* Query stream. *)
   let submit_query ~root ~reads ~latency_hist =
     let t0 = Sim.Engine.now engine in
@@ -107,16 +154,17 @@ let run (type db) (module Db : Db_intf.DB with type t = db) (db : db) ~engine
   in
   List.iter
     (fun at ->
-      let root = Sim.Rng.int rng nodes in
+      let root = pick_root () in
       let reads = gen_query_reads () in
       Sim.Engine.schedule engine ~delay:at (fun () ->
           submit_query ~root ~reads ~latency_hist:query_latency))
-    (arrival_times rng ~rate:spec.query_rate ~duration:spec.duration);
+    (arrival_times rng ~rate:spec.query_rate ~duration:spec.duration
+       ~storm_factor:spec.storm_factor ~storm_period:spec.storm_period ());
   (* Long decision-support queries: sweep many keys across every node. *)
   if spec.long_query_period > 0.0 then begin
     let rec schedule_long at =
       if at < spec.duration then begin
-        let root = Sim.Rng.int rng nodes in
+        let root = pick_root () in
         let reads =
           List.init spec.long_query_reads (fun i ->
               let node = i mod nodes in

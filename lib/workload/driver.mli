@@ -17,6 +17,17 @@ type spec = {
       (** probability an update op touches a node other than the root *)
   long_query_period : float;  (** 0 disables the long-query stream *)
   long_query_reads : int;
+  node_theta : float;
+      (** Zipf skew of transaction/query roots over the sites; [0.0]
+          (default) keeps roots uniform and the RNG sequence unchanged.
+          Because most ops stay local to their root, a positive theta
+          concentrates traffic on a few hot partitions. *)
+  storm_factor : float;
+      (** arrival-rate multiplier during storms; [1.0] disables storms *)
+  storm_period : float;
+      (** storm cycle length: arrivals run at [rate *. storm_factor] during
+          the first quarter of each period and at [rate] otherwise; [0.0]
+          (default) disables storms and keeps the RNG sequence unchanged *)
 }
 
 val default_spec : spec
@@ -35,6 +46,20 @@ type report = {
 
 val update_throughput : report -> float
 val query_throughput : report -> float
+
+val arrival_times :
+  Sim.Rng.t ->
+  rate:float ->
+  duration:float ->
+  ?storm_factor:float ->
+  ?storm_period:float ->
+  unit ->
+  float list
+(** Poisson arrival instants over [0, duration).  With [storm_period > 0]
+    and [storm_factor <> 1] the rate is piecewise constant:
+    [rate *. storm_factor] during the first quarter of each period, [rate]
+    otherwise (generated exactly, via memorylessness at the boundaries).
+    Exposed for experiment drivers that schedule their own transactions. *)
 
 val run :
   (module Db_intf.DB with type t = 'db) ->

@@ -88,6 +88,54 @@ let test_driver_rates_scale () =
   check_bool "long queries ran" true
     (Workload.Histogram.count r.Workload.Driver.long_query_latency >= 2)
 
+let run_spec seed mk_spec =
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let db =
+    Baseline.Ava3_db.create ~engine ~advancement_period:60.0
+      ~advancement_until:300.0 ~nodes:4 ()
+  in
+  let ks = Workload.Keyspace.create ~nodes:4 ~keys_per_node:30 ~theta:0.7 in
+  for n = 0 to 3 do
+    Baseline.Ava3_db.load db ~node:n
+      (List.map (fun k -> (k, 0)) (Workload.Keyspace.all_keys ks ~node:n))
+  done;
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let spec =
+    mk_spec { Workload.Driver.default_spec with duration = 300.0 }
+  in
+  Workload.Driver.run (module Baseline.Ava3_db) db ~engine ~rng ~keyspace:ks ~spec
+
+let test_hot_node_skew () =
+  (* A heavily skewed run completes, commits work, and stays deterministic. *)
+  let run () =
+    run_spec 11L (fun s ->
+        { s with Workload.Driver.update_rate = 0.4; node_theta = 0.95 })
+  in
+  let r = run () and r' = run () in
+  check_bool "skewed run commits" true (r.Workload.Driver.committed > 0);
+  check_int "deterministic" r.Workload.Driver.committed
+    r'.Workload.Driver.committed
+
+let test_arrival_storms () =
+  (* storm_factor 5 over the first quarter of each period doubles the mean
+     rate: 0.75 + 0.25 * 5 = 2.  Arrival counts are Poisson, so allow slack
+     around the 2x expectation. *)
+  let arrivals storm =
+    let r =
+      run_spec 12L (fun s ->
+          let s = { s with Workload.Driver.update_rate = 0.3 } in
+          if storm then
+            { s with Workload.Driver.storm_factor = 5.0; storm_period = 50.0 }
+          else s)
+    in
+    r.Workload.Driver.committed + r.Workload.Driver.aborted
+  in
+  let flat = arrivals false and stormy = arrivals true in
+  check_bool
+    (Printf.sprintf "storms raise arrivals (flat %d, stormy %d)" flat stormy)
+    true
+    (float_of_int stormy > 1.4 *. float_of_int flat)
+
 let test_zero_rate_streams () =
   let engine = Sim.Engine.create ~seed:9L ~trace:false () in
   let db =
@@ -155,6 +203,8 @@ let () =
         [
           Alcotest.test_case "deterministic" `Quick test_driver_deterministic;
           Alcotest.test_case "rates scale" `Quick test_driver_rates_scale;
+          Alcotest.test_case "hot node skew" `Quick test_hot_node_skew;
+          Alcotest.test_case "arrival storms" `Quick test_arrival_storms;
           Alcotest.test_case "zero rates" `Quick test_zero_rate_streams;
         ] );
       ( "report",
