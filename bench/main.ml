@@ -353,6 +353,224 @@ let run_engine () =
   engine_baseline_report ()
 
 (* ------------------------------------------------------------------ *)
+(* Multicore backend throughput: wall-clock ops/sec on real domains    *)
+(* ------------------------------------------------------------------ *)
+
+(* Unlike [bench engine] (simulated events per wall-clock second, one
+   domain), this measures the lib/mcore backend executing real protocol
+   operations — latched counter bumps, striped item locks, store reads
+   and writes — across 1/2/4/8 domains.  Each worker performs a fixed
+   per-domain operation count so the offered load scales with the
+   domain count; the interesting number is how ops/sec scales. *)
+
+let mcore_rows : (string * (int * float * float)) list ref = ref []
+
+let mcore_sites = 4
+let mcore_keys_per_site = 64
+
+let mcore_backend () =
+  let b : int Mcore.Backend.t = Mcore.Backend.create ~sites:mcore_sites () in
+  for s = 0 to mcore_sites - 1 do
+    Mcore.Backend.load b ~site:s
+      (List.init mcore_keys_per_site (fun k ->
+           (Printf.sprintf "n%d-k%d" s k, k)))
+  done;
+  b
+
+(* [mk_work domains w d i] performs operation [i] of domain [d]
+   ([mk_work domains] runs once per timed run, so workloads carrying
+   per-run state — the per-domain Rngs feeding the Zipf sampler — start
+   identically each repeat).  Wall-clock covers only the parallel
+   section; backend setup and domain spawn cost stay outside.  Best of
+   three runs, like [timed_engine]. *)
+let timed_mcore name ~domains ~ops_per_domain mk_work =
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let b = mcore_backend () in
+    let work = mk_work domains in
+    let body d () =
+      let w = Mcore.Backend.worker b in
+      for i = 0 to ops_per_domain - 1 do
+        work w d i
+      done
+    in
+    let t0 = Unix.gettimeofday () in
+    let workers = Array.init domains (fun d -> Domain.spawn (body d)) in
+    Array.iter Domain.join workers;
+    let dt = Unix.gettimeofday () -. t0 in
+    (match Mcore.Backend.check_quiescent b with
+    | [] -> ()
+    | problems ->
+        List.iter (Printf.eprintf "mcore bench %s: %s\n" name) problems;
+        exit 1);
+    if dt < !best then best := dt
+  done;
+  let total = domains * ops_per_domain in
+  let rate = float_of_int total /. !best in
+  mcore_rows := !mcore_rows @ [ (name, (total, !best, rate)) ]
+
+(* Key choice is Zipf-skewed (rank 0 hottest), not uniform: real traffic
+   concentrates on hot keys, and hot keys are what actually contend on
+   the striped item locks and latched counters.  The [Zipf.t] is an
+   immutable CDF shared by all domains; each domain samples it through
+   its own seeded [Sim.Rng.t], so a run's key stream is deterministic
+   per (domain, seed) regardless of interleaving. *)
+let mcore_zipf_theta = 0.9
+
+let mcore_mk_read_heavy domains =
+  let zipf =
+    Workload.Zipf.create ~n:mcore_keys_per_site ~theta:mcore_zipf_theta
+  in
+  let rngs =
+    Array.init domains (fun d -> Sim.Rng.create (Int64.of_int (0x5eed + d)))
+  in
+  fun w d i ->
+    let rng = rngs.(d) in
+    let root = i mod mcore_sites in
+    let k = Printf.sprintf "n%d-k%d" root (Workload.Zipf.sample zipf rng) in
+    let k' =
+      Printf.sprintf "n%d-k%d"
+        ((root + 1) mod mcore_sites)
+        (Workload.Zipf.sample zipf rng)
+    in
+    ignore
+      (Mcore.Backend.run_query w ~root
+         ~reads:[ (root, k); ((root + 1) mod mcore_sites, k') ]
+        : int Mcore.Backend.query_result)
+
+(* 5% updates in the read stream (same Zipf-hot keys, so writers collide
+   with readers where it matters), with domain 0 initiating an
+   advancement every 512 operations so versions actually move. *)
+let mcore_mk_mixed domains =
+  let read_heavy = mcore_mk_read_heavy domains in
+  let zipf =
+    Workload.Zipf.create ~n:mcore_keys_per_site ~theta:mcore_zipf_theta
+  in
+  let rngs =
+    Array.init domains (fun d -> Sim.Rng.create (Int64.of_int (0xdeed + d)))
+  in
+  fun w d i ->
+    if d = 0 && i mod 512 = 0 then
+      ignore
+        (Mcore.Backend.advance w ~coordinator:0 : [ `Busy | `Completed of int ])
+    else if i mod 20 = 0 then begin
+      let root = i mod mcore_sites in
+      let k =
+        Printf.sprintf "n%d-k%d" root (Workload.Zipf.sample zipf rngs.(d))
+      in
+      ignore
+        (Mcore.Backend.run_update w ~root
+           ~ops:[ (root, Mcore.Backend.Write (k, i)) ]
+          : int Mcore.Backend.outcome)
+    end
+    else read_heavy w d i
+
+let write_mcore_json path =
+  let oc = open_out path in
+  let row f = String.concat ",\n" (List.map f !mcore_rows) in
+  Printf.fprintf oc
+    "{\n\
+    \  \"ops_per_sec\": {\n%s\n  },\n\
+    \  \"ops\": {\n%s\n  },\n\
+    \  \"wall_s\": {\n%s\n  },\n\
+    \  \"cores\": %d\n\
+     }\n"
+    (row (fun (name, (_, _, r)) -> Printf.sprintf "    \"%s\": %.0f" name r))
+    (row (fun (name, (ops, _, _)) -> Printf.sprintf "    \"%s\": %d" name ops))
+    (row (fun (name, (_, w, _)) -> Printf.sprintf "    \"%s\": %.4f" name w))
+    (Domain.recommended_domain_count ());
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
+(* Soft gates, mirroring [engine_baseline_report]: wall-clock rates are
+   machine-relative and this repo's CI runners vary, so both the
+   baseline comparison and the scaling check print trend signals and
+   never fail the run. *)
+let mcore_baseline_report () =
+  let baseline = "BENCH_mcore_baseline.json" in
+  if Sys.file_exists baseline then begin
+    let ic = open_in_bin baseline in
+    let content = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    List.iter
+      (fun (name, (_, _, rate)) ->
+        match find_float_after content (Printf.sprintf "\"%s\"" name) with
+        | Some base when base > 0.0 ->
+            let delta = (rate -. base) /. base *. 100.0 in
+            Printf.printf
+              "mcore %-8s %10.0f ops/s vs committed baseline %10.0f (%+.1f%%)%s\n"
+              name rate base delta
+              (if delta < -20.0 then "  [soft regression: >20% below baseline]"
+               else "")
+        | _ -> ())
+      !mcore_rows
+  end
+  else
+    Printf.printf "no %s present; skipping ops/sec comparison\n" baseline
+
+let mcore_scaling_report () =
+  (* Read-heavy throughput should be monotonic from 1 to 4 domains — but
+     only where the hardware can actually run 4 domains in parallel.
+     On smaller machines (including this repo's 1-core CI tier) the
+     check prints what it sees and stays advisory. *)
+  let rate name =
+    match List.assoc_opt name !mcore_rows with
+    | Some (_, _, r) -> r
+    | None -> 0.0
+  in
+  let r1 = rate "read1" and r2 = rate "read2" and r4 = rate "read4" in
+  let cores = Domain.recommended_domain_count () in
+  if cores >= 4 then begin
+    if r1 <= r2 && r2 <= r4 then
+      Printf.printf "mcore scaling: read-heavy monotonic 1->2->4 domains OK\n"
+    else
+      Printf.printf
+        "mcore scaling: NOT monotonic (%.0f -> %.0f -> %.0f ops/s on %d \
+         cores) [soft: investigate]\n"
+        r1 r2 r4 cores
+  end
+  else
+    Printf.printf
+      "mcore scaling: %d core(s) available; monotonicity check skipped \
+       (%.0f -> %.0f -> %.0f ops/s)\n"
+      cores r1 r2 r4
+
+let run_mcore_bench () =
+  print_endline "\n== mcore backend: wall-clock throughput on real domains ==";
+  mcore_rows := [];
+  let ops = try int_of_string (Sys.getenv "AVA3_MCORE_OPS") with _ -> 30_000 in
+  List.iter
+    (fun domains ->
+      timed_mcore
+        (Printf.sprintf "read%d" domains)
+        ~domains ~ops_per_domain:ops mcore_mk_read_heavy)
+    [ 1; 2; 4; 8 ];
+  List.iter
+    (fun domains ->
+      timed_mcore
+        (Printf.sprintf "mixed%d" domains)
+        ~domains ~ops_per_domain:ops mcore_mk_mixed)
+    [ 1; 4 ];
+  let rows =
+    List.map
+      (fun (name, (ops, wall, rate)) ->
+        [
+          name;
+          string_of_int ops;
+          Printf.sprintf "%.3f" wall;
+          Printf.sprintf "%.2f" (rate /. 1e6);
+        ])
+      !mcore_rows
+  in
+  print_string
+    (Dbsim.Report.render
+       ~header:[ "workload"; "ops"; "best wall (s)"; "Mops/s" ]
+       ~rows);
+  write_mcore_json "BENCH_mcore.json";
+  mcore_baseline_report ();
+  mcore_scaling_report ()
+
+(* ------------------------------------------------------------------ *)
 (* Paper artifacts                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -485,6 +703,7 @@ let experiments =
     ("check", run_check);
     ("micro", run_micro);
     ("engine", run_engine);
+    ("mcore", run_mcore_bench);
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -560,6 +779,11 @@ let () =
         exit 2
       end)
     flags;
+  (* Every suite below builds its configs as [{ Config.default with ... }];
+     validating the base record here fails the whole binary fast if a
+     default ever goes nonsensical, and per-suite overrides are validated
+     again by [Cluster.create]. *)
+  Ava3.Config.validate Ava3.Config.default;
   Printf.printf "parallel sweep domains: %d (override with AVA3_DOMAINS)\n%!"
     (Sim.Pool.default_domains ());
   (match names with

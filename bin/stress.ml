@@ -39,6 +39,10 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis ~hot_theta =
       rpc_batch_window = (if seed mod 6 = 1 then 0.5 else 0.0);
     }
   in
+  (* Fail fast on a nonsensical knob combination before any cluster
+     setup; Cluster.create validates again, but by then a bad CLI value
+     has already cost the run's setup work. *)
+  Ava3.Config.validate config;
   let db : int Cluster.t = Cluster.create ~engine ~config ~nodes () in
   let rng = Sim.Rng.split (Sim.Engine.rng engine) in
   for n = 0 to nodes - 1 do

@@ -1,6 +1,7 @@
 type 'v t = 'v Cluster_state.t
 
 let create ~engine ?(config = Config.default) ?latency ~nodes () =
+  Config.validate config;
   let cs = Cluster_state.create ~engine ~config ~nodes ?latency () in
   Advancement.install cs;
   cs

@@ -51,6 +51,46 @@ let default =
     relay_ack_early = false;
   }
 
+exception Invalid of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid s)) fmt
+
+(* A knob that must be a nonnegative finite number of virtual seconds.
+   NaN fails every comparison, so the explicit check keeps it from
+   slipping through as "not negative". *)
+let check_time name v =
+  if Float.is_nan v || v < 0.0 || v = infinity then
+    invalid "%s must be a finite nonnegative time (got %g)" name v
+
+let validate t =
+  if t.tree_arity < 0 then
+    invalid "tree_arity must be >= 0 (got %d); 0 means flat broadcast"
+      t.tree_arity;
+  (* rpc_timeout = infinity is the documented no-timeout default; zero,
+     negative, and NaN would time every call out instantly or never
+     settle it deterministically. *)
+  if Float.is_nan t.rpc_timeout || t.rpc_timeout <= 0.0 then
+    invalid "rpc_timeout must be > 0 (got %g); use infinity to disable"
+      t.rpc_timeout;
+  check_time "send_occupancy" t.send_occupancy;
+  check_time "disk_force_latency" t.disk_force_latency;
+  check_time "group_commit_window" t.group_commit_window;
+  if t.group_commit_batch < 1 then
+    invalid "group_commit_batch must be >= 1 (got %d)" t.group_commit_batch;
+  check_time "rpc_batch_window" t.rpc_batch_window;
+  check_time "read_service_time" t.read_service_time;
+  check_time "write_service_time" t.write_service_time;
+  check_time "gc_item_time" t.gc_item_time;
+  if
+    Float.is_nan t.advancement_retry
+    || t.advancement_retry <= 0.0
+    || t.advancement_retry = infinity
+  then
+    invalid "advancement_retry must be a finite positive period (got %g)"
+      t.advancement_retry;
+  if t.partition_aware && t.tree_arity <= 0 then
+    invalid "partition_aware requires tree_arity > 0 (hierarchical rounds)"
+
 let durability_active t =
   t.disk_force_latency > 0.0 || t.group_commit_window > 0.0
 

@@ -120,6 +120,22 @@ type t = {
 
 val default : t
 
+exception Invalid of string
+(** Raised by {!validate} with a human-readable description of the first
+    nonsensical knob found. *)
+
+val validate : t -> unit
+(** Reject nonsensical knob combinations before they cause silent
+    misbehavior deep in a run: negative [tree_arity], [rpc_timeout <= 0]
+    (or NaN — [infinity] is the documented "no timeout"), negative or
+    non-finite [send_occupancy] / [disk_force_latency] /
+    [group_commit_window] / [rpc_batch_window] / service and GC times,
+    [group_commit_batch < 1], a non-positive or infinite
+    [advancement_retry], and [partition_aware] without a relay tree.
+    Raises {!Invalid}; returns unit on a sane config.  Called by
+    [Cluster.create], so every simulator entry point inherits the
+    check; CLI frontends call it early to fail before any setup. *)
+
 val durability_active : t -> bool
 (** Whether the simulated disk costs anything ([disk_force_latency > 0] or
     [group_commit_window > 0]).  When [false], a crash must not lose log

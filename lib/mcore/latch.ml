@@ -1,0 +1,48 @@
+(* A real spinlock latch for the multicore backend.
+
+   The simulator's Lockmgr.Latch is accounting-only: the DES is
+   cooperatively scheduled, so "latched" sections there can never be
+   preempted and the latch just counts acquisitions.  On OCaml 5 domains
+   the sections genuinely race, so this is a test-and-set spinlock with
+   [Domain.cpu_relax] in the wait loop — the paper's latch discipline
+   (short critical sections around counter bumps and version reads, held
+   for a handful of instructions, never across blocking work). *)
+
+type t = {
+  flag : bool Atomic.t;
+  acquisitions : int Atomic.t;
+}
+
+let create () = { flag = Atomic.make false; acquisitions = Atomic.make 0 }
+
+let rec acquire t =
+  if Atomic.compare_and_set t.flag false true then Atomic.incr t.acquisitions
+  else begin
+    (* Spin on a plain read first so waiters don't hammer the cache line
+       with failed CASes. *)
+    while Atomic.get t.flag do
+      Domain.cpu_relax ()
+    done;
+    acquire t
+  end
+
+let try_acquire t =
+  if Atomic.compare_and_set t.flag false true then begin
+    Atomic.incr t.acquisitions;
+    true
+  end
+  else false
+
+let release t = Atomic.set t.flag false
+
+let with_latch t f =
+  acquire t;
+  match f () with
+  | v ->
+      release t;
+      v
+  | exception e ->
+      release t;
+      raise e
+
+let acquisitions t = Atomic.get t.acquisitions

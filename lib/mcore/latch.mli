@@ -1,0 +1,27 @@
+(** Test-and-set spinlock latch for the multicore backend.
+
+    The real-concurrency counterpart of the simulator's accounting-only
+    [Lockmgr.Latch]: mutual exclusion over genuinely parallel domains,
+    meant for the paper's short latched sections (version reads, counter
+    bumps) — never held across blocking or long-running work. *)
+
+type t
+
+val create : unit -> t
+
+val acquire : t -> unit
+(** Spin (with [Domain.cpu_relax]) until the latch is taken.  Not
+    reentrant: acquiring a latch the caller already holds deadlocks. *)
+
+val try_acquire : t -> bool
+(** Take the latch iff it is free; never spins. *)
+
+val release : t -> unit
+
+val with_latch : t -> (unit -> 'a) -> 'a
+(** [with_latch t f] runs [f] holding the latch, releasing on return or
+    exception. *)
+
+val acquisitions : t -> int
+(** Lifetime successful acquisitions (the statistic Table 2-style
+    experiments report). *)

@@ -1,6 +1,9 @@
 (* Log2-bucketed histogram.  Bucket 0 is reserved for exact zeros;
    bucket i >= 1 covers (2^(i-18), 2^(i-17)] with the frexp exponent
-   clamped to [-16, 25], so the array has 1 + 42 slots. *)
+   clamped to [-16, 25], so the array has 1 + 42 slots.  Negative values
+   (a backend reporting a slightly negative elapsed time, e.g. clock
+   skew) are underflow: they are tallied in [h_neg] — never in the
+   exact-zero bucket — while still contributing to count/sum/min/max. *)
 
 let exp_min = -16
 let exp_max = 25
@@ -11,6 +14,7 @@ type hist = {
   mutable h_sum : float;
   mutable h_min : float;
   mutable h_max : float;
+  mutable h_neg : int;
   slots : int array;
 }
 
@@ -20,6 +24,7 @@ let hist_create () =
     h_sum = 0.0;
     h_min = infinity;
     h_max = neg_infinity;
+    h_neg = 0;
     slots = Array.make bucket_count 0;
   }
 
@@ -28,22 +33,28 @@ let hist_add h v =
   h.h_sum <- h.h_sum +. v;
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v;
-  let idx =
-    if v <= 0.0 then 0
-    else
-      (* frexp exponent read straight off the IEEE bits: for a normal v the
-         biased exponent is bits[62:52] and frexp's e is (biased - 1022), so
-         this avoids frexp's float-pair allocation on the hot record path.
-         Subnormals give e = -1022 here instead of their true exponent, but
-         both clamp to [exp_min] identically. *)
-      let e =
-        (Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float v) 52)
-        land 0x7ff)
-        - 1022
-      in
-      1 + max 0 (min (exp_max - exp_min) (e - exp_min))
-  in
-  h.slots.(idx) <- h.slots.(idx) + 1
+  if v < 0.0 then
+    (* Underflow: counted on its own so a negative sample can never
+       masquerade as an exact-zero-latency one. *)
+    h.h_neg <- h.h_neg + 1
+  else begin
+    let idx =
+      if v = 0.0 then 0
+      else
+        (* frexp exponent read straight off the IEEE bits: for a normal v the
+           biased exponent is bits[62:52] and frexp's e is (biased - 1022), so
+           this avoids frexp's float-pair allocation on the hot record path.
+           Subnormals give e = -1022 here instead of their true exponent, but
+           both clamp to [exp_min] identically. *)
+        let e =
+          (Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float v) 52)
+          land 0x7ff)
+          - 1022
+        in
+        1 + max 0 (min (exp_max - exp_min) (e - exp_min))
+    in
+    h.slots.(idx) <- h.slots.(idx) + 1
+  end
 
 (* Inclusive upper bound of bucket [i]: frexp puts v in (2^(e-1), 2^e]. *)
 let bucket_le i = if i = 0 then 0.0 else Float.ldexp 1.0 (i - 1 + exp_min)
@@ -160,6 +171,43 @@ let record_disk_force t ~node ~records =
   m.disk_forces <- m.disk_forces + 1;
   m.records_forced <- m.records_forced + records
 
+let hist_merge_into ~into:a b =
+  a.h_count <- a.h_count + b.h_count;
+  a.h_sum <- a.h_sum +. b.h_sum;
+  if b.h_min < a.h_min then a.h_min <- b.h_min;
+  if b.h_max > a.h_max then a.h_max <- b.h_max;
+  a.h_neg <- a.h_neg + b.h_neg;
+  Array.iteri (fun i c -> a.slots.(i) <- a.slots.(i) + c) b.slots
+
+let merge_into ~into src =
+  if Array.length into <> Array.length src then
+    invalid_arg "Metrics.merge_into: node counts differ";
+  Array.iteri
+    (fun i (s : node_metrics) ->
+      let d = into.(i) in
+      d.commits <- d.commits + s.commits;
+      d.aborts_deadlock <- d.aborts_deadlock + s.aborts_deadlock;
+      d.aborts_node_down <- d.aborts_node_down + s.aborts_node_down;
+      d.aborts_rpc_timeout <- d.aborts_rpc_timeout + s.aborts_rpc_timeout;
+      d.aborts_version_mismatch <-
+        d.aborts_version_mismatch + s.aborts_version_mismatch;
+      d.root_down_rejections <-
+        d.root_down_rejections + s.root_down_rejections;
+      d.queries <- d.queries + s.queries;
+      d.mtf_data_access <- d.mtf_data_access + s.mtf_data_access;
+      d.mtf_commit_time <- d.mtf_commit_time + s.mtf_commit_time;
+      d.version_mismatches <- d.version_mismatches + s.version_mismatches;
+      d.advancements <- d.advancements + s.advancements;
+      hist_merge_into ~into:d.phase1_duration s.phase1_duration;
+      hist_merge_into ~into:d.phase2_duration s.phase2_duration;
+      d.rpc_calls <- d.rpc_calls + s.rpc_calls;
+      d.rpc_timeouts <- d.rpc_timeouts + s.rpc_timeouts;
+      hist_merge_into ~into:d.rpc_latency s.rpc_latency;
+      d.envelopes <- d.envelopes + s.envelopes;
+      d.disk_forces <- d.disk_forces + s.disk_forces;
+      d.records_forced <- d.records_forced + s.records_forced)
+    src
+
 let sum f t = Array.fold_left (fun acc m -> acc + f m) 0 t
 
 let node_aborts m =
@@ -185,6 +233,7 @@ type hist_snapshot = {
   sum : float;
   min : float;
   max : float;
+  neg : int;
   buckets : (float * int) list;
 }
 
@@ -219,6 +268,7 @@ let hist_snapshot h =
     sum = h.h_sum;
     min = (if h.h_count = 0 then 0.0 else h.h_min);
     max = (if h.h_count = 0 then 0.0 else h.h_max);
+    neg = h.h_neg;
     buckets =
       Array.to_list h.slots
       |> List.mapi (fun i c -> (bucket_le i, c))
@@ -262,8 +312,9 @@ let jf x = Printf.sprintf "%.12g" x
 
 let hist_json b (h : hist_snapshot) =
   Buffer.add_string b
-    (Printf.sprintf {|{"count":%d,"sum":%s,"min":%s,"max":%s,"buckets":[|}
-       h.count (jf h.sum) (jf h.min) (jf h.max));
+    (Printf.sprintf
+       {|{"count":%d,"sum":%s,"min":%s,"max":%s,"neg":%d,"buckets":[|}
+       h.count (jf h.sum) (jf h.min) (jf h.max) h.neg);
   List.iteri
     (fun i (le, c) ->
       if i > 0 then Buffer.add_char b ',';

@@ -10,7 +10,10 @@
     Durations and latencies go into log2-bucketed histograms: bucket 0
     holds exact zeros, bucket [i >= 1] holds values in
     [(2^(i-18), 2^(i-17)]] with the exponent clamped to [[-16, 25]].
-    True extremes are preserved in [min]/[max] even when clamped. *)
+    True extremes are preserved in [min]/[max] even when clamped.
+    Negative samples are underflow: they are tallied separately (the
+    [neg] field of {!hist_snapshot}) and never land in the exact-zero
+    bucket, though they still contribute to count/sum/min/max. *)
 
 type t
 
@@ -70,6 +73,15 @@ val record_disk_force : t -> node:int -> records:int -> unit
     Group commit amortizes many commits over one force, so
     [records/forces] is the achieved batch size. *)
 
+val merge_into : into:t -> t -> unit
+(** [merge_into ~into src] adds every counter and histogram of [src]
+    into [into], node by node.  Raises [Invalid_argument] if the node
+    counts differ.  This is how per-domain registries are combined at
+    quiesce: each domain records into its own private registry (the
+    registry is mutable and single-domain; see above) and the merged
+    totals are taken once all domains have joined.  [src] is not
+    modified. *)
+
 (** {1 Totals} *)
 
 val total_commits : t -> int
@@ -95,6 +107,9 @@ type hist_snapshot = {
   sum : float;
   min : float;  (** 0. when [count = 0] *)
   max : float;  (** 0. when [count = 0] *)
+  neg : int;
+      (** negative (underflow) samples; counted in [count]/[sum]/
+          [min]/[max] but filed in no bucket *)
   buckets : (float * int) list;
       (** (inclusive upper bound, count) for non-empty buckets,
           ascending; bound 0. is the exact-zero bucket *)
@@ -139,5 +154,5 @@ val to_json : snapshot -> string
     "advancements":..,"phase1_duration":H,"phase2_duration":H,
     "rpc":{"calls":..,"timeouts":..,"latency":H},"envelopes":..,
     "wal":{"forces":..,"records_forced":..}}] where H is
-    [{"count":..,"sum":..,"min":..,"max":..,
+    [{"count":..,"sum":..,"min":..,"max":..,"neg":..,
     "buckets":[{"le":..,"count":..},...]}]. *)

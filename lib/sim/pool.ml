@@ -17,6 +17,18 @@ let in_worker = Domain.DLS.new_key (fun () -> false)
 
 let inside_pool () = Domain.DLS.get in_worker
 
+(* Lifetime count of helper domains this pool has ever spawned.  Tests
+   use it to prove the sequential fallback really is sequential: a
+   nested or width-1 [map] must leave it untouched. *)
+let spawned = Atomic.make 0
+
+let domains_spawned () = Atomic.get spawned
+
+(* The fallback is a distinct, named path rather than an inline
+   [List.map] so the no-spawn guarantee is explicit: nothing on this
+   path can reach [Domain.spawn]. *)
+let sequential f xs = List.map f xs
+
 let map ?domains f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
@@ -26,7 +38,7 @@ let map ?domains f xs =
     in
     min requested n
   in
-  if width <= 1 || inside_pool () then List.map f xs
+  if width <= 1 || inside_pool () then sequential f xs
   else begin
     let results : ('b, exn * Printexc.raw_backtrace) result option array =
       Array.make n None
@@ -52,7 +64,11 @@ let map ?domains f xs =
           in
           loop ())
     in
-    let helpers = Array.init (width - 1) (fun _ -> Domain.spawn worker) in
+    let helpers =
+      Array.init (width - 1) (fun _ ->
+          Atomic.incr spawned;
+          Domain.spawn worker)
+    in
     (* The calling domain is the pool's first worker. *)
     worker ();
     Array.iter Domain.join helpers;

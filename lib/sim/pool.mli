@@ -34,3 +34,15 @@ val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
 val inside_pool : unit -> bool
 (** True while executing inside a pool worker (including the calling
     domain while it participates in a {!map}). *)
+
+val sequential : ('a -> 'b) -> 'a list -> 'b list
+(** The explicit no-domain path that {!map} degrades to: plain
+    [List.map] on the calling domain.  Exposed so the fallback is a
+    named, testable contract — a nested {!map} behaves exactly as if
+    the caller had written [sequential f xs]. *)
+
+val domains_spawned : unit -> int
+(** Lifetime count of helper domains spawned by {!map} in this process.
+    A call that takes the sequential fallback (width <= 1, short list,
+    or nested inside a worker) leaves this unchanged — the property the
+    nested-degradation tests pin down. *)

@@ -1,0 +1,155 @@
+(* Config.validate: every nonsensical knob class is rejected with
+   Config.Invalid, sane configs (including the defaults every
+   experiment starts from) pass, and the check is wired into
+   Cluster.create so no simulator entry point can run on garbage. *)
+
+module C = Ava3.Config
+
+let check_bool = Alcotest.(check bool)
+
+let rejected config =
+  match C.validate config with
+  | () -> false
+  | exception C.Invalid _ -> true
+
+let test_default_valid () =
+  check_bool "default config passes" false (rejected C.default)
+
+let test_tree_arity () =
+  check_bool "negative tree_arity rejected" true
+    (rejected { C.default with tree_arity = -1 });
+  check_bool "flat (0) fine" false (rejected { C.default with tree_arity = 0 });
+  check_bool "tree-8 fine" false (rejected { C.default with tree_arity = 8 })
+
+let test_rpc_timeout () =
+  check_bool "zero timeout rejected" true
+    (rejected { C.default with rpc_timeout = 0.0 });
+  check_bool "negative timeout rejected" true
+    (rejected { C.default with rpc_timeout = -5.0 });
+  check_bool "nan timeout rejected" true
+    (rejected { C.default with rpc_timeout = Float.nan });
+  check_bool "infinity means no timeout" false
+    (rejected { C.default with rpc_timeout = infinity });
+  check_bool "finite positive fine" false
+    (rejected { C.default with rpc_timeout = 25.0 })
+
+let test_network_costs () =
+  check_bool "negative send_occupancy rejected" true
+    (rejected { C.default with send_occupancy = -0.1 });
+  check_bool "nan send_occupancy rejected" true
+    (rejected { C.default with send_occupancy = Float.nan });
+  check_bool "negative rpc_batch_window rejected" true
+    (rejected { C.default with rpc_batch_window = -1.0 });
+  check_bool "zero costs fine" false
+    (rejected { C.default with send_occupancy = 0.0; rpc_batch_window = 0.0 })
+
+let test_durability_knobs () =
+  check_bool "negative disk_force_latency rejected" true
+    (rejected { C.default with disk_force_latency = -0.5 });
+  check_bool "infinite disk_force_latency rejected" true
+    (rejected { C.default with disk_force_latency = infinity });
+  check_bool "negative group_commit_window rejected" true
+    (rejected { C.default with group_commit_window = -1.0 });
+  check_bool "zero-batch group commit rejected" true
+    (rejected { C.default with group_commit_batch = 0 });
+  check_bool "negative batch rejected" true
+    (rejected { C.default with group_commit_batch = -3 });
+  check_bool "real durability config fine" false
+    (rejected
+       {
+         C.default with
+         disk_force_latency = 0.4;
+         group_commit_window = 1.0;
+         group_commit_batch = 8;
+       })
+
+let test_service_times () =
+  check_bool "negative read_service_time rejected" true
+    (rejected { C.default with read_service_time = -0.1 });
+  check_bool "negative write_service_time rejected" true
+    (rejected { C.default with write_service_time = -0.1 });
+  check_bool "negative gc_item_time rejected" true
+    (rejected { C.default with gc_item_time = -0.1 });
+  check_bool "free (zero-cost) services fine" false
+    (rejected
+       {
+         C.default with
+         read_service_time = 0.0;
+         write_service_time = 0.0;
+         gc_item_time = 0.0;
+       })
+
+let test_advancement_retry () =
+  check_bool "zero retry period rejected" true
+    (rejected { C.default with advancement_retry = 0.0 });
+  check_bool "negative retry rejected" true
+    (rejected { C.default with advancement_retry = -1.0 });
+  check_bool "infinite retry rejected" true
+    (rejected { C.default with advancement_retry = infinity })
+
+let test_partition_aware_needs_tree () =
+  check_bool "partition_aware without tree rejected" true
+    (rejected { C.default with partition_aware = true; tree_arity = 0 });
+  check_bool "partition_aware with tree fine" false
+    (rejected { C.default with partition_aware = true; tree_arity = 4 })
+
+let test_message_names_knob () =
+  (* The error text must name the offending knob so a CLI user can act
+     on it. *)
+  let msg config =
+    match C.validate config with
+    | () -> ""
+    | exception C.Invalid m -> m
+  in
+  let contains hay needle =
+    let n = String.length needle and len = String.length hay in
+    let rec go i = i + n <= len && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "names tree_arity" true
+    (contains (msg { C.default with tree_arity = -2 }) "tree_arity");
+  check_bool "names rpc_timeout" true
+    (contains (msg { C.default with rpc_timeout = 0.0 }) "rpc_timeout");
+  check_bool "names group_commit_window" true
+    (contains
+       (msg { C.default with group_commit_window = -1.0 })
+       "group_commit_window")
+
+let test_cluster_create_validates () =
+  (* The wiring, not just the function: Cluster.create must refuse a bad
+     config before any setup. *)
+  let engine = Sim.Engine.create ~trace:false () in
+  let bad = { C.default with tree_arity = -1 } in
+  check_bool "Cluster.create rejects invalid config" true
+    (match Ava3.Cluster.create ~engine ~config:bad ~nodes:2 () with
+    | (_ : int Ava3.Cluster.t) -> false
+    | exception C.Invalid _ -> true);
+  (* And a valid one still builds. *)
+  let (_ : int Ava3.Cluster.t) =
+    Ava3.Cluster.create ~engine ~config:C.default ~nodes:2 ()
+  in
+  ()
+
+let () =
+  Alcotest.run "config"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "default valid" `Quick test_default_valid;
+          Alcotest.test_case "tree_arity" `Quick test_tree_arity;
+          Alcotest.test_case "rpc_timeout" `Quick test_rpc_timeout;
+          Alcotest.test_case "network costs" `Quick test_network_costs;
+          Alcotest.test_case "durability knobs" `Quick test_durability_knobs;
+          Alcotest.test_case "service times" `Quick test_service_times;
+          Alcotest.test_case "advancement retry" `Quick test_advancement_retry;
+          Alcotest.test_case "partition-aware needs tree" `Quick
+            test_partition_aware_needs_tree;
+          Alcotest.test_case "errors name the knob" `Quick
+            test_message_names_knob;
+        ] );
+      ( "wiring",
+        [
+          Alcotest.test_case "Cluster.create validates" `Quick
+            test_cluster_create_validates;
+        ] );
+    ]

@@ -76,6 +76,61 @@ let test_histogram_buckets () =
     [ (0.0, 1); (1.0, 1); (4.0, 2); (33554432.0, 1) ]
     h.M.buckets
 
+(* Regression: negative samples used to be filed into bucket 0, which is
+   reserved for exact zeros.  They must land in the [neg] underflow tally
+   instead — while still counting toward count/sum/min/max. *)
+let test_negative_underflow () =
+  let m = M.create ~nodes:1 in
+  M.record_rpc_latency m ~node:0 (-0.5);
+  M.record_rpc_latency m ~node:0 (-2.0);
+  M.record_rpc_latency m ~node:0 0.0;
+  M.record_rpc_latency m ~node:0 0.75;
+  let h = (List.hd (M.snapshot m)).M.rpc_latency in
+  check_int "count includes negatives" 4 h.M.count;
+  check_int "two underflow samples" 2 h.M.neg;
+  check_float "sum includes negatives" (-1.75) h.M.sum;
+  check_float "min is the true extreme" (-2.0) h.M.min;
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "exact-zero bucket holds only the exact zero"
+    [ (0.0, 1); (1.0, 1) ]
+    h.M.buckets;
+  (* And the underflow tally reaches the JSON dump. *)
+  let json = M.to_json (M.snapshot m) in
+  let contains needle =
+    let n = String.length needle and len = String.length json in
+    let rec go i = i + n <= len && (String.sub json i n = needle || go (i + 1)) in
+    go 0
+  in
+  check_bool "neg in JSON" true (contains {|"neg":2|})
+
+let test_merge_into () =
+  let a = M.create ~nodes:2 and b = M.create ~nodes:2 in
+  M.record_commit a ~node:0;
+  M.record_commit b ~node:0;
+  M.record_commit b ~node:1;
+  M.record_abort b ~node:1 `Deadlock;
+  M.record_rpc_latency a ~node:0 1.5;
+  M.record_rpc_latency b ~node:0 3.0;
+  M.record_rpc_latency b ~node:0 (-1.0);
+  M.record_disk_force b ~node:1 ~records:7;
+  M.merge_into ~into:a b;
+  check_int "commits summed" 3 (M.total_commits a);
+  check_int "aborts summed" 1 (M.total_aborts a);
+  check_int "records forced" 7 (M.total_records_forced a);
+  let h = (List.hd (M.snapshot a)).M.rpc_latency in
+  check_int "hist count" 3 h.M.count;
+  check_int "hist neg" 1 h.M.neg;
+  check_float "hist min" (-1.0) h.M.min;
+  check_float "hist max" 3.0 h.M.max;
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "bucket slots added" [ (2.0, 1); (4.0, 1) ] h.M.buckets;
+  (* Source untouched; mismatched node counts rejected. *)
+  check_int "src unchanged" 2 (M.total_commits b);
+  check_bool "node-count mismatch rejected" true
+    (match M.merge_into ~into:a (M.create ~nodes:3) with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let test_empty_histogram () =
   let h = (List.hd (M.snapshot (M.create ~nodes:1))).M.rpc_latency in
   check_int "count" 0 h.M.count;
@@ -147,6 +202,8 @@ let () =
       ( "histograms",
         [
           Alcotest.test_case "log2 buckets" `Quick test_histogram_buckets;
+          Alcotest.test_case "negative underflow" `Quick test_negative_underflow;
+          Alcotest.test_case "merge registries" `Quick test_merge_into;
           Alcotest.test_case "empty histogram" `Quick test_empty_histogram;
           Alcotest.test_case "snapshot immutable" `Quick test_snapshot_immutable;
         ] );

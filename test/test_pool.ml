@@ -53,14 +53,46 @@ let test_sequential_fallback () =
 let test_nested_fallback () =
   (* A map spawned from inside a pool worker must not spawn further
      domains; it falls back to sequential and still returns correct
-     results. *)
+     results.  The lifetime spawn counter proves it: across the whole
+     nested call only the outer map's helper may be spawned. *)
+  let before = Sim.Pool.domains_spawned () in
+  let nested_flags = Atomic.make 0 in
   let ys =
     Sim.Pool.map ~domains:2
-      (fun x -> Sim.Pool.map ~domains:2 (fun y -> (x * 10) + y) [ 1; 2; 3 ])
+      (fun x ->
+        if Sim.Pool.inside_pool () then Atomic.incr nested_flags;
+        Sim.Pool.map ~domains:2 (fun y -> (x * 10) + y) [ 1; 2; 3 ])
       [ 0; 1 ]
   in
   Alcotest.(check (list (list int)))
-    "nested map correct" [ [ 1; 2; 3 ]; [ 11; 12; 13 ] ] ys
+    "nested map correct" [ [ 1; 2; 3 ]; [ 11; 12; 13 ] ] ys;
+  Alcotest.(check bool) "workers know they are inside the pool" true
+    (Atomic.get nested_flags = 2);
+  let spawned = Sim.Pool.domains_spawned () - before in
+  Alcotest.(check int)
+    "only the outer map's single helper was spawned" 1 spawned
+
+let test_sequential_explicit () =
+  (* The named fallback path itself: plain List.map semantics, zero
+     domains spawned, usable directly. *)
+  let before = Sim.Pool.domains_spawned () in
+  let log = ref [] in
+  let ys =
+    Sim.Pool.sequential
+      (fun x ->
+        log := x :: !log;
+        x * 2)
+      [ 3; 1; 4 ]
+  in
+  Alcotest.(check (list int)) "results" [ 6; 2; 8 ] ys;
+  Alcotest.(check (list int)) "in order" [ 3; 1; 4 ] (List.rev !log);
+  Alcotest.(check int) "no domains spawned" before
+    (Sim.Pool.domains_spawned ());
+  (* domains:1 and short lists take the same no-spawn path. *)
+  ignore (Sim.Pool.map ~domains:1 succ [ 1; 2; 3 ]);
+  ignore (Sim.Pool.map ~domains:4 succ [ 1 ]);
+  Alcotest.(check int) "width-1 and singleton maps spawn nothing" before
+    (Sim.Pool.domains_spawned ())
 
 let test_empty_and_singleton () =
   Alcotest.(check (list int)) "empty" [] (Sim.Pool.map ~domains:4 succ []);
@@ -89,6 +121,8 @@ let () =
           Alcotest.test_case "domains:1 sequential" `Quick
             test_sequential_fallback;
           Alcotest.test_case "nested fallback" `Quick test_nested_fallback;
+          Alcotest.test_case "explicit sequential path" `Quick
+            test_sequential_explicit;
           Alcotest.test_case "empty and singleton" `Quick
             test_empty_and_singleton;
         ] );
