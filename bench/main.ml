@@ -672,7 +672,7 @@ let run_check () =
       [
         Scenarios.race2; Scenarios.mtf_race; Scenarios.crash_advance;
         Scenarios.group_commit_crash; Scenarios.table1_3site;
-        Scenarios.relay_crash; Scenarios.toy_safe;
+        Scenarios.relay_crash; Scenarios.backup_promotion; Scenarios.toy_safe;
       ]
   in
   print_endline
@@ -682,7 +682,24 @@ let run_check () =
            "scenario"; "schedules"; "completed"; "pruned"; "distinct";
            "max-depth"; "exhausted";
          ]
-       ~rows)
+       ~rows);
+  (* Conviction self-test: the deliberately broken replication twin must
+     be caught within budget — if the explorer stops finding this bug,
+     the oracles have gone blind. *)
+  let buggy = Scenarios.replica_ack_early_buggy in
+  (* The defect window is a few events wide, so conviction needs a deeper
+     sweep than the clean scenarios' coverage passes. *)
+  let r = Explorer.explore ~budget:5_000 buggy in
+  check_stats := !check_stats @ [ (r.Explorer.scenario, r.Explorer.stats) ];
+  match r.Explorer.violation with
+  | Some v ->
+      Printf.printf "check %s: convicted as expected (%s)\n"
+        buggy.Scenario.name
+        (match v.Explorer.v_messages with m :: _ -> m | [] -> "")
+  | None ->
+      Printf.eprintf "check %s: NO violation found but one was expected\n"
+        buggy.Scenario.name;
+      exit 1
 
 let experiments =
   [
@@ -700,6 +717,8 @@ let experiments =
     ("e12smoke", fun () -> Dbsim.Experiment.print_hierarchy ~sizes:[ 256 ] ());
     ("faults", Dbsim.Experiment.print_faults);
     ("batching", Dbsim.Experiment.print_batching);
+    ("e13", fun () -> Dbsim.Experiment.print_replication ());
+    ("e13smoke", fun () -> Dbsim.Experiment.print_replication ~horizon:300.0 ());
     ("check", run_check);
     ("micro", run_micro);
     ("engine", run_engine);

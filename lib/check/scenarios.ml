@@ -96,6 +96,10 @@ let recorded_query rec_ db ~root reads =
   | exception (Net.Network.Node_down _ | Net.Network.Rpc_timeout _) -> ()
 
 let history rec_ db ~keys =
+  (* The final state of a partition lives at its *current* primary:
+     under replication with failover that may not be site [n].  At
+     replicas = 0, [home_site] is the identity. *)
+  let cs = Ava3.Cluster.state db in
   {
     SC.committed = List.rev rec_.committed;
     queries = List.rev rec_.queries;
@@ -105,7 +109,8 @@ let history rec_ db ~keys =
         (fun ((n, k) as key) ->
           ( key,
             Vstore.Store.read_le
-              (Ava3.Node_state.store (Ava3.Cluster.node db n))
+              (Ava3.Node_state.store
+                 (Ava3.Cluster.node db (Ava3.Cluster_state.home_site cs n)))
               k max_int ))
         keys;
   }
@@ -538,6 +543,93 @@ let relay_ack_early_buggy =
       "relay acking before its subtree is covered: some schedule commits \
        an update into a version already frozen and read"
 
+(* Primary-backup replication under the explorer.  Two partitions, one
+   backup each (sites 0,1 primaries; 2,3 backups), updates and a
+   cross-partition double-read query (each read routed independently, so
+   one lands on a backup when it is eligible), an advancement mid-traffic,
+   and a nemesis crash whose victim and instant are choice points —
+   including each primary, which forces a backup promotion mid-round and,
+   later, the deposed primary's rejoin-and-resync.  [backup-promotion]
+   must be clean on every schedule: the catch-up gate means no
+   acknowledged commit can be lost by promotion, and version-pinned
+   routing means a backup read is indistinguishable from a primary read.
+   The [-buggy] twin sets {!Ava3.Config.t.replica_ack_early}: the backup
+   acknowledges a shipped batch on receipt and applies it only after a
+   delay, so its ack no longer certifies possession.  Some schedule then
+   crashes the primary inside that window and promotes a backup that
+   never appended the acknowledged records (a lost acknowledged commit),
+   or routes a pinned read to a backup whose advertised query version has
+   outrun its applied data (a stale or torn read); either way the oracles
+   convict. *)
+let replica_variant ~ack_early ~name ~descr =
+  {
+    Scenario.name;
+    descr;
+    seed = 29L;
+    max_time = 600.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 1.0;
+            write_service_time = 1.0;
+            rpc_timeout = 10.0;
+            advancement_retry = 25.0;
+            replicas = 1;
+            replica_catchup_timeout = 8.0;
+            replica_ack_early = ack_early;
+          }
+        in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~nodes:2 ()
+        in
+        Ava3.Cluster.load db ~node:0 [ ("x", 1) ];
+        Ava3.Cluster.load db ~node:1 [ ("y", 2) ];
+        let keys = [ (0, "x"); (1, "y") ] in
+        let rec_ = recorder [ ((0, "x"), 1); ((1, "y"), 2) ] in
+        let plan =
+          Net.Nemesis.choice_plan
+            ~choose:(fun ~label ~arity -> Sim.Engine.branch engine ~label arity)
+            ~nodes:4 ~horizon:40.0 ~crashes:1
+            ~at_choices:[| 3.0; 5.0; 8.0 |]
+            ~duration_choices:[| 15.0 |]
+            ()
+        in
+        Net.Nemesis.install ~engine (Ava3.Cluster.nemesis_target db) plan;
+        Sim.Engine.schedule engine ~name:"T1" ~delay:1.0 (fun () ->
+            recorded_update rec_ db ~root:0 [ Rmw (0, "x", 701) ]);
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:4.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:0));
+        Sim.Engine.schedule engine ~name:"T2" ~delay:5.0 (fun () ->
+            recorded_update rec_ db ~root:1 [ Rmw (1, "y", 702) ]);
+        (* Reads the remote partition twice: the round-robin router sends
+           the two through different replicas whenever the backup is
+           eligible, so disagreement between the copies at one pin is
+           directly observable as a torn query. *)
+        Sim.Engine.schedule engine ~name:"Q" ~delay:6.0 (fun () ->
+            recorded_query rec_ db ~root:1 [ (0, "x"); (0, "x") ]);
+        Sim.Engine.schedule engine ~name:"Q2" ~delay:7.0 (fun () ->
+            recorded_query rec_ db ~root:0 [ (1, "y"); (1, "y") ]);
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:80.0 (fun () ->
+            settle db ~coordinator:0;
+            recorded_query rec_ db ~root:0 keys);
+        ava3_instance db rec_ ~keys)
+  }
+
+let backup_promotion =
+  replica_variant ~ack_early:false ~name:"backup-promotion"
+    ~descr:
+      "primary-backup replication vs mid-round primary crash: promotion, \
+       rejoin and pinned backup reads clean on every schedule"
+
+let replica_ack_early_buggy =
+  replica_variant ~ack_early:true ~name:"replica-ack-early-buggy"
+    ~descr:
+      "backup acking a shipped batch before applying it: some schedule \
+       loses an acknowledged commit at promotion or serves a stale \
+       pinned read"
+
 (* ---------- toy scenarios (explorer self-validation) ---------- *)
 
 (* A two-item commit racing a two-item query on the toy store.  In buggy
@@ -676,6 +768,8 @@ let all =
     group_commit_crash_buggy;
     relay_crash;
     relay_ack_early_buggy;
+    backup_promotion;
+    replica_ack_early_buggy;
     toy_torn;
     toy_safe;
     toy_lost_update;

@@ -24,7 +24,14 @@
       and requires retransmission to rebuild the volatile relay state;
       the buggy twin sets {!Ava3.Config.t.relay_ack_early} so the relay
       acknowledges before its subtree is covered, and some schedule
-      commits a leaf update into a version already frozen and read.
+      commits a leaf update into a version already frozen and read;
+    - [backup-promotion] (must clear) / [replica-ack-early-buggy] (must
+      convict) — per-partition primary-backup replication with a nemesis
+      crash placed by choice points, including each primary mid-round
+      (promotion, rejoin, pinned backup reads).  The buggy twin sets
+      {!Ava3.Config.t.replica_ack_early} so a backup acknowledges shipped
+      records before applying them, and some schedule loses an
+      acknowledged commit at promotion or serves a stale pinned read.
 
     Toy scenarios (explorer self-validation on a deliberately broken
     store, {!Toy}):
@@ -41,6 +48,8 @@ val group_commit_crash : Scenario.t
 val group_commit_crash_buggy : Scenario.t
 val relay_crash : Scenario.t
 val relay_ack_early_buggy : Scenario.t
+val backup_promotion : Scenario.t
+val replica_ack_early_buggy : Scenario.t
 val toy_torn : Scenario.t
 val toy_safe : Scenario.t
 val toy_lost_update : Scenario.t

@@ -44,7 +44,15 @@ let advance_u_local cs i ~newu ~complete =
     (* Wait for local update subtransactions that started on the previous
        version to finish, then acknowledge. *)
     Node_state.await_no_updates nd ~version:(newu - 1);
-    durable_then cs nd complete
+    durable_then cs nd (fun () ->
+        (* The phase barrier extends to in-sync backups: do not
+           acknowledge advance-u until they hold the Advance_update
+           record (stragglers are demoted).  This keeps every in-sync
+           backup inside the same phase window as the primaries — two
+           sites never disagree on both counters — and a backup promoted
+           after this ack starts at the new update version. *)
+        Replication.phase_gate cs i;
+        if Node_state.alive nd then complete ())
   end
 
 let advance_q_local cs i ~newq ~complete =
@@ -59,7 +67,16 @@ let advance_q_local cs i ~newq ~complete =
        so Phase 2 need not wait for queries still reading it. *)
     if not cs.config.Config.retain_extra_version then
       Node_state.await_no_queries nd ~version:(newq - 1);
-    durable_then cs nd complete
+    durable_then cs nd (fun () ->
+        (* Replica-aware Phase 2: the coordinator takes this ack as licence
+           to retire version newq - 1, so every backup a pinned reader may
+           still be routed to must hold the whole log up to (and including)
+           the Advance_query record first.  A straggler is demoted out of
+           the read set rather than allowed to stall the round; if this
+           primary crashes while gating, the ack is withheld exactly as if
+           the force had failed (retransmission covers the successor). *)
+        Replication.phase_gate cs i;
+        if Node_state.alive nd then complete ())
   end
 
 let handle_advance_u cs i ~src ~newu =
@@ -84,7 +101,11 @@ let handle_garbage_collect cs i ~src ~newg =
     catch_up_gc cs nd ~target:newg;
     if tracing cs then
       emit cs ~tag (Printf.sprintf "node%d: collected version %d" i newg);
-    note_version_change cs
+    note_version_change cs;
+    (* Ship the Collect records so backup garbage versions converge (no
+       barrier — backup reads can never touch a collectable version, see
+       {!Replication}). *)
+    Replication.after_gc cs i
   end
 
 let all_acked acks = Array.for_all (fun x -> x) acks
@@ -179,9 +200,16 @@ let send_phase_tree cs k c inner =
   done
 
 (* Fan a phase out: through the round's tree when it has one, by the
-   paper's flat broadcast otherwise. *)
+   paper's flat broadcast otherwise.  Replicated clusters address the
+   partition primaries individually — backups are not advancement
+   participants (their version counters move by log shipping, in exactly
+   the order the primary's did). *)
 let send_phase cs k c inner =
   if c.c_nparts > 0 then send_phase_tree cs k c inner
+  else if replicated cs then
+    for p = 0 to nparts cs - 1 do
+      Net.Network.send cs.net ~src:k ~dst:(primary_site cs p) inner
+    done
   else Net.Network.broadcast cs.net ~src:k inner
 
 let handle_ack_advance_u cs k ~src ~newu =
@@ -357,7 +385,8 @@ let maybe_abandon cs i ~src msg =
             newg > c.c_newu - 2
             || (src <> i && c.c_phase = `Collect_q && newg = c.c_newu - 2)
         | Messages.Ack_advance_u _ | Messages.Ack_advance_q _
-        | Messages.Relay _ | Messages.Relay_ack _ ->
+        | Messages.Relay _ | Messages.Relay_ack _ | Messages.Ship _
+        | Messages.Ship_ack _ ->
             false
       in
       if obsolete then begin
@@ -382,6 +411,10 @@ let handler cs i ~src msg =
   | Messages.Relay { sites; nparts; pos; inner } ->
       handle_relay cs i ~sites ~nparts ~pos ~inner
   | Messages.Relay_ack { root; inner } -> handle_relay_ack cs i ~src ~root ~inner
+  | Messages.Ship { part; epoch; from_; records } ->
+      Replication.handle_ship cs i ~part ~epoch ~from_ ~records
+  | Messages.Ship_ack { part; epoch; upto } ->
+      Replication.handle_ship_ack cs i ~src ~part ~epoch ~upto
 
 let install cs =
   for i = 0 to node_count cs - 1 do
@@ -439,6 +472,13 @@ let retransmit cs k c =
 let start_round cs k ~newu =
   let n = node_count cs in
   let arity = cs.config.Config.tree_arity in
+  (* Flat-round acknowledgment collection: with replication only the
+     partition primaries participate, so every other site's slot starts
+     settled (replicas = 0 leaves the array all-false, as before). *)
+  let flat_acks () =
+    if replicated cs then Array.init n (fun s -> not (is_primary_site cs s))
+    else Array.make n false
+  in
   let c =
     if arity <= 0 then
       {
@@ -446,8 +486,8 @@ let start_round cs k ~newu =
         c_started = now cs;
         c_phase = `Collect_u;
         c_phase1_done = now cs;
-        c_acks_u = Array.make n false;
-        c_acks_q = Array.make n false;
+        c_acks_u = flat_acks ();
+        c_acks_q = flat_acks ();
         c_abandoned = false;
         c_sites = [||];
         c_nparts = 0;
@@ -485,6 +525,13 @@ let start_round cs k ~newu =
   retransmit cs k c
 
 let initiate cs ~coordinator:k =
+  (* Replicated clusters: a coordinator id below the partition count names
+     the partition, resolved to its current primary — periodic advancement
+     keeps working across failovers.  A site that is not currently a
+     primary cannot coordinate (it does not even receive phase acks). *)
+  let k = if replicated cs && k < nparts cs then primary_site cs k else k in
+  if replicated cs && not (is_primary_site cs k) then `Busy
+  else
   match cs.coords.(k) with
   | Some _ -> `Busy
   | None when not (Node_state.alive (node cs k)) ->
@@ -515,26 +562,40 @@ let initiate cs ~coordinator:k =
       end
       else `Busy
 
+(* A node whose version counters the round is answerable for: primaries,
+   plus live in-sync backups (an out-of-sync backup catches up on its own
+   shipping schedule — possibly never, if it stays partitioned — and must
+   not hold "the advancement is done" hostage). *)
+let participating cs nd =
+  Node_state.alive nd
+  && ((not (replicated cs))
+     || is_primary_site cs (Node_state.id nd)
+     ||
+     match backup_at cs (Node_state.id nd) with
+     | Some b -> b.b_insync
+     | None -> false)
+
 let in_progress cs =
   Array.exists (fun c -> c <> None) cs.coords
   || Array.exists
        (fun nd ->
-         Node_state.u nd <> Node_state.q nd + 1
-         || Node_state.g nd < Node_state.q nd - 1 - gc_lag cs)
+         ((not (replicated cs)) || participating cs nd)
+         && (Node_state.u nd <> Node_state.q nd + 1
+            || Node_state.g nd < Node_state.q nd - 1 - gc_lag cs))
        cs.nodes
 
 let await_published cs ~newu =
   Sim.Condition.await_until cs.state_changed ~pred:(fun () ->
       Array.for_all
         (fun nd ->
-          (not (Node_state.alive nd)) || Node_state.q nd >= newu - 1)
+          (not (participating cs nd)) || Node_state.q nd >= newu - 1)
         cs.nodes)
 
 let await_completion cs ~newu =
   Sim.Condition.await_until cs.state_changed ~pred:(fun () ->
       Array.for_all
         (fun nd ->
-          (not (Node_state.alive nd))
+          (not (participating cs nd))
           || (Node_state.q nd >= newu - 1
              && Node_state.g nd >= newu - 2 - gc_lag cs))
         cs.nodes)

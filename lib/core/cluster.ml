@@ -9,27 +9,49 @@ let create ~engine ?(config = Config.default) ?latency ~nodes () =
 let engine (cs : _ t) = cs.Cluster_state.engine
 let config (cs : _ t) = cs.Cluster_state.config
 let node_count = Cluster_state.node_count
+let partitions = Cluster_state.nparts
 let node = Cluster_state.node
 let network (cs : _ t) = cs.Cluster_state.net
 let state cs = cs
 
 let load cs ~node:i items =
-  let nd = Cluster_state.node cs i in
-  let store = Node_state.store nd in
-  (* Write through both the store and the log (as a synthetic committed
-     bootstrap transaction), so crash recovery can rebuild the preload. *)
-  let log = Node_state.log nd in
-  let txn = Node_state.fresh_txn_id nd in
-  Wal.Log.append log (Wal.Record.Begin { txn; version = 0 });
-  List.iter
-    (fun (key, value) ->
-      Vstore.Store.write store key 0 value;
-      Wal.Log.append log (Wal.Record.Update { txn; key; value = Some value }))
-    items;
-  Wal.Log.append log (Wal.Record.Commit { txn; final_version = 0 });
-  (* The preload is the node's initial disk image — durable by fiat, not
-     subject to the group-commit window. *)
-  Wal.Log.mark_all_durable log
+  let i = Cluster_state.home_site cs i in
+  let txn = Node_state.fresh_txn_id (Cluster_state.node cs i) in
+  let preload nd =
+    let store = Node_state.store nd in
+    (* Write through both the store and the log (as a synthetic committed
+       bootstrap transaction), so crash recovery can rebuild the preload.
+       Backups append the same records under the same transaction id, so
+       every copy's log holds an identical prefix. *)
+    let log = Node_state.log nd in
+    Wal.Log.append log (Wal.Record.Begin { txn; version = 0 });
+    List.iter
+      (fun (key, value) ->
+        Vstore.Store.write store key 0 value;
+        Wal.Log.append log (Wal.Record.Update { txn; key; value = Some value }))
+      items;
+    Wal.Log.append log (Wal.Record.Commit { txn; final_version = 0 });
+    (* The preload is the node's initial disk image — durable by fiat, not
+       subject to the group-commit window. *)
+    Wal.Log.mark_all_durable log
+  in
+  preload (Cluster_state.node cs i);
+  (* Backups start from the same disk image (loading predates the run;
+     shipping it would race the first pinned reads).  Their cursors settle
+     at the primary's log length: the prefix is already in place. *)
+  if Cluster_state.replicated cs then begin
+    let part = Cluster_state.part_of_site cs i in
+    let len =
+      Wal.Log.length (Node_state.log (Cluster_state.node cs i))
+    in
+    Array.iter
+      (fun b ->
+        preload (Cluster_state.node cs b.Cluster_state.b_site);
+        Wal.Ship.note_ship b.Cluster_state.b_cursor ~upto:len
+          ~at:(Cluster_state.now cs);
+        Wal.Ship.note_ack b.Cluster_state.b_cursor ~upto:len)
+      (Cluster_state.backups cs part)
+  end
 
 let run_query cs ~root ~reads = Query_exec.run cs ~root ~reads
 let run_update cs ~root ~ops = Update_exec.run cs ~root ~ops
@@ -96,13 +118,23 @@ let start_continuous_advancement cs ~coordinator ~until =
   Sim.Engine.spawn cs.Cluster_state.engine ~name:"continuous-advancement" loop
 
 let checkpoint cs ~node:i =
-  let nd = Cluster_state.node cs i in
-  let ok = Node_state.try_checkpoint nd in
-  if ok then
-    Cluster_state.emit cs ~tag:"checkpoint"
-      (Printf.sprintf "node%d: checkpoint (log reset to %d records)" i
-         (Wal.Log.length (Node_state.log nd)));
-  ok
+  let i = Cluster_state.home_site cs i in
+  (* Backups never truncate their own log: it must stay a prefix of the
+     primary's.  They shed log by adopting the primary's post-checkpoint
+     epoch instead (see {!Replication.on_checkpoint}). *)
+  if Cluster_state.replicated cs && not (Cluster_state.is_primary_site cs i)
+  then false
+  else begin
+    let nd = Cluster_state.node cs i in
+    let ok = Node_state.try_checkpoint nd in
+    if ok then begin
+      Cluster_state.emit cs ~tag:"checkpoint"
+        (Printf.sprintf "node%d: checkpoint (log reset to %d records)" i
+           (Wal.Log.length (Node_state.log nd)));
+      Replication.on_checkpoint cs ~site:i
+    end;
+    ok
+  end
 
 (* Periodic quiescent checkpoints: each beat, try to checkpoint any node
    whose log has grown past [min_log]; nodes busy with update transactions
@@ -116,7 +148,11 @@ let start_periodic_checkpoints cs ~period ~until ?(min_log = 64) () =
           if
             Node_state.alive nd
             && Wal.Log.length (Node_state.log nd) >= min_log
-          then ignore (Node_state.try_checkpoint nd : bool))
+            && ((not (Cluster_state.replicated cs))
+               || Cluster_state.is_primary_site cs (Node_state.id nd))
+          then
+            if Node_state.try_checkpoint nd then
+              Replication.on_checkpoint cs ~site:(Node_state.id nd))
         cs.Cluster_state.nodes;
       loop ()
     end
@@ -140,9 +176,18 @@ let crash cs ~node:i =
      coordinator's retransmission re-delivers the current phase). *)
   cs.Cluster_state.relays.(i) <- [];
   Net.Network.set_down cs.Cluster_state.net ~node:i true;
-  Cluster_state.emit cs ~tag:"crash" (Printf.sprintf "node%d: crashed" i)
+  Cluster_state.emit cs ~tag:"crash" (Printf.sprintf "node%d: crashed" i);
+  (* Replication: a crashed backup is demoted; a crashed primary triggers
+     backup promotion (WAL-replay recovery of the best surviving copy). *)
+  Replication.on_crash cs ~site:i
 
 let recover cs ~node:i =
+  if Cluster_state.replicated cs && not (Cluster_state.is_primary_site cs i)
+  then
+    (* The site is (or, if it was deposed by a failover while down, has
+       become) a backup; {!Replication} owns that recovery path. *)
+    Replication.recover_as_backup cs ~site:i
+  else begin
   let old = Cluster_state.node cs i in
   if Node_state.alive old then invalid_arg "Cluster.recover: node is not down";
   let log = Node_state.log old in
@@ -177,7 +222,13 @@ let recover cs ~node:i =
     (Printf.sprintf "node%d: recovered (u=%d q=%d g=%d)" i
        versions.Wal.Recovery.update_version versions.Wal.Recovery.query_version
        versions.Wal.Recovery.collected_version);
-  Cluster_state.note_version_change cs
+  Cluster_state.note_version_change cs;
+  (* A recovered primary resumes shipping where its durable log left off
+     (everything shipped before the crash was durable, so the cursors are
+     still within the log). *)
+  if Cluster_state.replicated cs then
+    Replication.poke cs (Cluster_state.part_of_site cs i)
+  end
 
 (* Nemesis adapter: crash/recover go through the cluster (volatile state
    wiped, WAL replayed on the way up); partitions and slow links act on the
@@ -211,6 +262,9 @@ type stats = {
   deadlocks : int;
   latch_acquisitions : int;
   max_versions_ever : int;
+  backup_reads : int;
+  replica_demotions : int;
+  replica_promotions : int;
 }
 
 let metrics (cs : _ t) = cs.Cluster_state.metrics
@@ -249,6 +303,9 @@ let stats cs =
         (fun acc nd ->
           max acc (Vstore.Store.high_water_versions (Node_state.store nd)))
         0 cs.Cluster_state.nodes;
+    backup_reads = Replication.backup_reads cs;
+    replica_demotions = Replication.demotions cs;
+    replica_promotions = Replication.promotions cs;
   }
 
 let pp_stats ppf s =
@@ -256,12 +313,14 @@ let pp_stats ppf s =
     "commits=%d aborts=%d queries=%d advancements=%d@ mtf(data=%d commit=%d \
      trivial=%d copied=%d) mismatches=%d@ messages=%d envelopes=%d \
      forces=%d(%d recs) lock(waits=%d wait_time=%.1f deadlocks=%d) \
-     latches=%d max_versions=%d"
+     latches=%d max_versions=%d repl(backup_reads=%d demotions=%d \
+     promotions=%d)"
     s.commits s.aborts s.queries s.advancements s.mtf_data_access
     s.mtf_commit_time s.mtf_trivial s.mtf_items_copied
     s.commit_version_mismatches s.messages s.envelopes s.disk_forces
     s.records_forced s.lock_waits s.lock_wait_time s.deadlocks
-    s.latch_acquisitions s.max_versions_ever
+    s.latch_acquisitions s.max_versions_ever s.backup_reads
+    s.replica_demotions s.replica_promotions
 
 let check_invariants cs = Invariant.check cs
 let check_quiescent_invariants cs = Invariant.check_quiescent cs

@@ -36,9 +36,20 @@ val create :
 
 val engine : _ t -> Sim.Engine.t
 val config : _ t -> Config.t
+
 val node_count : _ t -> int
+(** Total sites.  With [Config.replicas = r > 0] this is
+    [nodes * (1 + r)]: the [~nodes] given to {!create} count partitions,
+    each with a primary (sites [0 .. nodes-1]) plus [r] backups.  The
+    execution APIs keep taking partition ids; they resolve to the
+    partition's current primary internally. *)
+
+val partitions : _ t -> int
+(** Partition count (the [~nodes] of {!create}); equals {!node_count}
+    when unreplicated. *)
+
 val node : 'v t -> int -> 'v Node_state.t
-val network : _ t -> Messages.t Net.Network.t
+val network : 'v t -> 'v Messages.t Net.Network.t
 
 val state : 'v t -> 'v Cluster_state.t
 (** Escape hatch to the internals, used by the experiment harness. *)
@@ -117,12 +128,20 @@ val checkpoint : 'v t -> node:int -> bool
 (** {1 Failures} *)
 
 val crash : 'v t -> node:int -> unit
-(** Take the node down: volatile state (counters, in-flight transactions)
-    is lost; messages to and from it are dropped. *)
+(** Take the site down: volatile state (counters, in-flight transactions)
+    is lost; messages to and from it are dropped.  With replication,
+    crashing a partition's primary promotes its best surviving backup
+    (live, in sync, longest log) via WAL-replay recovery — acknowledged
+    commits survive; crashing a backup just removes it from the read set
+    until it recovers and catches back up. *)
 
 val recover : 'v t -> node:int -> unit
-(** Replay the node's log, rebuilding its store and version numbers;
-    counters restart at zero.  The node rejoins the network. *)
+(** Replay the site's log, rebuilding its store and version numbers;
+    counters restart at zero.  The site rejoins the network.  With
+    replication, a site that is no longer its partition's primary rejoins
+    as a backup: a crashed backup resumes from its own log, while a
+    deposed primary discards its (possibly divergent) state and resyncs
+    in full from the new primary. *)
 
 val nemesis_target : _ t -> Net.Nemesis.target
 (** Adapter for {!Net.Nemesis.install}: crashes and recoveries go through
@@ -152,6 +171,10 @@ type stats = {
   deadlocks : int;
   latch_acquisitions : int;
   max_versions_ever : int;
+  backup_reads : int;  (** Reads served by backup replicas. *)
+  replica_demotions : int;
+      (** Backups dropped from the read set (catch-up timeout or crash). *)
+  replica_promotions : int;  (** Backups promoted to primary by failover. *)
 }
 
 val stats : _ t -> stats

@@ -22,10 +22,33 @@ type relay = {
   mutable r_acked : bool;
 }
 
+type 'v backup = {
+  b_part : int;
+  b_site : int;
+  b_cursor : Wal.Ship.t;
+  mutable b_insync : bool;
+  b_pending : (int, (string * 'v option) list) Hashtbl.t;
+}
+
+type 'v repl = {
+  nparts : int;
+  primary_of : int array;
+  part_of : int array;
+  mutable backups_of : 'v backup array array;
+  ship_epoch : int array;
+  site_epoch : int array;
+  mutable rr : int;
+  repl_changed : Sim.Condition.t;
+  ship_timer : bool array;
+  mutable demotions : int;
+  mutable promotions : int;
+  mutable backup_reads : int;
+}
+
 type 'v t = {
   engine : Sim.Engine.t;
   config : Config.t;
-  net : Messages.t Net.Network.t;
+  net : 'v Messages.t Net.Network.t;
   metrics : Sim.Metrics.t;
   lock_group : Lockmgr.Lock_table.group;
   mutable nodes : 'v Node_state.t array;
@@ -33,10 +56,20 @@ type 'v t = {
   relays : relay list array;
   frozen_at : (int, float) Hashtbl.t;
   state_changed : Sim.Condition.t;
+  repl : 'v repl;
 }
+
+let backup_site ~nparts ~replicas ~part ~j = nparts + (part * replicas) + j
 
 let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
   if nodes <= 0 then invalid_arg "Cluster_state.create: need nodes >= 1";
+  let replicas = config.Config.replicas in
+  (* [nodes] counts partitions; each partition gets 1 + replicas sites.
+     Site layout: partitions first (site p is partition p's initial
+     primary), then backup j of partition p at
+     [nodes + p * replicas + j].  With replicas = 0 this is exactly the
+     old single-copy topology. *)
+  let sites = nodes * (1 + replicas) in
   let bound =
     if config.Config.overlap_gc then None
     else if config.Config.retain_extra_version then Some 4
@@ -45,7 +78,7 @@ let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
   (* One shared deadlock-detection group: transactions hold locks on several
      nodes, so cycles span lock tables. *)
   let lock_group = Lockmgr.Lock_table.new_group () in
-  let metrics = Sim.Metrics.create ~nodes in
+  let metrics = Sim.Metrics.create ~nodes:sites in
   let make_node i =
     Node_state.create ~engine ~node_id:i ~scheme:config.Config.scheme
       ~lock_group ~bound ~gc_renumber:config.Config.gc_renumber
@@ -55,22 +88,50 @@ let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
       ~group_commit_batch:config.Config.group_commit_batch
       ~gc_ack_early:config.Config.gc_ack_early ~metrics ()
   in
+  let repl =
+    {
+      nparts = nodes;
+      primary_of = Array.init nodes (fun p -> p);
+      part_of =
+        Array.init sites (fun s ->
+            if s < nodes then s else (s - nodes) / replicas);
+      backups_of =
+        Array.init nodes (fun p ->
+            Array.init replicas (fun j ->
+                {
+                  b_part = p;
+                  b_site = backup_site ~nparts:nodes ~replicas ~part:p ~j;
+                  b_cursor = Wal.Ship.create ();
+                  b_insync = true;
+                  b_pending = Hashtbl.create 16;
+                }));
+      ship_epoch = Array.make nodes 0;
+      site_epoch = Array.make sites 0;
+      rr = 0;
+      repl_changed = Sim.Condition.create ();
+      ship_timer = Array.make nodes false;
+      demotions = 0;
+      promotions = 0;
+      backup_reads = 0;
+    }
+  in
   let t =
     {
       engine;
       config;
       lock_group;
       net =
-        Net.Network.create ~engine ~nodes ~latency
+        Net.Network.create ~engine ~nodes:sites ~latency
           ~send_occupancy:config.Config.send_occupancy
           ~call_timeout:config.Config.rpc_timeout
           ~batch_window:config.Config.rpc_batch_window ~metrics ();
       metrics;
-      nodes = Array.init nodes make_node;
-      coords = Array.make nodes None;
-      relays = Array.make nodes [];
+      nodes = Array.init sites make_node;
+      coords = Array.make sites None;
+      relays = Array.make sites [];
       frozen_at = Hashtbl.create 16;
       state_changed = Sim.Condition.create ();
+      repl;
     }
   in
   (* Version 0 (the initial data) is stable from the start. *)
@@ -83,6 +144,40 @@ let node t i =
   t.nodes.(i)
 
 let node_count t = Array.length t.nodes
+let nparts t = t.repl.nparts
+let replicated t = t.config.Config.replicas > 0
+
+let primary_site t p =
+  if p < 0 || p >= t.repl.nparts then
+    invalid_arg "Cluster_state.primary_site: no such partition";
+  t.repl.primary_of.(p)
+
+let primary t p = node t (primary_site t p)
+
+let part_of_site t s =
+  if s < 0 || s >= Array.length t.repl.part_of then
+    invalid_arg "Cluster_state.part_of_site: no such site";
+  t.repl.part_of.(s)
+
+let is_primary_site t s = t.repl.primary_of.(part_of_site t s) = s
+
+(* Callers of the execution APIs keep addressing partitions; with
+   replication a partition id resolves to its current primary site (the
+   only site that accepts updates and query pins).  Ids past the partition
+   range pass through, so code that already computed a site can reuse the
+   same entry points. *)
+let home_site t n =
+  if t.config.Config.replicas > 0 && n < t.repl.nparts then
+    t.repl.primary_of.(n)
+  else n
+
+let backups t p = t.repl.backups_of.(p)
+
+let backup_at t s =
+  let p = part_of_site t s in
+  Array.to_seq t.repl.backups_of.(p) |> Seq.find (fun b -> b.b_site = s)
+
+let note_repl_change t = Sim.Condition.broadcast t.repl.repl_changed
 let emit t ~tag message = Sim.Engine.emit t.engine ~tag message
 let tracing t = Sim.Engine.trace_enabled t.engine
 let now t = Sim.Engine.now t.engine

@@ -43,10 +43,52 @@ type relay = {
   mutable r_acked : bool;  (** upward [Relay_ack] already sent *)
 }
 
+(** One backup of one partition, as its current primary sees it.  The
+    cursor and flags are primary-side volatile state: failover rebuilds
+    them.  [b_pending] buffers the writes of shipped-but-uncommitted
+    transactions exactly as {!Wal.Recovery.replay} does — a backup applies
+    a transaction's writes only at its [Commit] record. *)
+type 'v backup = {
+  b_part : int;
+  b_site : int;
+  b_cursor : Wal.Ship.t;
+  mutable b_insync : bool;
+      (** [false] once demoted (catch-up timeout) or freshly (re)joined;
+          an out-of-sync backup keeps receiving ships but serves no reads
+          and gates no barrier until it catches back up *)
+  b_pending : (int, (string * 'v option) list) Hashtbl.t;
+}
+
+(** Replication topology.  With [Config.replicas = 0] this degenerates to
+    the identity layout (every site its own partition's primary, no
+    backups) and none of it influences execution. *)
+type 'v repl = {
+  nparts : int;  (** partitions = the [~nodes] given to {!create} *)
+  primary_of : int array;  (** partition -> current primary site *)
+  part_of : int array;  (** site -> partition *)
+  mutable backups_of : 'v backup array array;
+      (** partition -> current backups (rewritten by failover) *)
+  ship_epoch : int array;
+      (** partition -> truncation generation of the current primary's log
+          (see {!Messages.t}'s [Ship]) *)
+  site_epoch : int array;
+      (** site -> generation of the log that site holds; a backup whose
+          epoch trails its partition's [ship_epoch] needs a full resync *)
+  mutable rr : int;  (** round-robin read-routing counter *)
+  repl_changed : Sim.Condition.t;
+      (** broadcast on every ship ack, demotion, promotion — what
+          catch-up gates wait on *)
+  ship_timer : bool array;
+      (** per-partition: a coalescing ship flush is already scheduled *)
+  mutable demotions : int;
+  mutable promotions : int;
+  mutable backup_reads : int;
+}
+
 type 'v t = {
   engine : Sim.Engine.t;
   config : Config.t;
-  net : Messages.t Net.Network.t;
+  net : 'v Messages.t Net.Network.t;
   metrics : Sim.Metrics.t;
       (** per-node event counts and latency histograms; every protocol
           component records into this registry, and {!Cluster.stats} is
@@ -63,6 +105,7 @@ type 'v t = {
           transactions finished); feeds the staleness metric of §8 *)
   state_changed : Sim.Condition.t;
       (** broadcast whenever any node's u/q/g changes *)
+  repl : 'v repl;
 }
 
 val create :
@@ -72,9 +115,37 @@ val create :
   ?latency:Net.Latency.t ->
   unit ->
   'v t
+(** [nodes] counts {e partitions}; with [config.replicas = r > 0] the
+    cluster has [nodes * (1 + r)] sites — partition primaries at sites
+    [0 .. nodes-1], backup [j] of partition [p] at
+    [nodes + p*r + j]. *)
 
 val node : 'v t -> int -> 'v Node_state.t
 val node_count : _ t -> int
+(** Total sites, including backups. *)
+
+(** {1 Replication topology} *)
+
+val nparts : _ t -> int
+(** Partition count (the [~nodes] of {!create}). *)
+
+val replicated : _ t -> bool
+val primary_site : _ t -> int -> int
+val primary : 'v t -> int -> 'v Node_state.t
+val part_of_site : _ t -> int -> int
+val is_primary_site : _ t -> int -> bool
+
+val home_site : _ t -> int -> int
+(** Resolve a partition id to its current primary site (identity when
+    unreplicated, or for ids past the partition range). *)
+
+
+val backups : 'v t -> int -> 'v backup array
+
+val backup_at : 'v t -> int -> 'v backup option
+(** The backup record whose site this is, if the site currently is one. *)
+
+val note_repl_change : _ t -> unit
 val emit : _ t -> tag:string -> string -> unit
 
 val tracing : _ t -> bool

@@ -22,6 +22,10 @@ type t = {
   tree_arity : int;
   partition_aware : bool;
   relay_ack_early : bool;
+  replicas : int;
+  replica_catchup_timeout : float;
+  replica_ship_window : float;
+  replica_ack_early : bool;
 }
 
 let default =
@@ -49,6 +53,10 @@ let default =
     tree_arity = 0;
     partition_aware = false;
     relay_ack_early = false;
+    replicas = 0;
+    replica_catchup_timeout = 25.0;
+    replica_ship_window = 0.0;
+    replica_ack_early = false;
   }
 
 exception Invalid of string
@@ -89,7 +97,29 @@ let validate t =
     invalid "advancement_retry must be a finite positive period (got %g)"
       t.advancement_retry;
   if t.partition_aware && t.tree_arity <= 0 then
-    invalid "partition_aware requires tree_arity > 0 (hierarchical rounds)"
+    invalid "partition_aware requires tree_arity > 0 (hierarchical rounds)";
+  if t.replicas < 0 then
+    invalid "replicas must be >= 0 (got %d); 0 means single-copy partitions"
+      t.replicas;
+  if t.replicas > 0 && t.tree_arity > 0 then
+    invalid
+      "replicas requires tree_arity = 0: replication runs over flat \
+       advancement rounds (failover rewrites the round's participant set, \
+       which hierarchical relay trees do not support yet)";
+  if
+    Float.is_nan t.replica_catchup_timeout
+    || t.replica_catchup_timeout <= 0.0
+    || t.replica_catchup_timeout = infinity
+  then
+    invalid
+      "replica_catchup_timeout must be a finite positive time (got %g); it \
+       bounds how long a round or commit waits before demoting a lagging \
+       backup"
+      t.replica_catchup_timeout;
+  check_time "replica_ship_window" t.replica_ship_window;
+  if t.replica_ack_early && t.replicas <= 0 then
+    invalid "replica_ack_early requires replicas > 0 (there is no backup \
+             whose acknowledgment could run early)"
 
 let durability_active t =
   t.disk_force_latency > 0.0 || t.group_commit_window > 0.0
@@ -98,10 +128,11 @@ let pp ppf t =
   Format.fprintf ppf
     "{scheme=%s; eager_handoff=%b; piggyback=%b; root_only_qc=%b; \
      overlap_gc=%b; read=%g; write=%g; gc_item=%g; retry=%g; rpc_timeout=%g; \
-     force=%g; gc_window=%g/%d; rpc_window=%g; tree=%d%s}"
+     force=%g; gc_window=%g/%d; rpc_window=%g; tree=%d%s; replicas=%d}"
     (Wal.Scheme.kind_name t.scheme)
     t.eager_counter_handoff t.piggyback_version t.root_only_query_counters
     t.overlap_gc t.read_service_time t.write_service_time t.gc_item_time
     t.advancement_retry t.rpc_timeout t.disk_force_latency
     t.group_commit_window t.group_commit_batch t.rpc_batch_window t.tree_arity
     (if t.partition_aware then "/pa" else "")
+    t.replicas

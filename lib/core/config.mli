@@ -116,6 +116,33 @@ type t = {
           version while a descendant still runs updates in it, the bug the
           [relay-ack-early-buggy] scenario convicts.  Never enable outside
           the checker.  Default [false]. *)
+  replicas : int;
+      (** Per-partition primary–backup replication: each partition (the
+          [~nodes] of [Cluster.create]) gets this many backup sites that
+          follow the primary by asynchronous WAL shipping and serve
+          version-pinned reads once caught up ({!Replication}).  [0]
+          (default) is the paper's single-copy system — bit-identical to
+          the pre-replication simulator.  Requires [tree_arity = 0]. *)
+  replica_catchup_timeout : float;
+      (** How long an advancement round's Phase 2 (and a commit's
+          replicate-then-ack wait) waits for a backup to acknowledge
+          catch-up before demoting it instead of stalling — the
+          partition-tolerance escape hatch.  Also the re-ship period for
+          repairing batches lost to a partition.  Finite positive;
+          default [25.]. *)
+  replica_ship_window : float;
+      (** Log-ship batching window: how long a primary pools fresh durable
+          records before shipping them as one batch per backup (analogous
+          to [rpc_batch_window], but at the replication layer, so one
+          window covers many commits).  [0.] (default) ships on every
+          commit/advancement poke. *)
+  replica_ack_early : bool;
+      (** Fault injection for the model checker: a backup acknowledges a
+          shipped batch — and bumps its visible version counters — on
+          receipt, {e before} applying the data records.  Version-pinned
+          routing then believes it is caught up and reads miss committed
+          writes, the bug the [replica-ack-early-buggy] scenario convicts.
+          Never enable outside the checker.  Default [false]. *)
 }
 
 val default : t

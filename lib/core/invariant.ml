@@ -1,5 +1,18 @@
 open Cluster_state
 
+(* Cross-node version agreement only binds the synced copies: primaries
+   plus in-sync backups.  An out-of-sync backup (demoted, resyncing after
+   recovery) lags by design and re-earns membership through catch-up; its
+   per-node invariants still hold, because it only ever holds a prefix of
+   a valid primary history. *)
+let synced cs nd =
+  (not (replicated cs))
+  || is_primary_site cs (Node_state.id nd)
+  ||
+  match backup_at cs (Node_state.id nd) with
+  | Some b -> b.b_insync
+  | None -> false
+
 let check cs =
   let violations = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
@@ -17,7 +30,10 @@ let check cs =
         end
       end)
     nodes;
-  let live = Array.to_list nodes |> List.filter Node_state.alive in
+  let live =
+    Array.to_list nodes
+    |> List.filter (fun nd -> Node_state.alive nd && synced cs nd)
+  in
   List.iter
     (fun a ->
       List.iter
@@ -39,7 +55,10 @@ let check cs =
 let check_quiescent cs =
   let violations = ref [] in
   let fail fmt = Printf.ksprintf (fun s -> violations := s :: !violations) fmt in
-  let live = Array.to_list cs.nodes |> List.filter Node_state.alive in
+  let live =
+    Array.to_list cs.nodes
+    |> List.filter (fun nd -> Node_state.alive nd && synced cs nd)
+  in
   (match live with
   | [] -> ()
   | first :: rest ->

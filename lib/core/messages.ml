@@ -1,13 +1,21 @@
-type t =
+type 'v t =
   | Advance_u of { newu : int }
   | Ack_advance_u of { newu : int }
   | Advance_q of { newq : int }
   | Ack_advance_q of { newq : int }
   | Garbage_collect of { newg : int }
-  | Relay of { sites : int array; nparts : int; pos : int; inner : t }
-  | Relay_ack of { root : int; inner : t }
+  | Relay of { sites : int array; nparts : int; pos : int; inner : 'v t }
+  | Relay_ack of { root : int; inner : 'v t }
+  | Ship of {
+      part : int;
+      epoch : int;
+      from_ : int;
+      records : 'v Wal.Record.t list;
+    }
+  | Ship_ack of { part : int; epoch : int; upto : int }
 
-let rec pp ppf = function
+let rec pp : type v. Format.formatter -> v t -> unit =
+ fun ppf -> function
   | Advance_u { newu } -> Format.fprintf ppf "advance-u(%d)" newu
   | Ack_advance_u { newu } -> Format.fprintf ppf "ack-advance-u(%d)" newu
   | Advance_q { newq } -> Format.fprintf ppf "advance-q(%d)" newq
@@ -18,11 +26,18 @@ let rec pp ppf = function
         nparts (Array.length sites) pp inner
   | Relay_ack { root; inner } ->
       Format.fprintf ppf "relay-ack(root=%d, %a)" root pp inner
+  | Ship { part; epoch; from_; records } ->
+      Format.fprintf ppf "ship(part=%d, epoch=%d, from=%d, %d records)" part
+        epoch from_ (List.length records)
+  | Ship_ack { part; epoch; upto } ->
+      Format.fprintf ppf "ship-ack(part=%d, epoch=%d, upto=%d)" part epoch upto
 
 let to_string t = Format.asprintf "%a" pp t
 
 (* The protocol meaning of a message, with relay framing stripped: what the
-   abandonment rule and round comparisons care about. *)
+   abandonment rule and round comparisons care about.  Log-shipping frames
+   are not advancement-protocol messages; they pass through unchanged and
+   callers match them explicitly. *)
 let rec payload = function
   | (Relay { inner; _ } | Relay_ack { inner; _ }) -> payload inner
   | m -> m

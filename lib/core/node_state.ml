@@ -1,9 +1,9 @@
 type 'v t = {
   node_id : int;
   eng : Sim.Engine.t;
-  st : 'v Vstore.Store.t;
+  mutable st : 'v Vstore.Store.t;
   lk : Lockmgr.Lock_table.t;
-  sch : 'v Wal.Scheme.t;
+  mutable sch : 'v Wal.Scheme.t;
   wal : 'v Wal.Log.t;
   gcd : 'v Wal.Group_commit.t;
   latch : Lockmgr.Latch.t;
@@ -196,6 +196,47 @@ let collect_garbage t ~newg =
     if not (t.query_counts == t.update_counts) then
       Hashtbl.remove t.update_counts query
   end
+
+(* {2 Replica apply}
+
+   A backup applies records its primary shipped.  The records are already
+   in the backup's own log (appended verbatim on receipt), so these mirror
+   {!set_u} / {!set_q} / {!collect_garbage} minus the log append; the
+   version-number and counter-slot handling must match exactly, or a
+   promoted backup would diverge from a recovered primary. *)
+
+let apply_advance_u t version =
+  if version > t.uv then begin
+    t.uv <- version;
+    ignore (counter t.update_counts version : int ref)
+  end
+
+let apply_advance_q t version =
+  if version > t.qv then begin
+    t.qv <- version;
+    ignore (counter t.query_counts version : int ref)
+  end
+
+let apply_collect t ~collect ~query =
+  if collect > t.gv then begin
+    t.gv <- collect;
+    Vstore.Store.gc t.st ~collect ~query;
+    Hashtbl.remove t.query_counts collect;
+    if not (t.query_counts == t.update_counts) then
+      Hashtbl.remove t.update_counts query
+  end
+
+let replace_store t store ~u ~q ~g =
+  t.st <- store;
+  t.sch <- Wal.Scheme.create (Wal.Scheme.kind t.sch) ~store ~log:t.wal;
+  t.uv <- u;
+  t.qv <- q;
+  t.gv <- g;
+  (* Same slots a freshly recovered node would have; stale slots from the
+     pre-checkpoint epoch stay so in-flight reads decrement in balance. *)
+  ignore (counter t.update_counts u : int ref);
+  ignore (counter t.query_counts q : int ref);
+  ignore (counter t.query_counts u : int ref)
 
 let active_update_transactions t =
   Hashtbl.fold (fun _ c acc -> acc + !c) t.update_counts 0

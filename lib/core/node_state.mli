@@ -73,6 +73,28 @@ val collect_garbage : _ t -> newg:int -> unit
     [newg + 1]), log it, and drop the query counter for [newg] and the
     update counter for [newg + 1]. *)
 
+(** {1 Replica apply}
+
+    A backup site advances its state only by applying records shipped from
+    its partition's primary ({!Replication}).  These mirror {!set_u} /
+    {!set_q} / {!collect_garbage} {e without} the log append — the record
+    is already in the backup's log, appended verbatim on receipt — and
+    with identical counter-slot bookkeeping, so a promoted backup is
+    indistinguishable from a crash-recovered primary. *)
+
+val apply_advance_u : _ t -> int -> unit
+val apply_advance_q : _ t -> int -> unit
+
+val apply_collect : _ t -> collect:int -> query:int -> unit
+(** Apply a shipped [Collect] record: run the store GC and drop the dead
+    counter slots, exactly as {!collect_garbage} does. *)
+
+val replace_store : 'v t -> 'v Vstore.Store.t -> u:int -> q:int -> g:int -> unit
+(** Apply a shipped [Checkpoint] record: swap in the restored store, reset
+    the version numbers to the checkpoint's, and re-seed the counter slots
+    a fresh node would have.  Stale counter slots are kept so reads still
+    in flight on the old epoch decrement in balance. *)
+
 (** {1 Transaction counters} *)
 
 val update_count : _ t -> version:int -> int

@@ -27,6 +27,12 @@ type 'v t = {
 }
 
 let start cs ~root ~kind =
+  (* The root pin must live at a primary: only primary query counters gate
+     Phase 2, so a pin at a backup would not hold garbage collection off.
+     Non-root reads may still be served by backups (see
+     {!Replication.route_read}) — safely, because this root pin is what
+     keeps the snapshot alive cluster-wide. *)
+  let root = home_site cs root in
   let root_node = node cs root in
   if not (Node_state.alive root_node) then raise (Net.Network.Node_down root);
   let txn_id = Node_state.fresh_txn_id root_node in
@@ -67,7 +73,12 @@ let visit t n =
   let nd = node t.cs n in
   if (not !(t.closed)) && not (Hashtbl.mem t.touched n) then begin
     Hashtbl.replace t.touched n ();
-    if t.version > Node_state.q nd then begin
+    (* The catch-up write is a log append; only primaries may append
+       (a backup's log must stay a prefix of its primary's).  A backup is
+       only ever visited when its applied q already covers the pin
+       (routing eligibility), so the branch is dead there anyway. *)
+    if t.version > Node_state.q nd && is_primary_site t.cs (Node_state.id nd)
+    then begin
       Node_state.set_q nd t.version;
       note_version_change t.cs
     end;
@@ -84,6 +95,7 @@ let visit t n =
    race with [finish] (the caller timed out and closed the query) never
    pairs a decrement with an increment that did not happen. *)
 let enter_subquery t n =
+  let n = home_site t.cs n in
   let nd = node t.cs n in
   if not (Node_state.alive nd) then raise (Net.Network.Node_down n);
   if !(t.closed) then (nd, false)

@@ -11,10 +11,16 @@ type 'v result = 'v Query_core.result = {
 
 (* Both flat paths are drivers over {!Query_core}: it owns the version
    pin, the closed guard, counter registration and the ordered release;
-   only the read shape (point reads vs range scans) lives here. *)
+   only the read shape (point reads vs range scans) lives here.
+
+   Replication: the root pin lives at the root partition's primary
+   ({!Query_core.start}); reads of other partitions are routed through
+   {!Replication.route_read}, which load-balances across the primary and
+   every caught-up backup that can serve the pinned version. *)
 
 let run cs ~root ~reads =
   let q = Query_core.start cs ~root ~kind:`Read in
+  let root_site = Node_state.id (Query_core.root_node q) in
   let v = Query_core.version q in
   let read_service = cs.config.Config.read_service_time in
   let read_local nd key =
@@ -24,9 +30,14 @@ let run cs ~root ~reads =
   let read_one (n, key) =
     if n = root then (n, key, read_local (Query_core.root_node q) key)
     else
+      let site =
+        if replicated cs && n < nparts cs then
+          Replication.route_read cs ~src:root_site ~part:n ~pin:v
+        else n
+      in
       let value =
-        Net.Network.call cs.net ~src:root ~dst:n (fun () ->
-            read_local (Query_core.visit q n) key)
+        Net.Network.call cs.net ~src:root_site ~dst:site (fun () ->
+            read_local (Query_core.visit q site) key)
       in
       (n, key, value)
   in
@@ -36,6 +47,7 @@ let run cs ~root ~reads =
 
 let run_scan cs ~root ~ranges =
   let q = Query_core.start cs ~root ~kind:`Scan in
+  let root_site = Node_state.id (Query_core.root_node q) in
   let v = Query_core.version q in
   let read_service = cs.config.Config.read_service_time in
   let scan_local nd ~lo ~hi =
@@ -50,8 +62,13 @@ let run_scan cs ~root ~ranges =
     let values =
       if n = root then scan_local (Query_core.root_node q) ~lo ~hi
       else
-        Net.Network.call cs.net ~src:root ~dst:n (fun () ->
-            scan_local (Query_core.visit q n) ~lo ~hi)
+        let site =
+          if replicated cs && n < nparts cs then
+            Replication.route_read cs ~src:root_site ~part:n ~pin:v
+          else n
+        in
+        Net.Network.call cs.net ~src:root_site ~dst:site (fun () ->
+            scan_local (Query_core.visit q site) ~lo ~hi)
     in
     List.map (fun (key, value) -> (n, key, Some value)) values
   in

@@ -1,0 +1,623 @@
+open Cluster_state
+
+let tag = "repl"
+let active cs = replicated cs
+
+let store_bound cs =
+  if cs.config.Config.overlap_gc then None
+  else if cs.config.Config.retain_extra_version then Some 4
+  else Some 3
+
+let replay cs log =
+  let gc_renumber = cs.config.Config.gc_renumber in
+  match store_bound cs with
+  | Some b -> Wal.Recovery.replay log ~bound:b ~gc_renumber ()
+  | None -> Wal.Recovery.replay log ~gc_renumber ()
+
+let recovered_node cs ~site ~log ~store ~(versions : Wal.Recovery.versions) =
+  Node_state.create_recovered ~engine:cs.engine ~node_id:site
+    ~scheme:cs.config.Config.scheme ~lock_group:cs.lock_group
+    ~shared_counters:cs.config.Config.shared_transaction_counters
+    ~disk_force_latency:cs.config.Config.disk_force_latency
+    ~group_commit_window:cs.config.Config.group_commit_window
+    ~group_commit_batch:cs.config.Config.group_commit_batch
+    ~gc_ack_early:cs.config.Config.gc_ack_early ~metrics:cs.metrics
+    ~bound:(store_bound cs) ~log ~store ~u:versions.Wal.Recovery.update_version
+    ~q:versions.Wal.Recovery.query_version
+    ~g:versions.Wal.Recovery.collected_version ()
+
+let fresh_node cs ~site =
+  Node_state.create ~engine:cs.engine ~node_id:site
+    ~scheme:cs.config.Config.scheme ~lock_group:cs.lock_group
+    ~bound:(store_bound cs) ~gc_renumber:cs.config.Config.gc_renumber
+    ~shared_counters:cs.config.Config.shared_transaction_counters
+    ~disk_force_latency:cs.config.Config.disk_force_latency
+    ~group_commit_window:cs.config.Config.group_commit_window
+    ~group_commit_batch:cs.config.Config.group_commit_batch
+    ~gc_ack_early:cs.config.Config.gc_ack_early ~metrics:cs.metrics ()
+
+(* ---- Backup side: append shipped records and apply them incrementally.
+
+   The apply rules are {!Wal.Recovery.replay} restated over a live node:
+   a transaction's writes are buffered in [b_pending] and hit the store
+   only at its [Commit] record, version records move the visible u/q/g,
+   and a [Checkpoint] swaps in a restored store.  Keeping the two in
+   lockstep is what makes a promoted backup indistinguishable from a
+   crash-recovered primary. *)
+
+let apply_record cs b nd r =
+  match r with
+  | Wal.Record.Begin { txn; _ } -> Hashtbl.replace b.b_pending txn []
+  | Wal.Record.Update { txn; key; value } ->
+      let writes = Option.value (Hashtbl.find_opt b.b_pending txn) ~default:[] in
+      Hashtbl.replace b.b_pending txn ((key, value) :: writes)
+  | Wal.Record.Commit { txn; final_version } ->
+      (match Hashtbl.find_opt b.b_pending txn with
+      | None -> ()
+      | Some writes ->
+          List.iter
+            (fun (key, value) ->
+              match value with
+              | Some v -> Vstore.Store.write (Node_state.store nd) key final_version v
+              | None -> Vstore.Store.delete (Node_state.store nd) key final_version)
+            (List.rev writes);
+          Hashtbl.remove b.b_pending txn)
+  | Wal.Record.Abort { txn } -> Hashtbl.remove b.b_pending txn
+  | Wal.Record.Advance_update v ->
+      Node_state.apply_advance_u nd v;
+      note_version_change cs
+  | Wal.Record.Advance_query v ->
+      Node_state.apply_advance_q nd v;
+      note_version_change cs
+  | Wal.Record.Collect { collect; query } ->
+      Node_state.apply_collect nd ~collect ~query;
+      note_version_change cs
+  | Wal.Record.Checkpoint { items; u; q; g } ->
+      let store =
+        match store_bound cs with
+        | Some bound ->
+            Vstore.Store.restore ~bound ~gc_renumber:cs.config.Config.gc_renumber
+              (Vstore.Store.snapshot_of_items items)
+        | None ->
+            Vstore.Store.restore ~gc_renumber:cs.config.Config.gc_renumber
+              (Vstore.Store.snapshot_of_items items)
+      in
+      Node_state.replace_store nd store ~u ~q ~g;
+      Hashtbl.reset b.b_pending;
+      note_version_change cs
+
+let send_ack cs b =
+  let nd = node cs b.b_site in
+  Net.Network.send cs.net ~src:b.b_site ~dst:(primary_site cs b.b_part)
+    (Messages.Ship_ack
+       {
+         part = b.b_part;
+         epoch = cs.repl.site_epoch.(b.b_site);
+         upto = Wal.Log.length (Node_state.log nd);
+       })
+
+let apply_batch cs b nd records =
+  List.iter
+    (fun r ->
+      Wal.Log.append (Node_state.log nd) r;
+      apply_record cs b nd r)
+    records;
+  (* The backup's disk image is the shipped prefix itself: an ack promises
+     the records survive this backup's crash, so they are durable by fiat
+     (the primary already paid the force before shipping them). *)
+  Wal.Log.mark_all_durable (Node_state.log nd)
+
+let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
+(* The deliberately broken twin ([Config.replica_ack_early]): acknowledge
+   — and bump the visible version counters that version-pinned routing
+   trusts — on receipt, then apply the data records only after a delay.
+   Reads routed here during the window miss committed writes. *)
+let receive_ack_early cs b nd fresh =
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Record.Advance_update v -> Node_state.apply_advance_u nd v
+      | Wal.Record.Advance_query v -> Node_state.apply_advance_q nd v
+      | _ -> ())
+    fresh;
+  note_version_change cs;
+  let claimed = Wal.Log.length (Node_state.log nd) + List.length fresh in
+  Net.Network.send cs.net ~src:b.b_site ~dst:(primary_site cs b.b_part)
+    (Messages.Ship_ack
+       { part = b.b_part; epoch = cs.repl.site_epoch.(b.b_site); upto = claimed });
+  Sim.Engine.sleep 2.0;
+  if Node_state.alive nd && node cs b.b_site == nd then apply_batch cs b nd fresh
+
+let receive cs b nd fresh =
+  if fresh <> [] && cs.config.Config.replica_ack_early then
+    receive_ack_early cs b nd fresh
+  else begin
+    apply_batch cs b nd fresh;
+    send_ack cs b
+  end
+
+let handle_ship cs site ~part ~epoch ~from_ ~records =
+  let nd = node cs site in
+  if Node_state.alive nd then
+    match backup_at cs site with
+    | None -> () (* the site's role changed while the batch was in flight *)
+    | Some b ->
+        if b.b_part <> part then ()
+        else begin
+          let se = cs.repl.site_epoch.(site) in
+          if epoch > se then begin
+            (* New log generation (checkpoint truncation or failover).
+               Only a from-zero batch can carry us across; a mid-epoch
+               batch is useless without its prefix and is dropped (repair
+               re-ships from zero).  Whatever this replica holds from the
+               old generation need not be a prefix of the new log —
+               promotion keeps only the longest in-sync copy, so records
+               applied here may exist nowhere in the surviving history.
+               A store built from them cannot be patched record-by-record;
+               start the replica over from nothing. *)
+            if from_ = 0 then begin
+              cs.nodes.(site) <- fresh_node cs ~site;
+              Hashtbl.reset b.b_pending;
+              cs.repl.site_epoch.(site) <- epoch;
+              receive cs b (node cs site) records
+            end
+          end
+          else if epoch = se then begin
+            let len = Wal.Log.length (Node_state.log nd) in
+            if from_ <= len then receive cs b nd (drop (len - from_) records)
+            else
+              (* Gap: an earlier batch was lost.  Re-advertise real
+                 progress so the primary's repair rewinds sooner. *)
+              send_ack cs b
+          end
+          (* epoch < se: a straggler from a discarded generation — drop. *)
+        end
+
+(* ---- Primary side: shipping. *)
+
+(* Loss repair: if the backup has not acknowledged up to what was shipped
+   for a whole catch-up-timeout since the last ship, assume the envelopes
+   died (partition, crash in flight) and rewind the cursor to the acked
+   mark so the gap goes out again. *)
+let maybe_repair cs b =
+  if
+    Wal.Ship.acked b.b_cursor < Wal.Ship.sent b.b_cursor
+    && now cs -. Wal.Ship.last_ship b.b_cursor
+       >= cs.config.Config.replica_catchup_timeout
+  then Wal.Ship.rewind b.b_cursor ~upto:(Wal.Ship.acked b.b_cursor)
+
+let flush cs p =
+  if active cs then begin
+    let psite = primary_site cs p in
+    let pnode = node cs psite in
+    if Node_state.alive pnode then begin
+      let log = Node_state.log pnode in
+      let horizon =
+        Wal.Ship.shippable log
+          ~durability_active:(Config.durability_active cs.config)
+      in
+      let epoch = cs.repl.ship_epoch.(p) in
+      Array.iter
+        (fun b ->
+          if Node_state.alive (node cs b.b_site) then begin
+            maybe_repair cs b;
+            let from_ = Wal.Ship.sent b.b_cursor in
+            if from_ < horizon then begin
+              let records = Wal.Log.slice log ~from_ ~upto:horizon in
+              Net.Network.send cs.net ~src:psite ~dst:b.b_site
+                (Messages.Ship { part = p; epoch; from_; records });
+              Wal.Ship.note_ship b.b_cursor ~upto:horizon ~at:(now cs)
+            end
+          end)
+        (backups cs p)
+    end
+  end
+
+(* Event-driven shipping: commits, advancement phases and GC poke their
+   partition after appending (and forcing) records — there is no daemon,
+   so a quiescent cluster stays quiescent and [Engine.run] terminates. *)
+let poke cs p =
+  if active cs && Array.length (backups cs p) > 0 then begin
+    let w = cs.config.Config.replica_ship_window in
+    if w <= 0.0 then flush cs p
+    else if not cs.repl.ship_timer.(p) then begin
+      cs.repl.ship_timer.(p) <- true;
+      Sim.Engine.schedule cs.engine ~name:"ship-flush" ~delay:w (fun () ->
+          cs.repl.ship_timer.(p) <- false;
+          flush cs p)
+    end
+  end
+
+let maybe_resync cs p b =
+  if not b.b_insync then begin
+    let pnode = node cs (primary_site cs p) in
+    let horizon =
+      Wal.Ship.shippable (Node_state.log pnode)
+        ~durability_active:(Config.durability_active cs.config)
+    in
+    if Wal.Ship.acked b.b_cursor >= horizon then begin
+      b.b_insync <- true;
+      if tracing cs then
+        emit cs ~tag
+          (Printf.sprintf "partition %d: backup site%d caught up, back in sync"
+             p b.b_site)
+    end
+  end
+
+let handle_ship_ack cs site ~src ~part ~epoch ~upto =
+  if
+    active cs && is_primary_site cs site
+    && part_of_site cs site = part
+    && epoch = cs.repl.ship_epoch.(part)
+  then
+    Array.iter
+      (fun b ->
+        if b.b_site = src && upto <= Wal.Ship.sent b.b_cursor then begin
+          let before = Wal.Ship.acked b.b_cursor in
+          Wal.Ship.note_ack b.b_cursor ~upto;
+          (* A no-progress ack while shipped records are outstanding is
+             the backup's gap report: a batch died on the wire (it
+             re-advertises its real log length on every unusable ship).
+             Rewind to the acknowledged mark and re-ship right away —
+             waiting for the quiet-period repair would lose the race
+             against steady traffic, which refreshes [last_ship] on every
+             flush and so keeps the timeout from ever expiring. *)
+          if upto <= before && before < Wal.Ship.sent b.b_cursor then begin
+            Wal.Ship.rewind b.b_cursor ~upto:(Wal.Ship.acked b.b_cursor);
+            flush cs part
+          end;
+          maybe_resync cs part b;
+          note_repl_change cs
+        end)
+      (backups cs part)
+
+(* ---- Catch-up gates. *)
+
+let demote cs b ~why =
+  if b.b_insync then begin
+    b.b_insync <- false;
+    cs.repl.demotions <- cs.repl.demotions + 1;
+    emit cs ~tag
+      (Printf.sprintf "partition %d: backup site%d demoted (%s)" b.b_part
+         b.b_site why);
+    note_repl_change cs;
+    (* Waiters on cluster-wide version agreement no longer count this
+       backup; wake them so they re-evaluate. *)
+    note_version_change cs
+  end
+
+(* Wait until every live in-sync backup of [p] has acknowledged the
+   primary-log prefix [tip]; a backup still lagging when the catch-up
+   timeout expires is demoted instead of stalling the caller (partition
+   tolerance).  Dead backups never gate — the all-dead partition degrades
+   to single-copy operation.  [valid] is re-checked at every wake-up: if
+   the gating primary crashed (and was perhaps replaced by promotion,
+   which resets the survivors' cursors), the wait is moot and must bail
+   out without demoting — the laggards it would see belong to the
+   successor now. *)
+let await_catchup cs p ~tip ~valid =
+  let lagging () =
+    Array.to_list (backups cs p)
+    |> List.filter (fun b ->
+           b.b_insync
+           && Node_state.alive (node cs b.b_site)
+           && Wal.Ship.acked b.b_cursor < tip)
+  in
+  flush cs p;
+  if lagging () <> [] then begin
+    let deadline = now cs +. cs.config.Config.replica_catchup_timeout in
+    let rec wait () =
+      if valid () then
+        match lagging () with
+        | [] -> ()
+        | lag ->
+            let remaining = deadline -. now cs in
+            if remaining <= 0.0 then
+              List.iter (demote cs ~why:"catch-up timeout") lag
+            else begin
+              ignore
+                (Sim.Condition.await_timeout cs.repl.repl_changed
+                   ~timeout:remaining
+                  : [ `Signaled | `Timeout ]);
+              wait ()
+            end
+    in
+    wait ()
+  end
+
+let gate cs nd =
+  if active cs && Node_state.alive nd then begin
+    let s = Node_state.id nd in
+    if is_primary_site cs s then begin
+      let p = part_of_site cs s in
+      if Array.length (backups cs p) > 0 then begin
+        let tip =
+          Wal.Ship.shippable (Node_state.log nd)
+            ~durability_active:(Config.durability_active cs.config)
+        in
+        let valid () =
+          Node_state.alive nd && is_primary_site cs s && node cs s == nd
+        in
+        await_catchup cs p ~tip ~valid
+      end
+    end
+  end
+
+let commit_gate = gate
+let phase_gate cs site = gate cs (node cs site)
+
+(* Outcome of a commit whose primary died while the commit gate waited.
+   The commit record is durable on the dead node's disk; whether the
+   acknowledgment may still escape depends on where the partition's
+   authority went.  No failover: the node is still the primary and will
+   recover with its own log — the record survives.  Failover: only the
+   promoted successor's log counts, because the deposed primary rejoins
+   empty (its unshipped records are discarded), so a record absent there
+   is gone for good. *)
+let commit_fate cs nd ~txn =
+  if not (active cs) then `Own_log
+  else begin
+    let s = Node_state.id nd in
+    let cur = primary_site cs (part_of_site cs s) in
+    if cur = s then `Own_log
+    else
+      let nd' = node cs cur in
+      let has =
+        List.exists
+          (function
+            | Wal.Record.Commit { txn = t'; _ } -> t' = txn
+            | _ -> false)
+          (Wal.Log.records (Node_state.log nd'))
+      in
+      if has then `Successor nd' else `Lost
+  end
+
+(* After Phase 3 appended the Collect record, force it and ship it so the
+   backups' garbage versions converge (a query never reads near g, so this
+   is pure convergence, not a barrier). *)
+let after_gc cs site =
+  if active cs && is_primary_site cs site then begin
+    let nd = node cs site in
+    match Node_state.commit_durable nd with
+    | () -> poke cs (part_of_site cs site)
+    | exception Wal.Group_commit.Crashed -> ()
+  end
+
+(* ---- Version-pinned read routing. *)
+
+(* A backup may serve a read pinned at [pin] only once it has applied
+   every record up to the advancement that published [pin] — its applied
+   query version is the witness ([Advance_query pin] precedes, in the
+   primary's log, every commit the pinned snapshot may still be missing
+   ... rather: every commit with final_version <= pin precedes the
+   round that retires pin, so applied-q >= pin means the snapshot below
+   pin is complete).  Routing round-robins over the primary and the
+   eligible backups; the counters stay wherever the read actually runs,
+   and the root's own pin (taken at the root partition's primary) is what
+   holds garbage collection off globally. *)
+let route_read cs ~src ~part ~pin =
+  let psite = primary_site cs part in
+  if not (active cs) then psite
+  else begin
+    let eligible b =
+      b.b_insync
+      && Node_state.alive (node cs b.b_site)
+      && Node_state.q (node cs b.b_site) >= pin
+      && not (Net.Network.link_is_down cs.net ~src ~dst:b.b_site)
+      && not (Net.Network.link_is_down cs.net ~src:b.b_site ~dst:src)
+    in
+    let cands =
+      psite
+      :: (Array.to_list (backups cs part)
+         |> List.filter eligible
+         |> List.map (fun b -> b.b_site))
+    in
+    match cands with
+    | [ only ] -> only
+    | _ ->
+        let k = List.length cands in
+        let site = List.nth cands (cs.repl.rr mod k) in
+        cs.repl.rr <- cs.repl.rr + 1;
+        if site <> psite then
+          cs.repl.backup_reads <- cs.repl.backup_reads + 1;
+        site
+  end
+
+(* ---- Failover. *)
+
+(* Transfer a mid-flight flat round's expectations from the dead primary
+   to its successor: the old site can never acknowledge again, the new
+   one now must.  Setting the new slot false before the old one true
+   keeps [all_acked] from flickering complete in between (everything here
+   is synchronous anyway, but the order costs nothing). *)
+let shift_coord_acks cs ~old_site ~new_site =
+  Array.iter
+    (fun c ->
+      match c with
+      | Some c when c.c_nparts = 0 && not c.c_abandoned -> (
+          match c.c_phase with
+          | `Collect_u ->
+              c.c_acks_u.(new_site) <- false;
+              c.c_acks_u.(old_site) <- true;
+              c.c_acks_q.(new_site) <- false;
+              c.c_acks_q.(old_site) <- true
+          | `Collect_q ->
+              c.c_acks_q.(new_site) <- false;
+              c.c_acks_q.(old_site) <- true)
+      | _ -> ())
+    cs.coords
+
+(* Rebuild the in-flight-transaction buffer a recovered backup needs to
+   keep applying records mid-transaction: exactly the pending table
+   {!Wal.Recovery.replay} would have had after its own log. *)
+let rebuild_pending b log =
+  Hashtbl.reset b.b_pending;
+  List.iter
+    (fun r ->
+      match r with
+      | Wal.Record.Begin { txn; _ } -> Hashtbl.replace b.b_pending txn []
+      | Wal.Record.Update { txn; key; value } ->
+          let writes =
+            Option.value (Hashtbl.find_opt b.b_pending txn) ~default:[]
+          in
+          Hashtbl.replace b.b_pending txn ((key, value) :: writes)
+      | Wal.Record.Commit { txn; _ } | Wal.Record.Abort { txn } ->
+          Hashtbl.remove b.b_pending txn
+      | Wal.Record.Advance_update _ | Wal.Record.Advance_query _
+      | Wal.Record.Collect _ ->
+          ()
+      | Wal.Record.Checkpoint _ -> Hashtbl.reset b.b_pending)
+    (Wal.Log.records log)
+
+(* Promotion: WAL-replay recovery of the chosen backup's own log, exactly
+   the path a crashed primary takes — counters restart at zero, in-flight
+   subtransactions die and are rejected, the store is rebuilt from the
+   log.  Candidate: the live in-sync backup with the longest log (it holds
+   every record any in-sync backup acknowledged, so no gate-acknowledged
+   commit is lost); ties break to the lowest site id. *)
+let promote cs ~part ~old_site =
+  let cands =
+    Array.to_list (backups cs part)
+    |> List.filter (fun b ->
+           b.b_insync && Node_state.alive (node cs b.b_site))
+  in
+  match cands with
+  | [] -> `No_backup
+  | first :: rest ->
+      let len b = Wal.Log.length (Node_state.log (node cs b.b_site)) in
+      let best =
+        List.fold_left
+          (fun a b ->
+            if len b > len a || (len b = len a && b.b_site < a.b_site) then b
+            else a)
+          first rest
+      in
+      let new_site = best.b_site in
+      let log = Node_state.log (node cs new_site) in
+      let store, versions = replay cs log in
+      cs.nodes.(new_site) <- recovered_node cs ~site:new_site ~log ~store ~versions;
+      cs.repl.primary_of.(part) <- new_site;
+      cs.repl.backups_of.(part) <-
+        Array.of_list
+          (List.filter
+             (fun b -> b.b_site <> new_site)
+             (Array.to_list (backups cs part)));
+      (* The promoted log shares a prefix with, but then diverges from,
+         every copy the old epoch produced — a crashed backup or demoted
+         straggler may even hold records the new primary never had.
+         Splicing by record index would silently skip the new history, so
+         failover starts a fresh epoch (exactly like a checkpoint
+         truncation): stale copies become unmistakable and every backup
+         rebuilds from the from-zero re-ship instead. *)
+      let e = cs.repl.ship_epoch.(part) + 1 in
+      cs.repl.ship_epoch.(part) <- e;
+      cs.repl.site_epoch.(new_site) <- e;
+      cs.repl.promotions <- cs.repl.promotions + 1;
+      (* The cursors were the dead primary's view; start over from zero. *)
+      Array.iter (fun b -> Wal.Ship.reset b.b_cursor) (backups cs part);
+      shift_coord_acks cs ~old_site ~new_site;
+      emit cs ~tag
+        (Printf.sprintf
+           "partition %d: site%d promoted to primary (was site%d; u=%d q=%d \
+            g=%d)"
+           part new_site old_site versions.Wal.Recovery.update_version
+           versions.Wal.Recovery.query_version
+           versions.Wal.Recovery.collected_version);
+      note_version_change cs;
+      note_repl_change cs;
+      poke cs part;
+      `Promoted new_site
+
+(* Crash hook, run by [Cluster.crash] after the node is killed and marked
+   down.  A crashed backup just leaves the read set; a crashed primary
+   triggers promotion (or degrades the partition to "down until recovery"
+   when no backup can serve). *)
+let on_crash cs ~site =
+  if active cs then
+    match backup_at cs site with
+    | Some b -> demote cs b ~why:"crashed"
+    | None ->
+        if is_primary_site cs site then begin
+          let part = part_of_site cs site in
+          match promote cs ~part ~old_site:site with
+          | `Promoted _ -> ()
+          | `No_backup ->
+              emit cs ~tag
+                (Printf.sprintf
+                   "partition %d: primary site%d down, no backup eligible"
+                   part site)
+        end
+
+(* Recovery hook for a site that is not (or no longer) its partition's
+   primary.  A crashed backup rebuilds from its own log — every record it
+   ever held was acknowledged, hence durable by fiat, so nothing is lost —
+   and re-earns in-sync status through catch-up.  A deposed primary may
+   hold durable records that were never shipped and exist in no current
+   log; its state is unsalvageable, so it rejoins empty and full-resyncs
+   (epoch -1 forces adoption of the first from-zero ship). *)
+let recover_as_backup cs ~site =
+  let old = node cs site in
+  if Node_state.alive old then
+    invalid_arg "Replication.recover_as_backup: node is not down";
+  let part = part_of_site cs site in
+  (match backup_at cs site with
+  | Some b when cs.repl.site_epoch.(site) = cs.repl.ship_epoch.(part) ->
+      (* Same generation: the current primary shipped every record this
+         log holds, so it is a prefix of that primary's log and safe to
+         rebuild from directly. *)
+      let log = Node_state.log old in
+      let store, versions = replay cs log in
+      cs.nodes.(site) <- recovered_node cs ~site ~log ~store ~versions;
+      rebuild_pending b log;
+      b.b_insync <- false;
+      Wal.Ship.rewind b.b_cursor ~upto:(Wal.Log.length log)
+  | Some b ->
+      (* The partition failed over (or checkpointed) while this backup was
+         down: its log belongs to a dead generation and may hold records
+         that exist nowhere in the surviving history.  Replaying them would
+         fork the replica, so rejoin empty and adopt the next from-zero
+         ship. *)
+      cs.nodes.(site) <- fresh_node cs ~site;
+      Hashtbl.reset b.b_pending;
+      b.b_insync <- false;
+      cs.repl.site_epoch.(site) <- -1;
+      Wal.Ship.reset b.b_cursor
+  | None ->
+      cs.nodes.(site) <- fresh_node cs ~site;
+      cs.repl.site_epoch.(site) <- -1;
+      cs.repl.backups_of.(part) <-
+        Array.append cs.repl.backups_of.(part)
+          [|
+            {
+              b_part = part;
+              b_site = site;
+              b_cursor = Wal.Ship.create ();
+              b_insync = false;
+              b_pending = Hashtbl.create 16;
+            };
+          |]);
+  Net.Network.set_down cs.net ~node:site false;
+  emit cs ~tag
+    (Printf.sprintf "partition %d: site%d rejoins as backup (resyncing)" part
+       site);
+  note_version_change cs;
+  poke cs part
+
+(* A quiescent checkpoint truncated the primary's log: its record indexes
+   restart, so the partition moves to a fresh epoch and every backup gets
+   a full resync from the (self-contained) post-checkpoint log. *)
+let on_checkpoint cs ~site =
+  if active cs && is_primary_site cs site then begin
+    let p = part_of_site cs site in
+    if Array.length (backups cs p) > 0 then begin
+      cs.repl.ship_epoch.(p) <- cs.repl.ship_epoch.(p) + 1;
+      cs.repl.site_epoch.(site) <- cs.repl.ship_epoch.(p);
+      Array.iter (fun b -> Wal.Ship.reset b.b_cursor) (backups cs p);
+      poke cs p
+    end
+  end
+
+let backup_reads cs = cs.repl.backup_reads
+let demotions cs = cs.repl.demotions
+let promotions cs = cs.repl.promotions

@@ -1,0 +1,132 @@
+(** Per-partition primary–backup replication (asynchronous WAL shipping).
+
+    With [Config.replicas = r > 0] every partition has a primary plus [r]
+    backup sites.  All updates run at primaries; each primary ships its
+    WAL to its backups in [Ship] batches (event-driven — commits,
+    advancement phases and GC poke the shipper; [replica_ship_window]
+    coalesces pokes).  A backup appends the shipped records to its own log
+    and applies them incrementally with exactly {!Wal.Recovery.replay}'s
+    rules, so its store tracks the primary's committed state and its log
+    is always a prefix of the primary's (per epoch).
+
+    {b Version-pinned reads}: a backup serves a read pinned at version [v]
+    only once its applied query version has reached [v]
+    ({!route_read}).  {b Advancement}: Phase 2 cannot retire the past
+    version until every live in-sync backup has acknowledged the
+    primary-log prefix ending at the phase's own record; a straggler is
+    demoted (out of the read set) rather than allowed to stall the round.
+    {b Commit}: the same gate runs at commit time, which is what makes
+    promotion lossless for acknowledged commits.  {b Failover}: when a
+    primary crashes, the live in-sync backup with the longest log replays
+    it — the ordinary crash-recovery path — and takes over.
+
+    With [replicas = 0] every function here is a no-op (or the identity,
+    for {!route_read}) and the cluster behaves bit-identically to the
+    unreplicated code. *)
+
+val active : _ Cluster_state.t -> bool
+
+(** {1 Shipping} *)
+
+val flush : _ Cluster_state.t -> int -> unit
+(** [flush cs p] ships partition [p]'s unshipped durable log suffix to
+    each live backup now (and rewinds cursors whose ships appear lost —
+    unacknowledged for a full [replica_catchup_timeout]). *)
+
+val poke : _ Cluster_state.t -> int -> unit
+(** Request a ship for partition [p]: immediate with
+    [replica_ship_window = 0], else coalesced into one flush per
+    window. *)
+
+val handle_ship :
+  'v Cluster_state.t ->
+  int ->
+  part:int ->
+  epoch:int ->
+  from_:int ->
+  records:'v Wal.Record.t list ->
+  unit
+(** Backup-side ingest of a [Ship] batch (see {!Messages.t} for the epoch
+    discipline).  Appends the unseen suffix, applies it, and answers with
+    a cumulative [Ship_ack]. *)
+
+val handle_ship_ack :
+  _ Cluster_state.t -> int -> src:int -> part:int -> epoch:int -> upto:int -> unit
+(** Primary-side ingest of a [Ship_ack]: advances the backup's cursor,
+    re-promotes a demoted backup that has caught back up to the ship
+    horizon, and wakes any catch-up gate. *)
+
+(** {1 Catch-up gates} *)
+
+val commit_gate : 'v Cluster_state.t -> 'v Node_state.t -> unit
+(** Run at a primary after a subtransaction's commit record is durable:
+    wait until every live in-sync backup has acknowledged up to the
+    current durable log tip, demoting stragglers at
+    [replica_catchup_timeout].  Guarantees that any backup still eligible
+    for promotion holds this commit. *)
+
+val commit_fate :
+  'v Cluster_state.t ->
+  'v Node_state.t ->
+  txn:int ->
+  [ `Own_log | `Successor of 'v Node_state.t | `Lost ]
+(** After {!commit_gate} returned with [nd] dead: whether transaction
+    [txn]'s commit record survives in the partition's authoritative copy.
+    [`Own_log]: no failover happened — the dead node is still the primary
+    and recovers with its own durable log.  [`Successor nd']: the
+    partition failed over and the promoted primary [nd'] holds the
+    record (the caller should gate again at [nd'] before acknowledging).
+    [`Lost]: the successor does not hold it, and the deposed primary
+    rejoins empty — the commit is gone and no acknowledgment may
+    escape. *)
+
+val phase_gate : _ Cluster_state.t -> int -> unit
+(** Same gate, run at site [i] before it acknowledges either advancement
+    phase.  Phase 1: in-sync backups must hold the [Advance_update]
+    record before the round proceeds, so no two in-sync copies ever
+    disagree on both counters.  Phase 2: backups must hold the
+    [Advance_query] record (and all commits before it) before the
+    cluster may retire the past version their pinned readers could still
+    need. *)
+
+val after_gc : _ Cluster_state.t -> int -> unit
+(** After Phase 3 appends the [Collect] record at a primary: force it and
+    ship it, so backup garbage versions converge. *)
+
+(** {1 Read routing} *)
+
+val route_read : _ Cluster_state.t -> src:int -> part:int -> pin:int -> int
+(** The site that should serve a read of partition [part] pinned at
+    version [pin], issued from site [src]: round-robin across the primary
+    and every live, in-sync, reachable backup whose applied query version
+    has reached [pin].  Unreplicated: the partition itself. *)
+
+(** {1 Failover and recovery hooks} *)
+
+val on_crash : _ Cluster_state.t -> site:int -> unit
+(** Called by {!Cluster.crash} after the site is killed and marked down.
+    Backup: demoted out of the read set.  Primary: the best backup (live,
+    in-sync, longest log; ties to the lowest site id) is promoted by WAL
+    replay, the partition's topology and mid-flight advancement rounds
+    are rewritten to the new primary, and surviving backups resync from
+    it. *)
+
+val recover_as_backup : _ Cluster_state.t -> site:int -> unit
+(** Called by {!Cluster.recover} for a site that is not its partition's
+    current primary.  A crashed backup whose log belongs to the current
+    ship epoch replays it and rejoins out-of-sync (re-promoted once it
+    catches up).  If the partition failed over or checkpointed while the
+    backup was down — its epoch is stale — or if the site is a deposed
+    primary, its log may hold records that exist nowhere in the surviving
+    history, so it rejoins {e empty} and full-resyncs from the current
+    primary. *)
+
+val on_checkpoint : _ Cluster_state.t -> site:int -> unit
+(** Called after a primary's quiescent checkpoint truncated its log:
+    starts a new ship epoch and full-resyncs the backups. *)
+
+(** {1 Metrics} *)
+
+val backup_reads : _ Cluster_state.t -> int
+val demotions : _ Cluster_state.t -> int
+val promotions : _ Cluster_state.t -> int

@@ -170,7 +170,30 @@ let commit cs t ~final_version =
    with Wal.Group_commit.Crashed ->
      raise (Txn_abort (`Node_down (Node_state.id t.sub_node))));
   Node_state.decr_update_count t.sub_node ~version:t.counted;
-  Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node) ~owner:t.txn_id
+  Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node) ~owner:t.txn_id;
+  (* Replication: the commit acknowledgment must also cover the backups —
+     wait (after releasing locks, so conflicting transactions are not
+     serialized behind the ship round-trip) until every live in-sync
+     backup holds this commit, demoting stragglers at the timeout.  This
+     is what makes failover lossless for acknowledged commits: any backup
+     still eligible for promotion has the record. *)
+  let rec settle nd =
+    Replication.commit_gate cs nd;
+    if not (Node_state.alive nd) then
+      (* The gate yields, so the primary may have died while we waited.
+         The acknowledgment may escape only if the commit survives in the
+         partition's authoritative copy — the promoted successor's log,
+         or the dead node's own durable log when no failover happened
+         (see {!Replication.commit_fate}).  In the successor case, gate
+         again there so its backups also come to hold the record before
+         the ack escapes; if the record survives nowhere, no ack may
+         escape, exactly as if the force had failed. *)
+      match Replication.commit_fate cs nd ~txn:t.txn_id with
+      | `Own_log -> ()
+      | `Successor nd' -> settle nd'
+      | `Lost -> raise (Txn_abort (`Node_down (Node_state.id nd)))
+  in
+  settle t.sub_node
 
 let abort cs t =
   ignore cs;

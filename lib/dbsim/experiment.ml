@@ -1793,3 +1793,224 @@ let print_hierarchy ?sizes () =
         "events/s";
       ]
     ~rows
+
+(* ------------------------------------------------------------------ *)
+(* E13 — replication: pinned backup reads under faults                 *)
+(* ------------------------------------------------------------------ *)
+
+type replication_row = {
+  rp_replicas : int;
+  rp_queries_ok : int;
+  rp_queries_failed : int;
+  rp_read_tput : float;  (* completed queries per unit virtual time *)
+  rp_backup_reads : int;
+  rp_stale_mean : float;
+  rp_stale_p95 : float;
+  rp_stale_max : float;
+  rp_commits : int;
+  rp_aborts : int;
+  rp_demotions : int;
+  rp_promotions : int;
+  rp_advancements : int;
+  rp_violations : int;
+}
+
+(* One cluster at a given replica count under the same seeded fault
+   schedule: crashes hit the original primary sites (forcing promotion
+   when backups exist, partition outage when they don't) and link
+   partitions cut primary-to-primary links (backups, living at higher
+   site ids, keep their ship links and keep serving pinned reads).
+   Queries are closed-loop with cross-partition reads, so each remote
+   read exercises the version-pinned router; reply bandwidth at the
+   serving site ([send_occupancy]) is the contended resource that extra
+   replicas multiply.  Staleness is observed per query: the age of the
+   snapshot version the query actually read, at completion time. *)
+let replication_one ?(seed = 97L) ~replicas ~horizon () =
+  let nparts = 3 in
+  let engine = Sim.Engine.create ~seed ~trace:false () in
+  let config =
+    {
+      Ava3.Config.default with
+      replicas;
+      replica_catchup_timeout = 12.0;
+      rpc_timeout = 15.0;
+      advancement_retry = 30.0;
+      read_service_time = 0.5;
+      write_service_time = 0.5;
+      send_occupancy = 0.4;
+    }
+  in
+  let db : int Ava3.Cluster.t =
+    Ava3.Cluster.create ~engine ~config ~nodes:nparts ()
+  in
+  let cs = Ava3.Cluster.state db in
+  let rng = Sim.Rng.split (Sim.Engine.rng engine) in
+  let keys_per = 12 in
+  for n = 0 to nparts - 1 do
+    Ava3.Cluster.load db ~node:n
+      (List.init keys_per (fun i -> (Printf.sprintf "n%d-k%d" n i, 0)))
+  done;
+  (* Same fault schedule at every replica count: targets are the site ids
+     0 .. nparts-1, i.e. the original primaries. *)
+  let plan =
+    Net.Nemesis.random_plan ~rng ~nodes:nparts ~horizon:(horizon *. 0.8)
+      ~crashes:2 ~partitions:2 ~slow_links:0 ~min_duration:40.0
+      ~max_duration:80.0 ()
+  in
+  Net.Nemesis.install ~engine (Ava3.Cluster.nemesis_target db) plan;
+  let key n = Printf.sprintf "n%d-k%d" n (Sim.Rng.int rng keys_per) in
+  (* Advancement initiator over partitions, first one whose current
+     primary is alive. *)
+  let first_alive () =
+    let rec go p =
+      if p >= nparts then None
+      else if
+        Ava3.Node_state.alive
+          (Ava3.Cluster.node db (Ava3.Cluster_state.home_site cs p))
+      then Some p
+      else go (p + 1)
+    in
+    go 0
+  in
+  let adv_period = 40.0 in
+  for b = 1 to int_of_float (horizon /. adv_period) do
+    Sim.Engine.schedule engine ~delay:(float_of_int b *. adv_period) (fun () ->
+        match first_alive () with
+        | Some p -> ignore (Ava3.Cluster.advance db ~coordinator:p)
+        | None -> ())
+  done;
+  (* Updates: open loop, modest rate, retried on transient aborts. *)
+  let commits = ref 0 and aborts = ref 0 in
+  for u = 0 to int_of_float (horizon /. 6.0) - 1 do
+    Sim.Engine.schedule engine ~delay:(float_of_int u *. 6.0) (fun () ->
+        let root = Sim.Rng.int rng nparts in
+        let ops =
+          List.init
+            (1 + Sim.Rng.int rng 2)
+            (fun _ ->
+              let n = Sim.Rng.int rng nparts in
+              Update.Write { node = n; key = key n; value = Sim.Rng.int rng 1000 })
+        in
+        let rec attempt n =
+          match Ava3.Cluster.run_update db ~root ~ops with
+          | Update.Committed _ -> incr commits
+          | Update.Aborted { reason; _ } ->
+              let transient =
+                match reason with
+                | `Deadlock | `Rpc_timeout _ -> true
+                | `Node_down _ | `Version_mismatch -> false
+              in
+              if transient && n < 5 then begin
+                Sim.Engine.sleep 10.0;
+                attempt (n + 1)
+              end
+              else incr aborts
+          | Update.Root_down _ -> incr aborts
+        in
+        attempt 1)
+  done;
+  (* Queries: closed loop, every read remote so it goes through the
+     router.  Throughput is how many complete before the horizon. *)
+  let queries_ok = ref 0 and queries_failed = ref 0 in
+  let stale = Histogram.create () in
+  let n_clients = 9 in
+  for c = 0 to n_clients - 1 do
+    Sim.Engine.schedule engine ~delay:(0.5 *. float_of_int c) (fun () ->
+        while Sim.Engine.now engine < horizon do
+          let root = c mod nparts in
+          let reads =
+            List.init 2 (fun i ->
+                let n = (root + 1 + ((c + i) mod (nparts - 1))) mod nparts in
+                (n, key n))
+          in
+          (match Ava3.Cluster.run_query db ~root ~reads with
+          | (q : int Ava3.Query_exec.result) ->
+              incr queries_ok;
+              (match
+                 Ava3.Cluster.staleness_of_version db ~version:q.version
+                   ~at:(Sim.Engine.now engine)
+               with
+              | Some age -> Histogram.add stale age
+              | None -> ())
+          | exception (Net.Network.Node_down _ | Net.Network.Rpc_timeout _) ->
+              incr queries_failed);
+          Sim.Engine.sleep 1.0
+        done)
+  done;
+  let violations = ref 0 in
+  for p = 0 to int_of_float (horizon /. 10.0) do
+    Sim.Engine.schedule engine ~delay:(float_of_int p *. 10.0) (fun () ->
+        violations := !violations + List.length (Ava3.Cluster.check_invariants db))
+  done;
+  Sim.Engine.run engine;
+  violations := !violations + List.length (Ava3.Cluster.check_invariants db);
+  let stats = Ava3.Cluster.stats db in
+  Report.record_metrics ~experiment:"E13-replication"
+    ~label:(Printf.sprintf "replicas=%d" replicas)
+    (Ava3.Cluster.metrics_snapshot db);
+  {
+    rp_replicas = replicas;
+    rp_queries_ok = !queries_ok;
+    rp_queries_failed = !queries_failed;
+    rp_read_tput = float_of_int !queries_ok /. horizon;
+    rp_backup_reads = stats.Ava3.Cluster.backup_reads;
+    rp_stale_mean = Histogram.mean stale;
+    rp_stale_p95 = Histogram.percentile stale 0.95;
+    rp_stale_max = Histogram.max_value stale;
+    rp_commits = !commits;
+    rp_aborts = !aborts;
+    rp_demotions = stats.Ava3.Cluster.replica_demotions;
+    rp_promotions = stats.Ava3.Cluster.replica_promotions;
+    rp_advancements = stats.Ava3.Cluster.advancements;
+    rp_violations = !violations;
+  }
+
+let replication ?seed ?(horizon = 1000.0) ?domains () =
+  pmap ?domains
+    (fun replicas -> replication_one ?seed ~replicas ~horizon ())
+    [ 0; 1; 2 ]
+
+let print_replication ?horizon () =
+  let rows =
+    List.map
+      (fun r ->
+        [
+          Report.i r.rp_replicas;
+          Report.i r.rp_queries_ok;
+          Report.i r.rp_queries_failed;
+          Report.f2 r.rp_read_tput;
+          Report.i r.rp_backup_reads;
+          Report.f2 r.rp_stale_mean;
+          Report.f2 r.rp_stale_p95;
+          Report.f1 r.rp_stale_max;
+          Report.i r.rp_commits;
+          Report.i r.rp_aborts;
+          Report.i r.rp_demotions;
+          Report.i r.rp_promotions;
+          Report.i r.rp_advancements;
+          Report.i r.rp_violations;
+        ])
+      (replication ?horizon ())
+  in
+  Report.print
+    ~title:
+      "E13: pinned backup reads under faults (3 partitions, 2 crashes + 2 \
+       link partitions, closed-loop cross-partition queries)"
+    ~header:
+      [
+        "replicas";
+        "queries ok";
+        "q failed";
+        "reads/t";
+        "backup reads";
+        "stale mean";
+        "stale p95";
+        "stale max";
+        "commits";
+        "aborts";
+        "demotions";
+        "promotions";
+        "advancements";
+        "violations";
+      ]
+    ~rows

@@ -278,3 +278,36 @@ val hierarchy :
     events/sec column reflects single-domain wall-clock. *)
 
 val print_hierarchy : ?sizes:int list -> unit -> unit
+
+(** {1 E13 — replication: pinned backup reads under faults} *)
+
+type replication_row = {
+  rp_replicas : int;
+  rp_queries_ok : int;
+  rp_queries_failed : int;
+  rp_read_tput : float;  (** completed queries per unit virtual time *)
+  rp_backup_reads : int;  (** remote reads the router sent to backups *)
+  rp_stale_mean : float;
+      (** observed staleness: age of each query's snapshot version at
+          the query's completion instant *)
+  rp_stale_p95 : float;
+  rp_stale_max : float;
+  rp_commits : int;
+  rp_aborts : int;
+  rp_demotions : int;
+  rp_promotions : int;
+  rp_advancements : int;
+  rp_violations : int;
+}
+
+val replication :
+  ?seed:int64 -> ?horizon:float -> ?domains:int -> unit -> replication_row list
+(** Replica counts 0/1/2 on 3 partitions under one seeded fault schedule
+    (2 primary crashes, 2 link partitions): closed-loop cross-partition
+    queries measure read throughput and observed staleness as replicas
+    are added; promotions, demotions and invariant probes come along.
+    With [replicas = 0] the fault schedule makes whole partitions
+    unreadable; backups turn those outages into routed reads. *)
+
+val print_replication : ?horizon:float -> unit -> unit
+(** E13 as a table; [horizon] shortens the run for CI smoke. *)

@@ -15,6 +15,20 @@ let records t = List.rev t.rev
 let records_rev t = t.rev
 let fold_rev f init t = List.fold_left f init t.rev
 
+let slice t ~from_ ~upto =
+  if from_ < 0 || upto > t.count || from_ > upto then
+    invalid_arg "Log.slice: bad range";
+  (* [rev] is newest-first: drop the tail beyond [upto], keep
+     [upto - from_] records, and flip back to append order. *)
+  let rec drop n l =
+    if n = 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+  in
+  let rec take n l acc =
+    if n = 0 then acc
+    else match l with [] -> acc | r :: tl -> take (n - 1) tl (r :: acc)
+  in
+  take (upto - from_) (drop (t.count - upto) t.rev) []
+
 let truncate t =
   t.rev <- [];
   t.count <- 0;

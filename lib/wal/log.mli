@@ -27,6 +27,11 @@ val records_rev : 'v t -> 'v Record.t list
 val fold_rev : ('a -> 'v Record.t -> 'a) -> 'a -> 'v t -> 'a
 (** Fold newest-to-oldest. *)
 
+val slice : 'v t -> from_:int -> upto:int -> 'v Record.t list
+(** Records with 0-based indexes [from_ .. upto - 1], in append order —
+    the shape a log-shipping cursor sends to a replica.  Raises
+    [Invalid_argument] on a range outside the log. *)
+
 val truncate : _ t -> unit
 (** Discard all records (used after a checkpoint in long experiments so logs
     do not grow without bound).  Resets the durable prefix to empty. *)

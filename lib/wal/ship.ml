@@ -1,0 +1,32 @@
+type t = {
+  mutable sent : int;
+  mutable acked : int;
+  mutable last_ship : float;
+}
+
+let create () = { sent = 0; acked = 0; last_ship = neg_infinity }
+
+let sent t = t.sent
+let acked t = t.acked
+let last_ship t = t.last_ship
+
+let note_ship t ~upto ~at =
+  if upto > t.sent then t.sent <- upto;
+  t.last_ship <- at
+
+let note_ack t ~upto = if upto > t.acked then t.acked <- upto
+
+let rewind t ~upto =
+  if t.sent > upto then t.sent <- upto;
+  if t.acked > upto then t.acked <- upto
+
+let reset t =
+  t.sent <- 0;
+  t.acked <- 0;
+  t.last_ship <- neg_infinity
+
+(* What a primary may ship: only records a crash cannot take back.  With
+   the durability model off the whole log is synchronously durable (the
+   pre-model semantics), so everything is shippable. *)
+let shippable log ~durability_active =
+  if durability_active then Log.durable_length log else Log.length log

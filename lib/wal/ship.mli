@@ -1,0 +1,43 @@
+(** Log-shipping cursor: one per (primary, backup) pair.
+
+    The primary tracks, per replica, how far into its own log it has
+    shipped ([sent]) and how far the replica has acknowledged applying
+    ([acked]).  Both are 0-based record counts into the primary's log.
+    Only the durable prefix is ever shipped — a record the primary could
+    lose in a crash must not reach a replica that would then diverge from
+    recovery — so [shippable] is the ship horizon, not [Log.length].
+
+    The cursor itself is primary-side volatile state: after a failover the
+    new primary rebuilds cursors from the replicas' actual log lengths
+    (their logs are prefixes of its own by construction). *)
+
+type t
+
+val create : unit -> t
+val sent : t -> int
+val acked : t -> int
+
+val last_ship : t -> float
+(** Virtual time of the most recent ship to this replica ([neg_infinity]
+    before the first one) — drives loss-repair re-shipping. *)
+
+val note_ship : t -> upto:int -> at:float -> unit
+(** A batch covering records [.. upto - 1] left for the replica at [at]. *)
+
+val note_ack : t -> upto:int -> unit
+(** The replica acknowledged applying records [.. upto - 1].  Regressions
+    are ignored (a stale ack racing a newer one). *)
+
+val rewind : t -> upto:int -> unit
+(** Clamp both marks down to [upto] — used when the replica reports a log
+    shorter than what was believed shipped (it crashed with batches in
+    flight), so the gap is re-sent. *)
+
+val reset : t -> unit
+(** Forget everything — the replica needs a full resync from record 0
+    (its log diverged: a checkpoint truncated the primary's log, or a
+    deposed primary rejoined as a backup). *)
+
+val shippable : _ Log.t -> durability_active:bool -> int
+(** The ship horizon: the durable prefix when the durability model is on,
+    the whole log otherwise. *)

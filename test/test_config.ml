@@ -93,6 +93,32 @@ let test_partition_aware_needs_tree () =
   check_bool "partition_aware with tree fine" false
     (rejected { C.default with partition_aware = true; tree_arity = 4 })
 
+let test_replication_knobs () =
+  check_bool "negative replicas rejected" true
+    (rejected { C.default with replicas = -1 });
+  check_bool "replicas = 0 fine" false (rejected { C.default with replicas = 0 });
+  check_bool "replicas = 2 fine" false (rejected { C.default with replicas = 2 });
+  check_bool "replicas with tree rounds rejected" true
+    (rejected { C.default with replicas = 1; tree_arity = 4 });
+  check_bool "zero catch-up timeout rejected" true
+    (rejected { C.default with replica_catchup_timeout = 0.0 });
+  check_bool "negative catch-up timeout rejected" true
+    (rejected { C.default with replica_catchup_timeout = -3.0 });
+  check_bool "nan catch-up timeout rejected" true
+    (rejected { C.default with replica_catchup_timeout = Float.nan });
+  check_bool "infinite catch-up timeout rejected" true
+    (rejected { C.default with replica_catchup_timeout = infinity });
+  check_bool "negative ship window rejected" true
+    (rejected { C.default with replica_ship_window = -1.0 });
+  check_bool "nan ship window rejected" true
+    (rejected { C.default with replica_ship_window = Float.nan });
+  check_bool "coalesced shipping fine" false
+    (rejected { C.default with replicas = 1; replica_ship_window = 2.0 });
+  check_bool "ack-early without replicas rejected" true
+    (rejected { C.default with replica_ack_early = true });
+  check_bool "ack-early twin with replicas fine" false
+    (rejected { C.default with replicas = 1; replica_ack_early = true })
+
 let test_message_names_knob () =
   (* The error text must name the offending knob so a CLI user can act
      on it. *)
@@ -113,7 +139,19 @@ let test_message_names_knob () =
   check_bool "names group_commit_window" true
     (contains
        (msg { C.default with group_commit_window = -1.0 })
-       "group_commit_window")
+       "group_commit_window");
+  check_bool "names replicas" true
+    (contains (msg { C.default with replicas = -1 }) "replicas");
+  check_bool "names replica_catchup_timeout" true
+    (contains
+       (msg { C.default with replica_catchup_timeout = 0.0 })
+       "replica_catchup_timeout");
+  check_bool "names replica_ship_window" true
+    (contains
+       (msg { C.default with replica_ship_window = -2.0 })
+       "replica_ship_window");
+  check_bool "names replica_ack_early" true
+    (contains (msg { C.default with replica_ack_early = true }) "replica_ack_early")
 
 let test_cluster_create_validates () =
   (* The wiring, not just the function: Cluster.create must refuse a bad
@@ -144,6 +182,7 @@ let () =
           Alcotest.test_case "advancement retry" `Quick test_advancement_retry;
           Alcotest.test_case "partition-aware needs tree" `Quick
             test_partition_aware_needs_tree;
+          Alcotest.test_case "replication knobs" `Quick test_replication_knobs;
           Alcotest.test_case "errors name the knob" `Quick
             test_message_names_knob;
         ] );
