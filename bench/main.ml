@@ -571,6 +571,91 @@ let run_mcore_bench () =
   mcore_scaling_report ()
 
 (* ------------------------------------------------------------------ *)
+(* Secondary index: probe vs full scan, and maintenance overhead       *)
+(* ------------------------------------------------------------------ *)
+
+(* Direct wall-clock timing (bechamel is overkill for these loops): a
+   populated three-slot store with an attached index, measuring the
+   read-path win (probe vs full scan at the same version) and the
+   write-path cost (store writes with and without the index listener).
+   Recorded for BENCH_index.json and the --json "index" key. *)
+let index_rows : (string * float) list ref = ref []
+
+let index_bench_keys = 4096
+let index_extract v = Printf.sprintf "a%03d" (((v mod 1000) + 1000) mod 1000)
+
+let timed_ns name ~iters f =
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to iters - 1 do
+    f i
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let ns = dt /. float_of_int iters *. 1e9 in
+  index_rows := !index_rows @ [ (name, ns) ];
+  ns
+
+let populated_store () =
+  let store : int Vstore.Store.t = Vstore.Store.create ~bound:3 () in
+  for i = 0 to index_bench_keys - 1 do
+    Vstore.Store.write store (Printf.sprintf "k%06d" i) 0 i
+  done;
+  store
+
+let run_index_bench () =
+  print_endline "\n== secondary index: probe vs full scan, maintenance ==";
+  index_rows := [];
+  let store = populated_store () in
+  let ix = Vindex.Index.attach store ~extract:index_extract in
+  (* ~4 matches per attribute value out of 4096 keys: the selective-probe
+     regime the index exists for. *)
+  ignore
+    (timed_ns "probe (selective, 4k keys)" ~iters:2000 (fun i ->
+         let a = Printf.sprintf "a%03d" (i mod 1000) in
+         ignore (Vindex.Index.probe ix ~lo:a ~hi:a 0)));
+  ignore
+    (timed_ns "full scan (same predicate)" ~iters:50 (fun i ->
+         let a = Printf.sprintf "a%03d" (i mod 1000) in
+         ignore (Vindex.Index.full_scan ix ~lo:a ~hi:a 0)));
+  ignore
+    (timed_ns "probe (10% range)" ~iters:500 (fun i ->
+         let lo = Printf.sprintf "a%03d" (i mod 900) in
+         let hi = Printf.sprintf "a%03d" ((i mod 900) + 100) in
+         ignore (Vindex.Index.probe ix ~lo ~hi 0)));
+  Vindex.Index.detach ix;
+  (* Write-path overhead: the same overwrite loop with no listener, then
+     with the index maintaining itself through the listener. *)
+  let bare = populated_store () in
+  let plain =
+    timed_ns "store write (no index)" ~iters:20_000 (fun i ->
+        Vstore.Store.write bare (Printf.sprintf "k%06d" (i mod index_bench_keys)) 0 i)
+  in
+  let indexed_store = populated_store () in
+  let ix2 = Vindex.Index.attach indexed_store ~extract:index_extract in
+  let with_ix =
+    timed_ns "store write (indexed)" ~iters:20_000 (fun i ->
+        Vstore.Store.write indexed_store
+          (Printf.sprintf "k%06d" (i mod index_bench_keys))
+          0 i)
+  in
+  Vindex.Index.detach ix2;
+  index_rows :=
+    !index_rows @ [ ("maintenance overhead ns/write", with_ix -. plain) ];
+  let rows =
+    List.map
+      (fun (name, ns) -> [ name; Printf.sprintf "%.1f" ns ])
+      !index_rows
+  in
+  print_string (Dbsim.Report.render ~header:[ "operation"; "ns/run" ] ~rows);
+  let oc = open_out "BENCH_index.json" in
+  Printf.fprintf oc "{\n  \"index_ns_per_run\": {\n%s\n  }\n}\n"
+    (String.concat ",\n"
+       (List.map
+          (fun (name, ns) -> Printf.sprintf "    \"%s\": %.1f" name ns)
+          !index_rows));
+  close_out oc;
+  print_endline "wrote BENCH_index.json"
+
+(* ------------------------------------------------------------------ *)
 (* Paper artifacts                                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -672,7 +757,8 @@ let run_check () =
       [
         Scenarios.race2; Scenarios.mtf_race; Scenarios.crash_advance;
         Scenarios.group_commit_crash; Scenarios.table1_3site;
-        Scenarios.relay_crash; Scenarios.backup_promotion; Scenarios.toy_safe;
+        Scenarios.relay_crash; Scenarios.backup_promotion;
+        Scenarios.index_mtf_race; Scenarios.toy_safe;
       ]
   in
   print_endline
@@ -683,23 +769,28 @@ let run_check () =
            "max-depth"; "exhausted";
          ]
        ~rows);
-  (* Conviction self-test: the deliberately broken replication twin must
-     be caught within budget — if the explorer stops finding this bug,
-     the oracles have gone blind. *)
-  let buggy = Scenarios.replica_ack_early_buggy in
-  (* The defect window is a few events wide, so conviction needs a deeper
-     sweep than the clean scenarios' coverage passes. *)
-  let r = Explorer.explore ~budget:5_000 buggy in
-  check_stats := !check_stats @ [ (r.Explorer.scenario, r.Explorer.stats) ];
-  match r.Explorer.violation with
-  | Some v ->
-      Printf.printf "check %s: convicted as expected (%s)\n"
-        buggy.Scenario.name
-        (match v.Explorer.v_messages with m :: _ -> m | [] -> "")
-  | None ->
-      Printf.eprintf "check %s: NO violation found but one was expected\n"
-        buggy.Scenario.name;
-      exit 1
+  (* Conviction self-tests: the deliberately broken twins must be caught
+     within budget — if the explorer stops finding these bugs, the
+     oracles have gone blind. *)
+  List.iter
+    (fun (buggy, budget) ->
+      (* The defect windows are a few events wide, so conviction needs a
+         deeper sweep than the clean scenarios' coverage passes. *)
+      let r = Explorer.explore ~budget buggy in
+      check_stats := !check_stats @ [ (r.Explorer.scenario, r.Explorer.stats) ];
+      match r.Explorer.violation with
+      | Some v ->
+          Printf.printf "check %s: convicted as expected (%s)\n"
+            buggy.Scenario.name
+            (match v.Explorer.v_messages with m :: _ -> m | [] -> "")
+      | None ->
+          Printf.eprintf "check %s: NO violation found but one was expected\n"
+            buggy.Scenario.name;
+          exit 1)
+    [
+      (Scenarios.replica_ack_early_buggy, 5_000);
+      (Scenarios.index_skip_mtf_buggy, 2_000);
+    ]
 
 let experiments =
   [
@@ -719,7 +810,10 @@ let experiments =
     ("batching", Dbsim.Experiment.print_batching);
     ("e13", fun () -> Dbsim.Experiment.print_replication ());
     ("e13smoke", fun () -> Dbsim.Experiment.print_replication ~horizon:300.0 ());
+    ("e14", fun () -> Dbsim.Experiment.print_analytical ());
+    ("e14smoke", fun () -> Dbsim.Experiment.print_analytical ~horizon:300.0 ());
     ("check", run_check);
+    ("index", run_index_bench);
     ("micro", run_micro);
     ("engine", run_engine);
     ("mcore", run_mcore_bench);
@@ -774,16 +868,21 @@ let write_json path =
     | [] -> "{}"
     | stats -> "{\n" ^ String.concat ",\n" (List.map one stats) ^ "\n  }"
   in
+  (* Every suite owns one stable top-level key, so downstream tooling can
+     key on suite names without parsing row labels: "micro_ns_per_run",
+     "index", "suite_wall_clock_s", "check", "experiments". *)
   Printf.fprintf oc
     "{\n\
     \  \"domains\": %d,\n\
     \  \"micro_ns_per_run\": {\n%s\n  },\n\
+    \  \"index\": {\n%s\n  },\n\
     \  \"suite_wall_clock_s\": {\n%s\n  },\n\
     \  \"check\": %s,\n\
     \  \"experiments\": %s\n\
      }\n"
     (Sim.Pool.default_domains ())
-    (obj !micro_rows) (obj !suite_times) check_json metrics_json;
+    (obj !micro_rows) (obj !index_rows) (obj !suite_times) check_json
+    metrics_json;
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 

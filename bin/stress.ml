@@ -11,7 +11,8 @@
 module Cluster = Ava3.Cluster
 module Update = Ava3.Update_exec
 
-let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis ~hot_theta =
+let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis ~hot_theta
+    ~with_index =
   let engine = Sim.Engine.create ~seed:(Int64.of_int seed) ~trace:false () in
   let config =
     {
@@ -43,7 +44,11 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis ~hot_theta =
      setup; Cluster.create validates again, but by then a bad CLI value
      has already cost the run's setup work. *)
   Ava3.Config.validate config;
-  let db : int Cluster.t = Cluster.create ~engine ~config ~nodes () in
+  let extract v = Printf.sprintf "a%03d" (((v mod 1000) + 1000) mod 1000) in
+  let db : int Cluster.t =
+    if with_index then Cluster.create ~engine ~config ~index:extract ~nodes ()
+    else Cluster.create ~engine ~config ~nodes ()
+  in
   let rng = Sim.Rng.split (Sim.Engine.rng engine) in
   for n = 0 to nodes - 1 do
     Cluster.load db ~node:n
@@ -117,6 +122,39 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis ~hot_theta =
         try ignore (Cluster.run_query db ~root ~reads)
         with Net.Network.Node_down _ | Net.Network.Rpc_timeout _ -> ())
   done;
+  (* Index scans and joins under --index: every select runs [`Both_check] —
+     the index plan and the full-scan plan back to back at each site — so
+     any divergence between them surfaces as an Index_mismatch exception
+     and fails the seed.  Off by default; the flag leaves the RNG sequence
+     of unindexed runs untouched. *)
+  if with_index then begin
+    let attr () = Printf.sprintf "a%03d" (Sim.Rng.int rng 1000) in
+    let range () =
+      let a = attr () and b = attr () in
+      if a <= b then (a, b) else (b, a)
+    in
+    for _ = 1 to 10 do
+      let delay = Sim.Rng.float rng horizon in
+      Sim.Engine.schedule engine ~delay (fun () ->
+          let root = pick_root () in
+          let lo, hi = range () in
+          let ranges = List.init nodes (fun n -> (n, lo, hi)) in
+          try ignore (Cluster.run_select db ~root ~plan:`Both_check ~ranges)
+          with Net.Network.Node_down _ | Net.Network.Rpc_timeout _ -> ())
+    done;
+    for _ = 1 to 4 do
+      let delay = Sim.Rng.float rng horizon in
+      Sim.Engine.schedule engine ~delay (fun () ->
+          let root = pick_root () in
+          let parts = List.init nodes Fun.id in
+          let blo, bhi = range () and plo, phi = range () in
+          try
+            ignore
+              (Cluster.run_join db ~root ~plan:`Both_check
+                 ~build:(parts, blo, bhi) ~probe:(parts, plo, phi))
+          with Net.Network.Node_down _ | Net.Network.Rpc_timeout _ -> ())
+    done
+  end;
   (* Advancements from random coordinators. *)
   for _ = 1 to 5 do
     let delay = Sim.Rng.float rng horizon in
@@ -216,7 +254,7 @@ let configurations =
 
 let () =
   let seeds = ref 200 and from = ref 1 and verbose = ref false in
-  let hot_theta = ref 0.0 in
+  let hot_theta = ref 0.0 and with_index = ref false in
   let spec =
     [
       ("--seeds", Arg.Set_int seeds, "number of seeds to run (default 200)");
@@ -224,11 +262,16 @@ let () =
       ( "--hot-theta",
         Arg.Set_float hot_theta,
         "Zipf skew of transaction roots over sites (default 0.0 = uniform)" );
+      ( "--index",
+        Arg.Set with_index,
+        "attach a secondary index and mix in Both_check scans and joins" );
       ("-v", Arg.Set verbose, "print each seed");
     ]
   in
-  Arg.parse spec (fun _ -> ()) "stress [--seeds N] [--from S] [--hot-theta T]";
-  let hot_theta = !hot_theta in
+  Arg.parse spec
+    (fun _ -> ())
+    "stress [--seeds N] [--from S] [--hot-theta T] [--index]";
+  let hot_theta = !hot_theta and with_index = !with_index in
   (* Seeds fan out over domains (AVA3_DOMAINS, see Sim.Pool); each run is a
      self-contained engine, so outcomes are identical at any width.  Workers
      only compute — all printing happens afterwards, in seed order. *)
@@ -240,7 +283,7 @@ let () =
             let outcome, metrics =
               try
                 run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis
-                  ~hot_theta
+                  ~hot_theta ~with_index
               with e -> (Error ("exception: " ^ Printexc.to_string e), [])
             in
             (seed, cfg, outcome, metrics))

@@ -1,14 +1,30 @@
-type t = { db : int Ava3.Cluster.t; use_tree : bool }
+type t = {
+  db : int Ava3.Cluster.t;
+  use_tree : bool;
+  indexed : bool;
+  attr_of : float -> string;
+  scan_plan : Ava3.Query_exec.select_plan;
+}
 
 let name = "ava3"
 
+(* Standard secondary attribute for int-valued stores: the value modulo
+   1000, zero-padded so lexicographic order matches numeric order, which
+   lets normalized [0,1] ranges map onto contiguous attribute intervals. *)
+let default_extract v = Printf.sprintf "a%03d" (((v mod 1000) + 1000) mod 1000)
+
+let default_attr_of f =
+  let f = Float.min 1.0 (Float.max 0.0 f) in
+  Printf.sprintf "a%03d" (min 999 (int_of_float (f *. 1000.0)))
+
 let create ~engine ?config ?latency ?(advancement_period = 100.0)
-    ?(advancement_until = 10_000.0) ?(use_tree = false) ~nodes () =
-  let db = Ava3.Cluster.create ~engine ?config ?latency ~nodes () in
+    ?(advancement_until = 10_000.0) ?(use_tree = false) ?index
+    ?(attr_of = default_attr_of) ?(scan_plan = `Index) ~nodes () =
+  let db = Ava3.Cluster.create ~engine ?config ?latency ?index ~nodes () in
   if advancement_period > 0.0 then
     Ava3.Cluster.start_periodic_advancement db ~coordinator:0
       ~period:advancement_period ~until:advancement_until;
-  { db; use_tree }
+  { db; use_tree; indexed = Option.is_some index; attr_of; scan_plan }
 
 let cluster t = t.db
 let load t ~node items = Ava3.Cluster.load t.db ~node items
@@ -84,6 +100,43 @@ let submit_query t ~root ~reads =
         }
   | exception Net.Network.Node_down _ -> None
   | exception Net.Network.Rpc_timeout _ -> None
+
+let query_outcome (result : int Ava3.Query_exec.result) =
+  Some
+    {
+      Workload.Db_intf.q_latency =
+        result.Ava3.Query_exec.finished_at -. result.Ava3.Query_exec.started_at;
+      q_staleness = result.Ava3.Query_exec.staleness;
+    }
+
+let submit_scan t ~root ~range:(fl, fh) =
+  if not t.indexed then None
+  else begin
+    let lo = t.attr_of (Float.min fl fh) and hi = t.attr_of (Float.max fl fh) in
+    let ranges =
+      List.init (Ava3.Cluster.partitions t.db) (fun n -> (n, lo, hi))
+    in
+    match Ava3.Cluster.run_select t.db ~root ~plan:t.scan_plan ~ranges with
+    | result -> query_outcome result
+    | exception Net.Network.Node_down _ -> None
+    | exception Net.Network.Rpc_timeout _ -> None
+  end
+
+let submit_join t ~root ~build:(bl, bh) ~probe:(pl, ph) =
+  if not t.indexed then None
+  else begin
+    let parts = List.init (Ava3.Cluster.partitions t.db) Fun.id in
+    let side (fl, fh) =
+      (parts, t.attr_of (Float.min fl fh), t.attr_of (Float.max fl fh))
+    in
+    match
+      Ava3.Cluster.run_join t.db ~root ~plan:t.scan_plan ~build:(side (bl, bh))
+        ~probe:(side (pl, ph))
+    with
+    | { Ava3.Query_exec.join; _ } -> query_outcome join
+    | exception Net.Network.Node_down _ -> None
+    | exception Net.Network.Rpc_timeout _ -> None
+  end
 
 let max_versions_ever t = (Ava3.Cluster.stats t.db).Ava3.Cluster.max_versions_ever
 let metrics_snapshot t = Some (Ava3.Cluster.metrics_snapshot t.db)

@@ -77,3 +77,8 @@ let extra_stats t =
     ("lock_waits", float_of_int s.Ava3.Cluster.lock_waits);
     ("deadlocks", float_of_int s.Ava3.Cluster.deadlocks);
   ]
+
+(* No secondary index in this baseline: the driver's scan/join streams
+   count as failed queries here. *)
+let submit_scan _ ~root:_ ~range:_ = None
+let submit_join _ ~root:_ ~build:_ ~probe:_ = None

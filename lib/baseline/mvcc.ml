@@ -179,3 +179,8 @@ let extra_stats t =
   ]
 
 let metrics_snapshot _ = None
+
+(* No secondary index in this baseline: the driver's scan/join streams
+   count as failed queries here. *)
+let submit_scan _ ~root:_ ~range:_ = None
+let submit_join _ ~root:_ ~build:_ ~probe:_ = None

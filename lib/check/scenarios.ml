@@ -630,6 +630,104 @@ let replica_ack_early_buggy =
        loses an acknowledged commit at promotion or serves a stale \
        pinned read"
 
+(* Secondary index vs in-flight updates and moveToFuture.  Every select
+   runs with [`Both_check]: the index probe and the full scan execute
+   back to back at the serving node with no yield between them, both at
+   the select's pinned version, so on a correct index they can never
+   disagree — on any schedule.  The [-buggy] twin sets
+   {!Ava3.Config.t.index_skip_visibility}: probes skip the visibility
+   filter and serve each candidate's newest slot instead of the version
+   at the pin.  At quiescence the two coincide (nothing newer than q
+   exists), so the quiescent index↔base invariant stays clean; only a
+   racing write — an update's in-place slot install or an advancement's
+   moveToFuture landing mid-scan — separates them, and some schedule
+   puts one inside the select's window. *)
+let index_mtf_variant ~skip ~name ~descr =
+  {
+    Scenario.name;
+    descr;
+    seed = 13L;
+    max_time = 300.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 1.0;
+            write_service_time = 1.0;
+            index_skip_visibility = skip;
+          }
+        in
+        let extract v = Printf.sprintf "a%03d" (((v mod 1000) + 1000) mod 1000) in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~index:extract ~nodes:2 ()
+        in
+        Ava3.Cluster.load db ~node:0 [ ("x", 100) ];
+        Ava3.Cluster.load db ~node:1 [ ("y", 200) ];
+        let keys = [ (0, "x"); (1, "y") ] in
+        let rec_ = recorder [ ((0, "x"), 100); ((1, "y"), 200) ] in
+        let index_violations = ref [] in
+        let select ~root =
+          match
+            Ava3.Cluster.run_select db ~root ~plan:`Both_check
+              ~ranges:[ (0, "a000", "a999"); (1, "a000", "a999") ]
+          with
+          | (q : _ Ava3.Query_exec.result) ->
+              (* A select's rows are point observations at its pin, so they
+                 join the recorded history like any query's reads. *)
+              rec_.queries <-
+                {
+                  SC.q_version = q.version;
+                  q_reads = List.map (fun (n, k, v) -> ((n, k), v)) q.values;
+                }
+                :: rec_.queries
+          | exception
+              Ava3.Query_exec.Index_mismatch { node; version; indexed; full_scan }
+            ->
+              index_violations :=
+                Printf.sprintf
+                  "index probe diverged from the full scan at node %d, \
+                   version %d: %d vs %d rows"
+                  node version indexed full_scan
+                :: !index_violations
+        in
+        Sim.Engine.schedule engine ~name:"T1" ~delay:1.0 (fun () ->
+            recorded_update rec_ db ~root:0
+              [ Rmw (0, "x", 113); Pause 3.0; Rmw (1, "y", 117) ]);
+        Sim.Engine.schedule engine ~name:"SEL1" ~delay:1.0 (fun () ->
+            select ~root:0);
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:2.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:1));
+        Sim.Engine.schedule engine ~name:"T2" ~delay:3.0 (fun () ->
+            recorded_update rec_ db ~root:1 [ Rmw (1, "y", 131) ]);
+        Sim.Engine.schedule engine ~name:"SEL2" ~delay:4.0 (fun () ->
+            select ~root:1);
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:60.0 (fun () ->
+            settle db ~coordinator:0;
+            (* At quiescence even the buggy probe agrees with its pin —
+               the twin is only convictable mid-flight. *)
+            select ~root:0;
+            recorded_query rec_ db ~root:0 keys);
+        let inst = ava3_instance db rec_ ~keys in
+        {
+          inst with
+          Scenario.check_final =
+            (fun () -> !index_violations @ inst.Scenario.check_final ());
+        })
+  }
+
+let index_mtf_race =
+  index_mtf_variant ~skip:false ~name:"index-mtf-race"
+    ~descr:
+      "secondary-index selects racing updates, moveToFuture and \
+       advancement: probe == full scan on every schedule"
+
+let index_skip_mtf_buggy =
+  index_mtf_variant ~skip:true ~name:"index-skip-mtf-buggy"
+    ~descr:
+      "index probes skipping the visibility filter: some schedule catches \
+       a racing write mid-scan and the probe diverges from its pin"
+
 (* ---------- toy scenarios (explorer self-validation) ---------- *)
 
 (* A two-item commit racing a two-item query on the toy store.  In buggy
@@ -770,6 +868,8 @@ let all =
     relay_ack_early_buggy;
     backup_promotion;
     replica_ack_early_buggy;
+    index_mtf_race;
+    index_skip_mtf_buggy;
     toy_torn;
     toy_safe;
     toy_lost_update;

@@ -31,7 +31,15 @@
       (promotion, rejoin, pinned backup reads).  The buggy twin sets
       {!Ava3.Config.t.replica_ack_early} so a backup acknowledges shipped
       records before applying them, and some schedule loses an
-      acknowledged commit at promotion or serves a stale pinned read.
+      acknowledged commit at promotion or serves a stale pinned read;
+    - [index-mtf-race] (must clear) / [index-skip-mtf-buggy] (must
+      convict) — secondary-index selects under [`Both_check] racing
+      updates, moveToFuture and advancement.  The buggy twin sets
+      {!Ava3.Config.t.index_skip_visibility} so probes serve each
+      candidate's newest slot instead of the pinned version; at
+      quiescence the two coincide, but some schedule catches a racing
+      write mid-scan and the probe diverges from the back-to-back full
+      scan.
 
     Toy scenarios (explorer self-validation on a deliberately broken
     store, {!Toy}):
@@ -50,6 +58,8 @@ val relay_crash : Scenario.t
 val relay_ack_early_buggy : Scenario.t
 val backup_promotion : Scenario.t
 val replica_ack_early_buggy : Scenario.t
+val index_mtf_race : Scenario.t
+val index_skip_mtf_buggy : Scenario.t
 val toy_torn : Scenario.t
 val toy_safe : Scenario.t
 val toy_lost_update : Scenario.t

@@ -1,8 +1,11 @@
 type 'v t = 'v Cluster_state.t
 
-let create ~engine ?(config = Config.default) ?latency ~nodes () =
+let create ~engine ?(config = Config.default) ?latency ?index ~nodes () =
   Config.validate config;
-  let cs = Cluster_state.create ~engine ~config ~nodes ?latency () in
+  let cs =
+    Cluster_state.create ~engine ~config ~nodes ?latency ?index_extract:index
+      ()
+  in
   Advancement.install cs;
   cs
 
@@ -56,6 +59,12 @@ let load cs ~node:i items =
 let run_query cs ~root ~reads = Query_exec.run cs ~root ~reads
 let run_update cs ~root ~ops = Update_exec.run cs ~root ~ops
 let run_scan cs ~root ~ranges = Query_exec.run_scan cs ~root ~ranges
+
+let run_select cs ~root ~plan ~ranges =
+  Query_exec.run_select cs ~root ~plan ~ranges
+
+let run_join cs ~root ~plan ~build ~probe =
+  Query_exec.run_join cs ~root ~plan ~build ~probe
 let run_tree_update cs ~plan = Tree_txn.run cs ~plan
 let run_tree_query cs ~plan = Tree_query.run cs ~plan
 
@@ -216,6 +225,7 @@ let recover cs ~node:i =
       ~q:versions.Wal.Recovery.query_version
       ~g:versions.Wal.Recovery.collected_version ()
   in
+  Cluster_state.attach_index_if_configured cs fresh;
   cs.Cluster_state.nodes.(i) <- fresh;
   Net.Network.set_down cs.Cluster_state.net ~node:i false;
   Cluster_state.emit cs ~tag:"crash"

@@ -30,9 +30,16 @@ val create :
   engine:Sim.Engine.t ->
   ?config:Config.t ->
   ?latency:Net.Latency.t ->
+  ?index:('v -> string) ->
   nodes:int ->
   unit ->
   'v t
+(** [index], when given, attaches a {!Vindex.Index} on the extracted
+    attribute at every site (primaries and backups), maintained
+    synchronously through every store mutation and rebuilt across crash
+    recovery, failover, and checkpoint application.  It enables
+    {!run_select} and {!run_join} and adds an index↔base consistency check
+    to {!check_invariants} / {!check_quiescent_invariants}. *)
 
 val engine : _ t -> Sim.Engine.t
 val config : _ t -> Config.t
@@ -71,6 +78,27 @@ val run_scan :
   'v t -> root:int -> ranges:(int * string * string) list -> 'v Query_exec.result
 (** Lock-free ordered range scans over the query snapshot; see
     {!Query_exec.run_scan}. *)
+
+val run_select :
+  'v t ->
+  root:int ->
+  plan:Query_exec.select_plan ->
+  ranges:(int * string * string) list ->
+  'v Query_exec.result
+(** Predicate range query over the secondary index (attribute ranges, not
+    key ranges); see {!Query_exec.run_select}.  Requires [~index] at
+    {!create}. *)
+
+val run_join :
+  'v t ->
+  root:int ->
+  plan:Query_exec.select_plan ->
+  build:(int list * string * string) ->
+  probe:(int list * string * string) ->
+  'v Query_exec.join_result
+(** Grace hash join of two attribute ranges as one long read-only
+    transaction; see {!Query_exec.run_join}.  Requires [~index] at
+    {!create}. *)
 
 val run_tree_update : 'v t -> plan:'v Tree_txn.plan -> 'v Tree_txn.outcome
 (** Execute an update transaction as a concurrent R*-style subtransaction

@@ -57,11 +57,13 @@ type 'v t = {
   frozen_at : (int, float) Hashtbl.t;
   state_changed : Sim.Condition.t;
   repl : 'v repl;
+  index_extract : ('v -> string) option;
 }
 
 let backup_site ~nparts ~replicas ~part ~j = nparts + (part * replicas) + j
 
-let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
+let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0)
+    ?index_extract () =
   if nodes <= 0 then invalid_arg "Cluster_state.create: need nodes >= 1";
   let replicas = config.Config.replicas in
   (* [nodes] counts partitions; each partition gets 1 + replicas sites.
@@ -132,11 +134,23 @@ let create ~engine ~config ~nodes ?(latency = Net.Latency.Constant 1.0) () =
       frozen_at = Hashtbl.create 16;
       state_changed = Sim.Condition.create ();
       repl;
+      index_extract;
     }
   in
   (* Version 0 (the initial data) is stable from the start. *)
   Hashtbl.replace t.frozen_at 0 0.0;
+  (match index_extract with
+  | Some extract ->
+      Array.iter (fun nd -> Node_state.attach_index nd ~extract) t.nodes
+  | None -> ());
   t
+
+(* Re-attach the configured secondary index on a node rebuilt by recovery
+   or failover — the index bootstraps from the replayed store contents. *)
+let attach_index_if_configured t nd =
+  match t.index_extract with
+  | Some extract -> Node_state.attach_index nd ~extract
+  | None -> ()
 
 let node t i =
   if i < 0 || i >= Array.length t.nodes then

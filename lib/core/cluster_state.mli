@@ -106,6 +106,9 @@ type 'v t = {
   state_changed : Sim.Condition.t;
       (** broadcast whenever any node's u/q/g changes *)
   repl : 'v repl;
+  index_extract : ('v -> string) option;
+      (** when set, every site carries a {!Vindex.Index} on this attribute
+          extractor, re-attached across recovery and store swaps *)
 }
 
 val create :
@@ -113,6 +116,7 @@ val create :
   config:Config.t ->
   nodes:int ->
   ?latency:Net.Latency.t ->
+  ?index_extract:('v -> string) ->
   unit ->
   'v t
 (** [nodes] counts {e partitions}; with [config.replicas = r > 0] the
@@ -123,6 +127,11 @@ val create :
 val node : 'v t -> int -> 'v Node_state.t
 val node_count : _ t -> int
 (** Total sites, including backups. *)
+
+val attach_index_if_configured : 'v t -> 'v Node_state.t -> unit
+(** Re-attach the configured secondary index (if any) on a node rebuilt by
+    crash recovery or failover; no-op on clusters created without
+    [~index_extract]. *)
 
 (** {1 Replication topology} *)
 

@@ -26,6 +26,8 @@ type t = {
   replica_catchup_timeout : float;
   replica_ship_window : float;
   replica_ack_early : bool;
+  join_partitions : int;
+  index_skip_visibility : bool;
 }
 
 let default =
@@ -57,6 +59,8 @@ let default =
     replica_catchup_timeout = 25.0;
     replica_ship_window = 0.0;
     replica_ack_early = false;
+    join_partitions = 8;
+    index_skip_visibility = false;
   }
 
 exception Invalid of string
@@ -119,7 +123,9 @@ let validate t =
   check_time "replica_ship_window" t.replica_ship_window;
   if t.replica_ack_early && t.replicas <= 0 then
     invalid "replica_ack_early requires replicas > 0 (there is no backup \
-             whose acknowledgment could run early)"
+             whose acknowledgment could run early)";
+  if t.join_partitions < 1 then
+    invalid "join_partitions must be >= 1 (got %d)" t.join_partitions
 
 let durability_active t =
   t.disk_force_latency > 0.0 || t.group_commit_window > 0.0

@@ -143,6 +143,20 @@ type t = {
           routing then believes it is caught up and reads miss committed
           writes, the bug the [replica-ack-early-buggy] scenario convicts.
           Never enable outside the checker.  Default [false]. *)
+  join_partitions : int;
+      (** Bucket count of the grace hash join operator
+          ({!Query_exec.run_join}).  Purely an execution-shape knob: the
+          join output is sorted, so any partition count produces identical
+          results.  Must be [>= 1]; default [8]. *)
+  index_skip_visibility : bool;
+      (** Fault injection for the model checker: secondary-index probes
+          skip the pinned-version visibility check and serve each
+          candidate's {e newest} entry instead.  Indistinguishable at
+          quiescence — the newest entry is the pinned one once the system
+          drains — but a commit or moveToFuture landing between pin and
+          probe makes the probe disagree with the full-scan plan at the
+          same pinned version, the bug the [index-skip-mtf-buggy] scenario
+          convicts.  Never enable outside the checker.  Default [false]. *)
 }
 
 val default : t

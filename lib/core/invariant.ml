@@ -27,7 +27,16 @@ let check cs =
         if not cs.config.Config.overlap_gc then begin
           let hw = Vstore.Store.high_water_versions (Node_state.store nd) in
           if hw > 3 then fail "node%d: %d live versions of some item" i hw
-        end
+        end;
+        (* Derived-data consistency: the secondary index must agree with
+           the base store at every instant, not just at quiescence — its
+           maintenance is synchronous with each store mutation. *)
+        match Node_state.index nd with
+        | None -> ()
+        | Some ix ->
+            List.iter
+              (fail "node%d: %s" i)
+              (Vindex.Index.check ix ~version:(Node_state.q nd))
       end)
     nodes;
   let live =
@@ -78,6 +87,15 @@ let check_quiescent cs =
       let now_max = Vstore.Store.max_live_versions_now (Node_state.store nd) in
       if now_max > 2 then
         fail "node%d: quiescent but an item has %d live versions"
-          (Node_state.id nd) now_max)
+          (Node_state.id nd) now_max;
+      (* Index <-> base consistency at quiesce: structure sound in both
+         directions and a full-space probe at the node's query version
+         byte-identical to the full ordered scan. *)
+      match Node_state.index nd with
+      | None -> ()
+      | Some ix ->
+          List.iter
+            (fail "node%d: %s" (Node_state.id nd))
+            (Vindex.Index.check ix ~version:(Node_state.q nd)))
     live;
   List.rev !violations

@@ -17,6 +17,11 @@ type 'v t = {
   qry_zero : Sim.Condition.t;
   mutable txn_seq : int;
   mutable is_alive : bool;
+  (* Secondary index over [st], when the cluster was created with one.
+     [idx_extract] survives store swaps so the index can be rebuilt over
+     the replacement (checkpoint apply, recovery). *)
+  mutable idx : 'v Vindex.Index.t option;
+  mutable idx_extract : ('v -> string) option;
 }
 
 let make ~engine ~node_id ~scheme ~lock_group ~shared_counters
@@ -57,6 +62,8 @@ let make ~engine ~node_id ~scheme ~lock_group ~shared_counters
       qry_zero = Sim.Condition.create ();
       txn_seq = 0;
       is_alive = true;
+      idx = None;
+      idx_extract = None;
     }
   in
   (* Counters exist for the current query and update versions. *)
@@ -100,6 +107,13 @@ let kill t =
   Wal.Group_commit.crash t.gcd;
   if Wal.Group_commit.active t.gcd then
     ignore (Wal.Log.drop_volatile t.wal : int)
+
+let attach_index t ~extract =
+  (match t.idx with Some ix -> Vindex.Index.detach ix | None -> ());
+  t.idx_extract <- Some extract;
+  t.idx <- Some (Vindex.Index.attach t.st ~extract)
+
+let index t = t.idx
 
 let id t = t.node_id
 let store t = t.st
@@ -229,6 +243,9 @@ let apply_collect t ~collect ~query =
 let replace_store t store ~u ~q ~g =
   t.st <- store;
   t.sch <- Wal.Scheme.create (Wal.Scheme.kind t.sch) ~store ~log:t.wal;
+  (* Rebuild the secondary index over the replacement store: the old one
+     tracked a store that no longer serves reads. *)
+  (match t.idx_extract with Some extract -> attach_index t ~extract | None -> ());
   t.uv <- u;
   t.qv <- q;
   t.gv <- g;

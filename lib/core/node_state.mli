@@ -41,6 +41,16 @@ val create :
 
 val id : _ t -> int
 val store : 'v t -> 'v Vstore.Store.t
+
+val attach_index : 'v t -> extract:('v -> string) -> unit
+(** Build (or rebuild) the node's secondary index over its current store
+    and remember [extract], so subsequent store swaps ({!replace_store})
+    re-attach automatically.  Called by [Cluster] when the cluster is
+    created with [~index]. *)
+
+val index : 'v t -> 'v Vindex.Index.t option
+(** The node's secondary index, when one is attached. *)
+
 val locks : _ t -> Lockmgr.Lock_table.t
 val scheme : 'v t -> 'v Wal.Scheme.t
 val log : 'v t -> 'v Wal.Log.t

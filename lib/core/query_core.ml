@@ -42,7 +42,13 @@ let start cs ~root ~kind =
      in the system while we run. *)
   let v = Node_state.q root_node in
   Node_state.incr_query_count root_node ~version:v;
-  let kind = match kind with `Read -> "" | `Scan -> "scan " in
+  let kind =
+    match kind with
+    | `Read -> ""
+    | `Scan -> "scan "
+    | `Select -> "select "
+    | `Join -> "join "
+  in
   if tracing cs then
     emit cs ~tag:"query"
       (Printf.sprintf "Q%d: %sstarts at node%d with version %d" txn_id kind root

@@ -23,7 +23,11 @@ type 'v result = {
 
 type 'v t
 
-val start : 'v Cluster_state.t -> root:int -> kind:[ `Read | `Scan ] -> 'v t
+val start :
+  'v Cluster_state.t ->
+  root:int ->
+  kind:[ `Read | `Scan | `Select | `Join ] ->
+  'v t
 (** Pin [V(Q) = q_root], increment the root's query counter (§3.3
     step 1, atomic) and emit the start trace.  Raises
     [Net.Network.Node_down] if the root node is down.  [kind] only

@@ -37,3 +37,62 @@ val run_scan :
     The motivating decision-support queries (account histories, audits) are
     scans — queries read a consistent snapshot, so no predicate locking is
     needed. *)
+
+(** {1 Predicate selects and joins (secondary index)} *)
+
+type select_plan =
+  [ `Index  (** probe the {!Vindex.Index}: O(matching rows) per partition *)
+  | `Full_scan
+    (** visit every item visible at the pin and filter: O(items) —
+        the reference plan, byte-identical in results *)
+  | `Both_check
+    (** equivalence oracle: run both plans back-to-back at the same pinned
+        version and raise {!Index_mismatch} if they differ (charged as the
+        index plan) *) ]
+
+exception
+  Index_mismatch of {
+    node : int;
+    version : int;
+    indexed : int;  (** rows the index probe returned *)
+    full_scan : int;  (** rows the reference full scan returned *)
+  }
+(** Raised (after counter release) by [`Both_check] when an index probe
+    disagrees with the full-scan plan at the same pinned version — never on
+    a correct index, by the {!Vindex.Index} visibility contract. *)
+
+val run_select :
+  'v Cluster_state.t ->
+  root:int ->
+  plan:select_plan ->
+  ranges:(int * string * string) list ->
+  'v result
+(** Predicate range query: each element [(node, lo, hi)] selects the rows
+    of that partition whose {e extracted attribute} lies in [\[lo, hi\]],
+    as of the query's pinned version; results arrive as
+    (node, key, Some value), ascending by key per range.  Requires the
+    cluster to carry a secondary index ([Cluster.create ~index]). *)
+
+type 'v join_row = int * string * 'v
+
+type 'v join_result = {
+  join : 'v Query_core.result;
+      (** the underlying read-only transaction; [values] holds every build
+          then probe row the join consumed, in fan-out order *)
+  pairs : ('v join_row * 'v join_row) list;
+      (** matched (build, probe) pairs, sorted by (build, probe) row id *)
+}
+
+val run_join :
+  'v Cluster_state.t ->
+  root:int ->
+  plan:select_plan ->
+  build:(int list * string * string) ->
+  probe:(int list * string * string) ->
+  'v join_result
+(** Grace hash join of two attribute ranges — each side a (partitions,
+    attr-lo, attr-hi) fan-out — executed as one long read-only transaction
+    under a single pinned version and joined at the root on the indexed
+    attribute.  The sorted output is independent of
+    {!Config.t.join_partitions} and, whenever the per-side inputs match, of
+    the access-path [plan]. *)

@@ -15,26 +15,35 @@ let replay cs log =
   | None -> Wal.Recovery.replay log ~gc_renumber ()
 
 let recovered_node cs ~site ~log ~store ~(versions : Wal.Recovery.versions) =
-  Node_state.create_recovered ~engine:cs.engine ~node_id:site
-    ~scheme:cs.config.Config.scheme ~lock_group:cs.lock_group
-    ~shared_counters:cs.config.Config.shared_transaction_counters
-    ~disk_force_latency:cs.config.Config.disk_force_latency
-    ~group_commit_window:cs.config.Config.group_commit_window
-    ~group_commit_batch:cs.config.Config.group_commit_batch
-    ~gc_ack_early:cs.config.Config.gc_ack_early ~metrics:cs.metrics
-    ~bound:(store_bound cs) ~log ~store ~u:versions.Wal.Recovery.update_version
-    ~q:versions.Wal.Recovery.query_version
-    ~g:versions.Wal.Recovery.collected_version ()
+  let nd =
+    Node_state.create_recovered ~engine:cs.engine ~node_id:site
+      ~scheme:cs.config.Config.scheme ~lock_group:cs.lock_group
+      ~shared_counters:cs.config.Config.shared_transaction_counters
+      ~disk_force_latency:cs.config.Config.disk_force_latency
+      ~group_commit_window:cs.config.Config.group_commit_window
+      ~group_commit_batch:cs.config.Config.group_commit_batch
+      ~gc_ack_early:cs.config.Config.gc_ack_early ~metrics:cs.metrics
+      ~bound:(store_bound cs) ~log ~store
+      ~u:versions.Wal.Recovery.update_version
+      ~q:versions.Wal.Recovery.query_version
+      ~g:versions.Wal.Recovery.collected_version ()
+  in
+  attach_index_if_configured cs nd;
+  nd
 
 let fresh_node cs ~site =
-  Node_state.create ~engine:cs.engine ~node_id:site
-    ~scheme:cs.config.Config.scheme ~lock_group:cs.lock_group
-    ~bound:(store_bound cs) ~gc_renumber:cs.config.Config.gc_renumber
-    ~shared_counters:cs.config.Config.shared_transaction_counters
-    ~disk_force_latency:cs.config.Config.disk_force_latency
-    ~group_commit_window:cs.config.Config.group_commit_window
-    ~group_commit_batch:cs.config.Config.group_commit_batch
-    ~gc_ack_early:cs.config.Config.gc_ack_early ~metrics:cs.metrics ()
+  let nd =
+    Node_state.create ~engine:cs.engine ~node_id:site
+      ~scheme:cs.config.Config.scheme ~lock_group:cs.lock_group
+      ~bound:(store_bound cs) ~gc_renumber:cs.config.Config.gc_renumber
+      ~shared_counters:cs.config.Config.shared_transaction_counters
+      ~disk_force_latency:cs.config.Config.disk_force_latency
+      ~group_commit_window:cs.config.Config.group_commit_window
+      ~group_commit_batch:cs.config.Config.group_commit_batch
+      ~gc_ack_early:cs.config.Config.gc_ack_early ~metrics:cs.metrics ()
+  in
+  attach_index_if_configured cs nd;
+  nd
 
 (* ---- Backup side: append shipped records and apply them incrementally.
 

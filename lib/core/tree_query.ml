@@ -1,6 +1,13 @@
 open Cluster_state
 
-type plan = { at : int; keys : string list; children : plan list }
+type plan = {
+  at : int;
+  keys : string list;
+  selects : (string * string) list;
+  children : plan list;
+}
+
+let reads ?(selects = []) at keys children = { at; keys; selects; children }
 
 let rec plan_nodes plan = plan.at :: List.concat_map plan_nodes plan.children
 
@@ -38,6 +45,31 @@ let run cs ~plan =
             (p.at, key, Vstore.Store.read_le (Node_state.store nd) key v))
           p.keys
       in
+      (* Index probes ride the same subquery: same pin, same counter, one
+         probe charge plus one per returned row (the flat executor's cost
+         model). *)
+      let probed =
+        List.concat_map
+          (fun (lo, hi) ->
+            Sim.Engine.sleep read_service;
+            let ix =
+              match Node_state.index nd with
+              | Some ix -> ix
+              | None ->
+                  invalid_arg
+                    "Tree_query: plan has selects but the cluster has no \
+                     secondary index (pass ~index to Cluster.create)"
+            in
+            let rows =
+              Vindex.Index.probe
+                ~skip_visibility:cs.config.Config.index_skip_visibility ix ~lo
+                ~hi v
+            in
+            Sim.Engine.sleep (read_service *. float_of_int (List.length rows));
+            List.map (fun (key, value) -> (p.at, key, Some value)) rows)
+          p.selects
+      in
+      let own = own @ probed in
       let child_results =
         Fanout.all cs.engine
           (List.map

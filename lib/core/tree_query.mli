@@ -12,12 +12,21 @@
 type plan = {
   at : int;
   keys : string list;  (** items to read at [at] *)
+  selects : (string * string) list;
+      (** attribute ranges to probe at [at] through the node's secondary
+          index (requires [~index] at [Cluster.create]); results follow
+          the point reads, ascending by key per range *)
   children : plan list;
 }
 
 val plan_nodes : plan -> int list
 
+val reads : ?selects:(string * string) list -> int -> string list -> plan list -> plan
+(** [reads at keys children] — plan constructor; [selects] defaults
+    empty. *)
+
 val run : 'v Cluster_state.t -> plan:plan -> 'v Query_exec.result
 (** Execute the subquery tree (inside a simulation process); values arrive
-    in tree preorder.  Raises [Invalid_argument] on duplicate nodes and
+    in tree preorder — each node's point reads, then its index-probe rows,
+    then its children's.  Raises [Invalid_argument] on duplicate nodes and
     [Net.Network.Node_down] if a touched node is down. *)

@@ -311,3 +311,42 @@ val replication :
 
 val print_replication : ?horizon:float -> unit -> unit
 (** E13 as a table; [horizon] shortens the run for CI smoke. *)
+
+(** {1 E14 — secondary indexes: indexed vs full-scan analytical mix} *)
+
+type analytical_row = {
+  an_plan : string;  (** ["index"], ["full-scan"] or ["both-check"] *)
+  an_commits : int;
+  an_aborts : int;
+  an_queries_ok : int;
+  an_scans : int;
+  an_joins : int;
+  an_scan_mean : float;
+  an_scan_p95 : float;
+  an_join_mean : float;
+  an_join_tput : float;  (** completed joins per 100 time units *)
+  an_stale_mean : float;
+      (** slow full scans hold query counters longer, delaying Phase 2 —
+          the access path shows up as snapshot age *)
+  an_stale_max : float;
+  an_index_updates : int;  (** index maintenance operations, all sites *)
+  an_index_probes : int;
+  an_advancements : int;
+  an_violations : int;
+}
+
+val analytical :
+  ?seed:int64 -> ?horizon:float -> ?domains:int -> unit -> analytical_row list
+(** The same generated analytical mix (updates + point queries + 30%
+    attribute-range scans + 10% hash joins, periodic advancement) under
+    each access-path plan.  Identical seeds mean identical workloads, and
+    because AVA3 updates never wait for queries, the commit/abort
+    counters must be identical across plans — the scan/join latency and
+    the observed staleness are what the plan moves.  The [both-check] row
+    doubles as the equivalence oracle: every select runs the index probe
+    and the full scan back to back and raises on divergence. *)
+
+val print_analytical : ?horizon:float -> unit -> unit
+(** E14 as a table; [horizon] shortens the run for CI smoke.  Raises
+    [Failure] if the update-stream counters drift across plans or any
+    invariant check fails. *)

@@ -1,0 +1,226 @@
+module Store = Vstore.Store
+module Smap = Map.Make (String)
+module Sset = Set.Make (String)
+
+(* The index is a sorted map from extracted attribute to the set of primary
+   keys that carry that attribute in ANY live version, plus a per-key cache
+   of the attributes its live value entries currently carry.  The version
+   dimension stays in the base store: a probe re-resolves every candidate
+   through [Store.read_le] at the pinned version, so index entries follow
+   the same three-slot visibility discipline as base rows without
+   duplicating them.  Maintenance is driven by the store's mutation
+   listener ({!Store.set_listener}): every mutation path — update
+   execution, moveToFuture, GC, prune, WAL replay, replication apply,
+   checkpoint restore — funnels through the store's write/delete/
+   copy_forward/remove_version/gc/prune_below operations, so consistency
+   holds by construction, not by call-site discipline. *)
+
+type stats = { updates : int; probes : int; candidates : int }
+
+type 'v t = {
+  base : 'v Store.t;
+  extract : 'v -> string;
+  mutable postings : Sset.t Smap.t;
+      (* attribute -> primary keys with a live value entry carrying it *)
+  live : (string, Sset.t) Hashtbl.t;
+      (* primary key -> attributes over its live value entries *)
+  mutable updates : int;
+  mutable probes : int;
+  mutable candidates : int;
+}
+
+let add_posting t attr pkey =
+  let set =
+    Option.value (Smap.find_opt attr t.postings) ~default:Sset.empty
+  in
+  t.postings <- Smap.add attr (Sset.add pkey set) t.postings
+
+let drop_posting t attr pkey =
+  match Smap.find_opt attr t.postings with
+  | None -> ()
+  | Some set ->
+      let set = Sset.remove pkey set in
+      t.postings <-
+        (if Sset.is_empty set then Smap.remove attr t.postings
+         else Smap.add attr set t.postings)
+
+(* Recompute the key's live attribute set from the base store (at most
+   three live versions, so O(1) per call) and diff it against the cache. *)
+let refresh t pkey =
+  t.updates <- t.updates + 1;
+  let old_attrs =
+    Option.value (Hashtbl.find_opt t.live pkey) ~default:Sset.empty
+  in
+  let now_attrs =
+    List.fold_left
+      (fun acc v ->
+        match Store.read_exact t.base pkey v with
+        | Some value -> Sset.add (t.extract value) acc
+        | None -> acc (* tombstone *))
+      Sset.empty
+      (Store.versions_of t.base pkey)
+  in
+  Sset.iter
+    (fun a -> if not (Sset.mem a now_attrs) then drop_posting t a pkey)
+    old_attrs;
+  Sset.iter
+    (fun a -> if not (Sset.mem a old_attrs) then add_posting t a pkey)
+    now_attrs;
+  if Sset.is_empty now_attrs then Hashtbl.remove t.live pkey
+  else Hashtbl.replace t.live pkey now_attrs
+
+let attach base ~extract =
+  let t =
+    {
+      base;
+      extract;
+      postings = Smap.empty;
+      live = Hashtbl.create 256;
+      updates = 0;
+      probes = 0;
+      candidates = 0;
+    }
+  in
+  (* Bootstrap from whatever the store already holds (recovery replay,
+     checkpoint restore), then subscribe to everything after. *)
+  List.iter
+    (fun (pkey, _) -> refresh t pkey)
+    (Store.snapshot_items (Store.snapshot base));
+  t.updates <- 0;
+  Store.set_listener base (Some (refresh t));
+  t
+
+let detach t = Store.set_listener t.base None
+let base t = t.base
+let extract t value = t.extract value
+
+(* Candidate primary keys: union of the postings for attributes in
+   [lo, hi].  Complete by construction — any key visible at any version
+   with an attribute in range has a live entry carrying it, hence a
+   posting. *)
+let candidates_in t ~lo ~hi =
+  if hi < lo then Sset.empty
+  else begin
+    let _, lo_set, above = Smap.split lo t.postings in
+    let mid, hi_set, _ = Smap.split hi above in
+    let acc = match lo_set with Some s -> s | None -> Sset.empty in
+    let acc = Smap.fold (fun _ s acc -> Sset.union s acc) mid acc in
+    match hi_set with
+    | Some s when hi <> lo -> Sset.union s acc
+    | _ -> acc
+  end
+
+let probe_impl ~skip_visibility t ~lo ~hi version =
+  let cands = candidates_in t ~lo ~hi in
+  Sset.fold
+    (fun pkey acc ->
+      let value =
+        (* The deliberately broken twin ([Config.index_skip_visibility])
+           skips the pinned-version visibility check and serves the newest
+           entry instead.  Indistinguishable at quiescence (newest = pinned
+           once u = q+1 and the round drained), convicted by the explorer
+           the moment a commit or moveToFuture lands between pin and
+           probe. *)
+        if skip_visibility then Store.read_le t.base pkey max_int
+        else Store.read_le t.base pkey version
+      in
+      match value with
+      | Some v ->
+          let a = t.extract v in
+          if lo <= a && a <= hi then (pkey, v) :: acc else acc
+      | None -> acc)
+    cands []
+  |> List.rev
+
+let probe ?(skip_visibility = false) t ~lo ~hi version =
+  t.probes <- t.probes + 1;
+  t.candidates <- t.candidates + Sset.cardinal (candidates_in t ~lo ~hi);
+  probe_impl ~skip_visibility t ~lo ~hi version
+
+let full_scan t ~lo ~hi version =
+  List.filter
+    (fun (_, v) ->
+      let a = t.extract v in
+      lo <= a && a <= hi)
+    (Store.scan_all t.base version)
+
+let check t ~version =
+  let violations = ref [] in
+  let fail fmt =
+    Printf.ksprintf (fun s -> violations := s :: !violations) fmt
+  in
+  (* Structural: the per-key cache matches a recomputation from the base
+     store, covers exactly the base's keys with live value entries, and
+     agrees with the postings map in both directions. *)
+  let base_keys = ref [] in
+  Store.iter (fun key _ -> base_keys := key :: !base_keys) t.base;
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun pkey ->
+      Hashtbl.replace seen pkey ();
+      let expect =
+        List.fold_left
+          (fun acc v ->
+            match Store.read_exact t.base pkey v with
+            | Some value -> Sset.add (t.extract value) acc
+            | None -> acc)
+          Sset.empty
+          (Store.versions_of t.base pkey)
+      in
+      let got =
+        Option.value (Hashtbl.find_opt t.live pkey) ~default:Sset.empty
+      in
+      if not (Sset.equal expect got) then
+        fail "index: key %S caches attrs {%s}, store has {%s}" pkey
+          (String.concat "," (Sset.elements got))
+          (String.concat "," (Sset.elements expect)))
+    !base_keys;
+  Hashtbl.iter
+    (fun pkey _ ->
+      if not (Hashtbl.mem seen pkey) then
+        fail "index: key %S cached but absent from the store" pkey)
+    t.live;
+  Smap.iter
+    (fun attr set ->
+      if Sset.is_empty set then fail "index: empty posting for attr %S" attr;
+      Sset.iter
+        (fun pkey ->
+          let cached =
+            Option.value (Hashtbl.find_opt t.live pkey) ~default:Sset.empty
+          in
+          if not (Sset.mem attr cached) then
+            fail "index: posting %S -> %S not backed by the key cache" attr
+              pkey)
+        set)
+    t.postings;
+  Hashtbl.iter
+    (fun pkey attrs ->
+      Sset.iter
+        (fun attr ->
+          let posted =
+            Option.value (Smap.find_opt attr t.postings) ~default:Sset.empty
+          in
+          if not (Sset.mem pkey posted) then
+            fail "index: cached attr %S of key %S missing its posting" attr
+              pkey)
+        attrs)
+    t.live;
+  (* Observational: a probe over the full attribute space at [version] must
+     equal the full ordered scan — the contract every query plan relies
+     on. *)
+  let indexed =
+    match (Smap.min_binding_opt t.postings, Smap.max_binding_opt t.postings) with
+    | Some (lo, _), Some (hi, _) ->
+        probe_impl ~skip_visibility:false t ~lo ~hi version
+    | _ -> []
+  in
+  let full = Store.scan_all t.base version in
+  if indexed <> full then
+    fail "index: probe at v=%d returns %d rows, full scan %d" version
+      (List.length indexed) (List.length full);
+  List.rev !violations
+
+let stats t : stats =
+  { updates = t.updates; probes = t.probes; candidates = t.candidates }
+let distinct_attributes t = Smap.cardinal t.postings
+let indexed_keys t = Hashtbl.length t.live

@@ -1,0 +1,45 @@
+(* Grace hash join: partition both inputs by a hash of the join key, then
+   build and probe one in-memory hash table per bucket.  Output is sorted
+   with the caller's row comparison, so the result is deterministic and
+   independent of the partition count — and of whether the inputs came
+   from index probes or full scans, which is what the indexed-vs-full
+   equivalence oracle relies on. *)
+
+let sort_rows ~compare rows = List.sort compare rows
+
+let nested_loop ~compare ~build ~probe ~build_key ~probe_key =
+  List.concat_map
+    (fun b ->
+      List.filter_map
+        (fun p -> if String.equal (build_key b) (probe_key p) then Some (b, p) else None)
+        probe)
+    build
+  |> sort_rows ~compare
+
+let hash_join ~partitions ~compare ~build ~probe ~build_key ~probe_key =
+  let nb = max 1 partitions in
+  let bbuck = Array.make nb [] in
+  let pbuck = Array.make nb [] in
+  let bucket k = Hashtbl.hash k mod nb in
+  List.iter
+    (fun r ->
+      let i = bucket (build_key r) in
+      bbuck.(i) <- r :: bbuck.(i))
+    build;
+  List.iter
+    (fun r ->
+      let i = bucket (probe_key r) in
+      pbuck.(i) <- r :: pbuck.(i))
+    probe;
+  let out = ref [] in
+  for i = 0 to nb - 1 do
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.add tbl (build_key r) r) bbuck.(i);
+    List.iter
+      (fun p ->
+        List.iter
+          (fun b -> out := (b, p) :: !out)
+          (Hashtbl.find_all tbl (probe_key p)))
+      pbuck.(i)
+  done;
+  sort_rows ~compare !out

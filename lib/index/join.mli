@@ -1,0 +1,28 @@
+(** Grace hash join over in-memory row lists.
+
+    Both operators emit the same rows in the same order (the caller's
+    [compare]), so a hash join over index-probe inputs, a hash join over
+    full-scan inputs, and the nested-loop reference are byte-identical
+    whenever their inputs are — the property the indexed-vs-full-scan
+    equivalence oracle checks end to end. *)
+
+val hash_join :
+  partitions:int ->
+  compare:('a * 'b -> 'a * 'b -> int) ->
+  build:'a list ->
+  probe:'b list ->
+  build_key:('a -> string) ->
+  probe_key:('b -> string) ->
+  ('a * 'b) list
+(** Partition both inputs into [partitions] buckets by hashed join key,
+    build a hash table per bucket from the build side, stream the probe
+    side through it, and sort the matches with [compare]. *)
+
+val nested_loop :
+  compare:('a * 'b -> 'a * 'b -> int) ->
+  build:'a list ->
+  probe:'b list ->
+  build_key:('a -> string) ->
+  probe_key:('b -> string) ->
+  ('a * 'b) list
+(** O(|build| × |probe|) reference implementation with identical output. *)

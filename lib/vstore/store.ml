@@ -39,6 +39,9 @@ type 'v t = {
   by_version : (int, (string, unit) Hashtbl.t) Hashtbl.t;
   mutable high_water : int;
   mutable gc_items_visited : int;
+  (* Derived structures (lib/index) register here to observe mutations;
+     [None] (the common case) costs one load-and-branch per write. *)
+  mutable listener : (string -> unit) option;
 }
 
 let create ?bound ?(gc_renumber = true) () =
@@ -53,7 +56,13 @@ let create ?bound ?(gc_renumber = true) () =
     by_version = Hashtbl.create 8;
     high_water = 0;
     gc_items_visited = 0;
+    listener = None;
   }
+
+let set_listener t listener = t.listener <- listener
+
+let notify t key =
+  match t.listener with None -> () | Some f -> f key
 
 let index_add t version key =
   let set =
@@ -283,9 +292,21 @@ let remove_item t key =
   Hashtbl.remove t.items key;
   t.key_order <- String_set.remove key t.key_order
 
+(* [note_size] inside [put_entry] may raise [Version_bound_exceeded] after
+   the entry is already in place, so on the listener path the notification
+   must still fire — otherwise a derived index would silently diverge from
+   the store it mirrors. *)
+let put_entry_notified t key item version body =
+  match t.listener with
+  | None -> put_entry t key item version body
+  | Some f ->
+      Fun.protect
+        ~finally:(fun () -> f key)
+        (fun () -> put_entry t key item version body)
+
 let write t key v value =
   let item = get_or_create_item t key in
-  put_entry t key item v (Value value)
+  put_entry_notified t key item v (Value value)
 
 let find_body item v =
   if item.n > 0 && item.v0 = v then Some item.b0
@@ -302,7 +323,7 @@ let copy_forward t key ~src ~dst =
   | Some item -> (
       match find_body item src with
       | None -> raise Not_found
-      | Some body -> put_entry t key item dst body)
+      | Some body -> put_entry_notified t key item dst body)
 
 let drop_item_if_empty t key item = if item.n = 0 then remove_item t key
 
@@ -323,7 +344,7 @@ let drop_lone_tombstone t key item =
    does. *)
 let delete t key v =
   let item = get_or_create_item t key in
-  put_entry t key item v Tombstone
+  put_entry_notified t key item v Tombstone
 
 let remove_version t key v =
   match find_item t key with
@@ -368,7 +389,8 @@ let remove_version t key v =
        end
        else item.spill <- List.filter (fun e -> e.version <> v) item.spill);
       index_remove t v key;
-      drop_item_if_empty t key item
+      drop_item_if_empty t key item;
+      notify t key
 
 let gc t ~collect ~query =
   let process key item =
@@ -407,7 +429,8 @@ let gc t ~collect ~query =
                 entries)
      end);
     reindex t key ~before ~after:(versions_desc item);
-    drop_lone_tombstone t key item
+    drop_lone_tombstone t key item;
+    notify t key
   in
   (* The version index bounds the scan.  Under the paper's renumbering rule
      every item with an entry at or below [collect] is a candidate (each
@@ -453,7 +476,8 @@ let prune_below t ~keep =
                    (fun e -> e.version >= newest_visible.version)
                    entries));
           reindex t key ~before ~after:(versions_desc item);
-          drop_lone_tombstone t key item)
+          drop_lone_tombstone t key item;
+          notify t key)
     keys
 
 type 'v snapshot = (string * (version * 'v option) list) list
@@ -507,6 +531,17 @@ let range t ~lo ~hi version =
         | None -> None)
       keys
   end
+
+(* Full ordered scan at a version — the reference plan an index probe must
+   match byte-for-byte (lib/index).  O(items) by construction. *)
+let scan_all t version =
+  String_set.fold
+    (fun key acc ->
+      match read_le t key version with
+      | Some value -> (key, value) :: acc
+      | None -> acc)
+    t.key_order []
+  |> List.rev
 
 let item_count t = Hashtbl.length t.items
 

@@ -62,6 +62,11 @@ val range : 'v t -> lo:string -> hi:string -> version -> (string * 'v) list
     [version], ascending; items deleted or absent as of that version are
     skipped.  O(log n + results) over the store's ordered key index. *)
 
+val scan_all : 'v t -> version -> (string * 'v) list
+(** Full ordered scan: every key with its value as of [version], ascending.
+    O(items) by construction — the reference plan a secondary-index probe
+    ({!Index.probe}) must match byte-for-byte at the same version. *)
+
 (** {1 Writes} *)
 
 val write : 'v t -> string -> version -> 'v -> unit
@@ -80,6 +85,19 @@ val delete : 'v t -> string -> version -> unit
 val remove_version : _ t -> string -> version -> unit
 (** Physically drop the entry at [version] (no-op if absent); used by
     moveToFuture to undo a transaction's effect on the old version. *)
+
+(** {1 Change notification (derived structures)} *)
+
+val set_listener : 'v t -> (string -> unit) option -> unit
+(** Install (or clear) the store's single mutation listener: it is called
+    with the affected key after every mutation that may change that key's
+    live entries — {!write}, {!delete}, {!copy_forward}, {!remove_version},
+    and each item processed by {!gc} or {!prune_below}.  Because every
+    mutation path (update execution, moveToFuture, WAL replay, replication
+    apply, checkpoint restore) funnels through those operations, a derived
+    structure that re-derives the key's state on each call stays exactly
+    consistent with the base store.  The no-listener path costs one
+    load-and-branch. *)
 
 (** {1 Snapshots (checkpoint support)} *)
 

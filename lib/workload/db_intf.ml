@@ -13,6 +13,9 @@ module type DB = sig
   val node_count : t -> int
   val submit_update : t -> root:int -> ops:op list -> update_outcome
   val submit_query : t -> root:int -> reads:(int * string) list -> query_outcome option
+  val submit_scan : t -> root:int -> range:float * float -> query_outcome option
+  val submit_join :
+    t -> root:int -> build:float * float -> probe:float * float -> query_outcome option
   val max_versions_ever : t -> int
   val extra_stats : t -> (string * float) list
 

@@ -30,6 +30,19 @@ module type DB = sig
   val submit_query : t -> root:int -> reads:(int * string) list -> query_outcome option
   (** Execute one read-only query; [None] if it failed. *)
 
+  val submit_scan : t -> root:int -> range:float * float -> query_outcome option
+  (** Execute one predicate range scan over the database's secondary
+      attribute.  The range endpoints are fractions of the attribute
+      domain ([0. <= lo <= hi <= 1.]); the adapter maps them onto its
+      concrete attribute encoding.  [None] if the scan failed or the
+      database has no secondary index. *)
+
+  val submit_join :
+    t -> root:int -> build:float * float -> probe:float * float -> query_outcome option
+  (** Execute one hash join of two attribute ranges (normalized as in
+      {!submit_scan}) as a single long read-only transaction.  [None] if
+      it failed or the database has no secondary index. *)
+
   val max_versions_ever : t -> int
   (** High-water mark of live versions of any single item — the headline
       space metric (AVA3: ≤ 3; unbounded MVCC: grows). *)

@@ -11,6 +11,8 @@ type spec = {
   node_theta : float;
   storm_factor : float;
   storm_period : float;
+  scan_fraction : float;
+  join_fraction : float;
 }
 
 let default_spec =
@@ -27,6 +29,8 @@ let default_spec =
     node_theta = 0.0;
     storm_factor = 1.0;
     storm_period = 0.0;
+    scan_fraction = 0.0;
+    join_fraction = 0.0;
   }
 
 type report = {
@@ -34,9 +38,13 @@ type report = {
   aborted : int;
   queries_ok : int;
   queries_failed : int;
+  scans_ok : int;
+  joins_ok : int;
   update_latency : Histogram.t;
   query_latency : Histogram.t;
   long_query_latency : Histogram.t;
+  scan_latency : Histogram.t;
+  join_latency : Histogram.t;
   staleness : Histogram.t;
   generated_duration : float;
 }
@@ -105,9 +113,12 @@ let run (type db) (module Db : Db_intf.DB with type t = db) (db : db) ~engine
   in
   let committed = ref 0 and aborted = ref 0 in
   let queries_ok = ref 0 and queries_failed = ref 0 in
+  let scans_ok = ref 0 and joins_ok = ref 0 in
   let update_latency = Histogram.create () in
   let query_latency = Histogram.create () in
   let long_query_latency = Histogram.create () in
+  let scan_latency = Histogram.create () in
+  let join_latency = Histogram.create () in
   let staleness = Histogram.create () in
   let pick_node root =
     if Sim.Rng.chance rng spec.remote_fraction then Sim.Rng.int rng nodes
@@ -152,14 +163,62 @@ let run (type db) (module Db : Db_intf.DB with type t = db) (db : db) ~engine
         Option.iter (Histogram.add staleness) outcome.Db_intf.q_staleness
     | None -> incr queries_failed
   in
-  List.iter
-    (fun at ->
-      let root = pick_root () in
-      let reads = gen_query_reads () in
-      Sim.Engine.schedule engine ~delay:at (fun () ->
-          submit_query ~root ~reads ~latency_hist:query_latency))
-    (arrival_times rng ~rate:spec.query_rate ~duration:spec.duration
-       ~storm_factor:spec.storm_factor ~storm_period:spec.storm_period ());
+  (* Analytical queries (index scans and joins) replace a fraction of the
+     point-read query stream.  With both fractions zero (the default) the
+     original single-shape path runs and the RNG sequence — and so every
+     existing experiment — is untouched. *)
+  let submit_analytical ~latency_hist ~ok run =
+    let t0 = Sim.Engine.now engine in
+    match run () with
+    | Some (outcome : Db_intf.query_outcome) ->
+        incr queries_ok;
+        incr ok;
+        Histogram.add latency_hist (Sim.Engine.now engine -. t0);
+        Option.iter (Histogram.add staleness) outcome.Db_intf.q_staleness
+    | None -> incr queries_failed
+  in
+  let draw_range () =
+    let a = Sim.Rng.float rng 1.0 in
+    let b = Sim.Rng.float rng 1.0 in
+    if a <= b then (a, b) else (b, a)
+  in
+  let analytical_fraction = spec.scan_fraction +. spec.join_fraction in
+  let query_arrivals =
+    arrival_times rng ~rate:spec.query_rate ~duration:spec.duration
+      ~storm_factor:spec.storm_factor ~storm_period:spec.storm_period ()
+  in
+  if analytical_fraction <= 0.0 then
+    List.iter
+      (fun at ->
+        let root = pick_root () in
+        let reads = gen_query_reads () in
+        Sim.Engine.schedule engine ~delay:at (fun () ->
+            submit_query ~root ~reads ~latency_hist:query_latency))
+      query_arrivals
+  else
+    List.iter
+      (fun at ->
+        let root = pick_root () in
+        let shape = Sim.Rng.float rng 1.0 in
+        if shape < spec.scan_fraction then begin
+          let range = draw_range () in
+          Sim.Engine.schedule engine ~delay:at (fun () ->
+              submit_analytical ~latency_hist:scan_latency ~ok:scans_ok
+                (fun () -> Db.submit_scan db ~root ~range))
+        end
+        else if shape < analytical_fraction then begin
+          let build = draw_range () in
+          let probe = draw_range () in
+          Sim.Engine.schedule engine ~delay:at (fun () ->
+              submit_analytical ~latency_hist:join_latency ~ok:joins_ok
+                (fun () -> Db.submit_join db ~root ~build ~probe))
+        end
+        else begin
+          let reads = gen_query_reads () in
+          Sim.Engine.schedule engine ~delay:at (fun () ->
+              submit_query ~root ~reads ~latency_hist:query_latency)
+        end)
+      query_arrivals;
   (* Long decision-support queries: sweep many keys across every node. *)
   if spec.long_query_period > 0.0 then begin
     let rec schedule_long at =
@@ -183,21 +242,29 @@ let run (type db) (module Db : Db_intf.DB with type t = db) (db : db) ~engine
     aborted = !aborted;
     queries_ok = !queries_ok;
     queries_failed = !queries_failed;
+    scans_ok = !scans_ok;
+    joins_ok = !joins_ok;
     update_latency;
     query_latency;
     long_query_latency;
+    scan_latency;
+    join_latency;
     staleness;
     generated_duration = spec.duration;
   }
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "@[<v>committed=%d aborted=%d queries=%d (failed %d)@,\
+    "@[<v>committed=%d aborted=%d queries=%d (failed %d, scans %d, joins %d)@,\
      update latency: %s@,query latency: %s@,long-query latency: %s@,\
      staleness: %s@,throughput: %.2f upd/t %.2f qry/t@]"
-    r.committed r.aborted r.queries_ok r.queries_failed
+    r.committed r.aborted r.queries_ok r.queries_failed r.scans_ok r.joins_ok
     (Histogram.summary r.update_latency)
     (Histogram.summary r.query_latency)
     (Histogram.summary r.long_query_latency)
     (Histogram.summary r.staleness)
-    (update_throughput r) (query_throughput r)
+    (update_throughput r) (query_throughput r);
+  if r.scans_ok > 0 then
+    Format.fprintf ppf "@,scan latency: %s" (Histogram.summary r.scan_latency);
+  if r.joins_ok > 0 then
+    Format.fprintf ppf "@,join latency: %s" (Histogram.summary r.join_latency)

@@ -28,6 +28,13 @@ type spec = {
       (** storm cycle length: arrivals run at [rate *. storm_factor] during
           the first quarter of each period and at [rate] otherwise; [0.0]
           (default) disables storms and keeps the RNG sequence unchanged *)
+  scan_fraction : float;
+      (** fraction of query arrivals executed as secondary-index range
+          scans ({!Db_intf.DB.submit_scan}); [0.0] (default) disables the
+          analytical shapes and keeps the RNG sequence unchanged *)
+  join_fraction : float;
+      (** fraction of query arrivals executed as hash joins of two
+          attribute ranges ({!Db_intf.DB.submit_join}) *)
 }
 
 val default_spec : spec
@@ -35,11 +42,16 @@ val default_spec : spec
 type report = {
   committed : int;
   aborted : int;
-  queries_ok : int;
+  queries_ok : int;  (** includes successful scans and joins *)
   queries_failed : int;
+      (** includes scans/joins against databases with no secondary index *)
+  scans_ok : int;
+  joins_ok : int;
   update_latency : Histogram.t;
   query_latency : Histogram.t;
   long_query_latency : Histogram.t;
+  scan_latency : Histogram.t;
+  join_latency : Histogram.t;
   staleness : Histogram.t;  (** snapshot age observed by queries *)
   generated_duration : float;
 }

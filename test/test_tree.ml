@@ -252,19 +252,11 @@ let test_tree_query_composes () =
           Cluster.load db ~node:n [ (Printf.sprintf "k%d" n, n * 10) ]
         done;
         let plan =
-          {
-            Tq.at = 0;
-            keys = [ "k0" ];
-            children =
-              [
-                {
-                  Tq.at = 1;
-                  keys = [ "k1" ];
-                  children = [ { Tq.at = 3; keys = [ "k3" ]; children = [] } ];
-                };
-                { Tq.at = 2; keys = [ "k2" ]; children = [] };
-              ];
-          }
+          Tq.reads 0 [ "k0" ]
+            [
+              Tq.reads 1 [ "k1" ] [ Tq.reads 3 [ "k3" ] [] ];
+              Tq.reads 2 [ "k2" ] [];
+            ]
         in
         let q = Cluster.run_tree_query db ~plan in
         check_int "version 0" 0 q.Ava3.Query_exec.version;
@@ -281,13 +273,7 @@ let test_tree_query_counters_drain () =
   let db =
     with_cluster (fun db ->
         Cluster.load db ~node:1 [ ("k1", 1) ];
-        let plan =
-          {
-            Tq.at = 0;
-            keys = [];
-            children = [ { Tq.at = 1; keys = [ "k1" ]; children = [] } ];
-          }
-        in
+        let plan = Tq.reads 0 [] [ Tq.reads 1 [ "k1" ] [] ] in
         ignore (Cluster.run_tree_query db ~plan);
         for n = 0 to 1 do
           check_int "counter drained"
@@ -313,18 +299,8 @@ let test_tree_query_blocks_gc_until_done () =
         let query_done = ref infinity and advanced = ref infinity in
         Sim.Engine.spawn eng (fun () ->
             let plan =
-              {
-                Tq.at = 0;
-                keys = [];
-                children =
-                  [
-                    {
-                      Tq.at = 1;
-                      keys = List.init 30 (fun i -> Printf.sprintf "k%d" i);
-                      children = [];
-                    };
-                  ];
-              }
+              Tq.reads 0 []
+                [ Tq.reads 1 (List.init 30 (fun i -> Printf.sprintf "k%d" i)) [] ]
             in
             ignore (Cluster.run_tree_query db ~plan);
             query_done := Sim.Engine.now eng);
@@ -342,13 +318,7 @@ let test_tree_query_node_down () =
     with_cluster (fun db ->
         Cluster.load db ~node:1 [ ("k1", 1) ];
         Cluster.crash db ~node:1;
-        let plan =
-          {
-            Tq.at = 0;
-            keys = [];
-            children = [ { Tq.at = 1; keys = [ "k1" ]; children = [] } ];
-          }
-        in
+        let plan = Tq.reads 0 [] [ Tq.reads 1 [ "k1" ] [] ] in
         (match Cluster.run_tree_query db ~plan with
         | exception Net.Network.Node_down 1 -> ()
         | _ -> Alcotest.fail "expected Node_down");

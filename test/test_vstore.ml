@@ -264,6 +264,60 @@ let test_range_after_gc () =
     "renumbered entries still scannable" [ ("a", 1); ("b", 2) ]
     (Store.range s ~lo:"a" ~hi:"z" 1)
 
+(* A range read at the query version straddling a GC round is unchanged by
+   the round, whichever rule ran: the paper's renumbering rule moves
+   untouched items' entries up to [query], the in-place rule leaves them
+   where readers resolve to them anyway.  Both rules must agree with the
+   pre-GC snapshot and with each other — the read-equivalence the index's
+   visibility contract leans on. *)
+let test_range_gc_straddle_both_rules () =
+  let build gc_renumber =
+    let s : int Store.t = Store.create ~bound:3 ~gc_renumber () in
+    Store.write s "hot" 0 10;
+    Store.write s "hot" 2 12;
+    (* updated above [collect] *)
+    Store.write s "old" 0 20;
+    (* untouched since v0 — the rules diverge mechanically here *)
+    Store.write s "dead" 0 30;
+    Store.delete s "dead" 2;
+    (* deleted above [collect] *)
+    s
+  in
+  let expected = [ ("hot", 12); ("old", 20) ] in
+  List.iter
+    (fun gc_renumber ->
+      let name fmt =
+        Printf.sprintf "%s (gc_renumber %b)" fmt gc_renumber
+      in
+      let s = build gc_renumber in
+      let before = Store.range s ~lo:"" ~hi:"~" 2 in
+      Store.gc s ~collect:1 ~query:2;
+      Alcotest.(check (list (pair string int)))
+        (name "range at query version") expected
+        (Store.range s ~lo:"" ~hi:"~" 2);
+      Alcotest.(check (list (pair string int)))
+        (name "GC is read-invisible at the query version")
+        before
+        (Store.range s ~lo:"" ~hi:"~" 2);
+      Alcotest.(check (list (pair string int)))
+        (name "equal bounds on a straddling key")
+        [ ("old", 20) ]
+        (Store.range s ~lo:"old" ~hi:"old" 2);
+      Alcotest.(check (list (pair string int)))
+        (name "equal bounds on the deleted key") []
+        (Store.range s ~lo:"dead" ~hi:"dead" 2);
+      Alcotest.(check (list (pair string int)))
+        (name "empty range untouched by GC") []
+        (Store.range s ~lo:"x" ~hi:"q" 2);
+      (* The mechanical difference between the rules, for the record:
+         renumbering moves the untouched item's entry to [query], in-place
+         leaves it at its original version. *)
+      Alcotest.(check (list int))
+        (name "surviving versions of the untouched item")
+        (if gc_renumber then [ 2 ] else [ 0 ])
+        (Store.versions_of s "old"))
+    [ true; false ]
+
 (* Properties *)
 
 let key_gen = QCheck.Gen.(map (Printf.sprintf "k%d") (int_bound 20))
@@ -485,6 +539,8 @@ let () =
             test_range_across_tombstones;
           Alcotest.test_case "range versions" `Quick test_range_versions;
           Alcotest.test_case "range after gc" `Quick test_range_after_gc;
+          Alcotest.test_case "range straddling gc, both rules" `Quick
+            test_range_gc_straddle_both_rules;
         ] );
       ( "gc",
         [
