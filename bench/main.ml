@@ -758,7 +758,8 @@ let run_check () =
         Scenarios.race2; Scenarios.mtf_race; Scenarios.crash_advance;
         Scenarios.group_commit_crash; Scenarios.table1_3site;
         Scenarios.relay_crash; Scenarios.backup_promotion;
-        Scenarios.index_mtf_race; Scenarios.toy_safe;
+        Scenarios.index_mtf_race; Scenarios.savepoint_rollback;
+        Scenarios.session_dsl; Scenarios.toy_safe;
       ]
   in
   print_endline
@@ -790,6 +791,7 @@ let run_check () =
     [
       (Scenarios.replica_ack_early_buggy, 5_000);
       (Scenarios.index_skip_mtf_buggy, 2_000);
+      (Scenarios.savepoint_leak_buggy, 2_000);
     ]
 
 let experiments =
@@ -812,6 +814,8 @@ let experiments =
     ("e13smoke", fun () -> Dbsim.Experiment.print_replication ~horizon:300.0 ());
     ("e14", fun () -> Dbsim.Experiment.print_analytical ());
     ("e14smoke", fun () -> Dbsim.Experiment.print_analytical ~horizon:300.0 ());
+    ("e15", fun () -> Dbsim.Experiment.print_session_retry ());
+    ("e15smoke", fun () -> Dbsim.Experiment.print_session_retry ~horizon:300.0 ());
     ("check", run_check);
     ("index", run_index_bench);
     ("micro", run_micro);

@@ -53,8 +53,8 @@ let usage = "check.exe [options]\nSystematic schedule explorer for AVA3."
    run when named explicitly or under --expect-violation. *)
 let expected_clean =
   [ "race2"; "table1-3site"; "mtf-race"; "crash-advance";
-    "group-commit-crash"; "relay-crash"; "backup-promotion"; "toy-safe";
-    "toy-rmw-safe" ]
+    "group-commit-crash"; "relay-crash"; "backup-promotion";
+    "savepoint-rollback"; "session-dsl"; "toy-safe"; "toy-rmw-safe" ]
 
 let say fmt = Printf.ksprintf (fun s -> if not !quiet then print_endline s) fmt
 

@@ -12,7 +12,7 @@ module Cluster = Ava3.Cluster
 module Update = Ava3.Update_exec
 
 let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis ~hot_theta
-    ~with_index =
+    ~with_index ~with_sessions =
   let engine = Sim.Engine.create ~seed:(Int64.of_int seed) ~trace:false () in
   let config =
     {
@@ -155,6 +155,26 @@ let run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis ~hot_theta
           with Net.Network.Node_down _ | Net.Network.Rpc_timeout _ -> ())
     done
   end;
+  (* Session-layer client programs under --sessions: seeded DSL programs
+     (savepoint scopes, expect-abort rollbacks, automatic seeded retry)
+     run through Session on pooled coordinators, racing everything else
+     the seed schedules.  All randomness comes from a named fork of the
+     engine's root stream, so runs without the flag keep their exact RNG
+     sequences. *)
+  if with_sessions then begin
+    let srng = Sim.Rng.fork_named (Sim.Engine.rng engine) "stress-sessions" in
+    for i = 0 to 1 do
+      let delay = Sim.Rng.float srng (horizon /. 2.0) in
+      let prog = Session.Dsl.gen ~rng:srng ~nodes ~keys_per_node:8 ~txns:5 in
+      Sim.Engine.schedule engine ~delay
+        ~name:(Printf.sprintf "sessions-%d" i)
+        (fun () ->
+          let sess =
+            Session.create db ~seed:(Int64.of_int ((seed * 17) + i))
+          in
+          ignore (Session.Dsl.run sess prog : Session.Dsl.summary))
+    done
+  end;
   (* Advancements from random coordinators. *)
   for _ = 1 to 5 do
     let delay = Sim.Rng.float rng horizon in
@@ -255,6 +275,7 @@ let configurations =
 let () =
   let seeds = ref 200 and from = ref 1 and verbose = ref false in
   let hot_theta = ref 0.0 and with_index = ref false in
+  let with_sessions = ref false in
   let spec =
     [
       ("--seeds", Arg.Set_int seeds, "number of seeds to run (default 200)");
@@ -265,13 +286,17 @@ let () =
       ( "--index",
         Arg.Set with_index,
         "attach a secondary index and mix in Both_check scans and joins" );
+      ( "--sessions",
+        Arg.Set with_sessions,
+        "mix in session-layer DSL programs (savepoints, automatic retry)" );
       ("-v", Arg.Set verbose, "print each seed");
     ]
   in
   Arg.parse spec
     (fun _ -> ())
-    "stress [--seeds N] [--from S] [--hot-theta T] [--index]";
+    "stress [--seeds N] [--from S] [--hot-theta T] [--index] [--sessions]";
   let hot_theta = !hot_theta and with_index = !with_index in
+  let with_sessions = !with_sessions in
   (* Seeds fan out over domains (AVA3_DOMAINS, see Sim.Pool); each run is a
      self-contained engine, so outcomes are identical at any width.  Workers
      only compute — all printing happens afterwards, in seed order. *)
@@ -283,7 +308,7 @@ let () =
             let outcome, metrics =
               try
                 run_one ~seed ~nodes ~crashes ~partitions ~use_tree ~nemesis
-                  ~hot_theta ~with_index
+                  ~hot_theta ~with_index ~with_sessions
               with e -> (Error ("exception: " ^ Printexc.to_string e), [])
             in
             (seed, cfg, outcome, metrics))
@@ -300,7 +325,9 @@ let () =
   and mtf = ref 0
   and advancements = ref 0
   and rpc_calls = ref 0
-  and rpc_timeouts = ref 0 in
+  and rpc_timeouts = ref 0
+  and session_retries = ref 0
+  and sp_rollbacks = ref 0 in
   List.iter
     (List.iter
        (fun
@@ -315,7 +342,9 @@ let () =
              mtf := !mtf + n.mtf_data_access + n.mtf_commit_time;
              advancements := !advancements + n.advancements;
              rpc_calls := !rpc_calls + n.rpc_calls;
-             rpc_timeouts := !rpc_timeouts + n.rpc_timeouts)
+             rpc_timeouts := !rpc_timeouts + n.rpc_timeouts;
+             session_retries := !session_retries + n.session_retries;
+             sp_rollbacks := !sp_rollbacks + n.savepoint_rollbacks)
            metrics;
          if !verbose then
            Printf.printf
@@ -332,9 +361,9 @@ let () =
     outcomes;
   Printf.printf
     "stress metrics: commits=%d aborts=%d root-down=%d queries=%d mtf=%d \
-     advancements=%d rpc=%d timeouts=%d\n"
+     advancements=%d rpc=%d timeouts=%d retries=%d sp-rollbacks=%d\n"
     !commits !aborts !root_down !queries !mtf !advancements !rpc_calls
-    !rpc_timeouts;
+    !rpc_timeouts !session_retries !sp_rollbacks;
   if !failures = 0 then
     Printf.printf "stress: %d seeds x %d configurations clean\n" !seeds
       (List.length configurations)

@@ -728,6 +728,243 @@ let index_skip_mtf_buggy =
       "index probes skipping the visibility filter: some schedule catches \
        a racing write mid-scan and the probe diverges from its pin"
 
+(* Savepoint rollback through the session layer vs lock release.  Three
+   session transactions: A opens a savepoint scope, writes x, rolls the
+   scope back, then increments y; B increments y then x; C increments x
+   inside a scope it keeps.  A holds no lock while waiting (its scope
+   lock on x is released before it requests y), so no wait cycle can
+   form and every schedule must commit all three — that is the clean
+   scenario's extra oracle, on top of the standard invariant and
+   serializability set.  The [-buggy] twin sets
+   {!Ava3.Config.t.savepoint_leak}: rollback erases the scope's writes
+   but forgets to release its locks.  Serializability survives (2PL only
+   over-locks) and a transaction's end still releases everything, so the
+   leak is invisible to the other oracles — but now A waits for y while
+   still holding x, and the schedule where B took y first closes the
+   B->x->A->y->B cycle: the deadlock victim stays aborted (retries are
+   off) and the all-committed oracle convicts. *)
+let savepoint_variant ~leak ~name ~descr =
+  {
+    Scenario.name;
+    descr;
+    seed = 37L;
+    max_time = 300.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 1.0;
+            write_service_time = 1.0;
+            max_retries = 0 (* a deadlock abort must stay visible *);
+            savepoint_leak = leak;
+          }
+        in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~nodes:2 ()
+        in
+        Ava3.Cluster.load db ~node:0 [ ("x", 1) ];
+        Ava3.Cluster.load db ~node:1 [ ("y", 2) ];
+        let keys = [ (0, "x"); (1, "y") ] in
+        let rec_ = recorder [ ((0, "x"), 1); ((1, "y"), 2) ] in
+        let sa = Session.create db ~seed:1L ~coordinators:[ 0 ] in
+        let sb = Session.create db ~seed:2L ~coordinators:[ 1 ] in
+        let sc = Session.create db ~seed:3L ~coordinators:[ 0 ] in
+        let a_committed = ref false
+        and b_committed = ref false
+        and c_committed = ref false in
+        let tracked observed key salt old =
+          let v = transform ~salt old in
+          Queue.push (key, old, v) observed;
+          v
+        in
+        let record_commit rec_ flag observed
+            (cm : (int, unit) Session.commit) =
+          flag := true;
+          rec_.committed <-
+            {
+              SC.t_version = cm.final_version;
+              t_finished = cm.finished_at;
+              t_commit_at = cm.participants;
+              t_ops =
+                Queue.fold
+                  (fun acc (key, old, v) -> SC.Rmw (key, old, v) :: acc)
+                  [] observed
+                |> List.rev;
+            }
+            :: rec_.committed
+        in
+        Sim.Engine.schedule engine ~name:"A" ~delay:1.0 (fun () ->
+            let observed = Queue.create () in
+            match
+              Session.txn sa (fun c ->
+                  Queue.clear observed;
+                  (match
+                     Session.nested c (fun () ->
+                         Session.write c ~node:0 "x" 999;
+                         raise Session.Rollback)
+                   with
+                  | Ok () -> assert false (* the scope always raises *)
+                  | Error _ -> ());
+                  Session.rmw c ~node:1 "y"
+                    (tracked observed (1, "y") 801))
+            with
+            | Session.Committed cm -> record_commit rec_ a_committed observed cm
+            | Session.Failed _ -> ());
+        Sim.Engine.schedule engine ~name:"B" ~delay:1.0 (fun () ->
+            let observed = Queue.create () in
+            match
+              Session.txn sb (fun c ->
+                  Queue.clear observed;
+                  Session.rmw c ~node:1 "y" (tracked observed (1, "y") 802);
+                  Session.pause c 2.0;
+                  Session.rmw c ~node:0 "x" (tracked observed (0, "x") 803))
+            with
+            | Session.Committed cm -> record_commit rec_ b_committed observed cm
+            | Session.Failed _ -> ());
+        Sim.Engine.schedule engine ~name:"C" ~delay:2.0 (fun () ->
+            let observed = Queue.create () in
+            match
+              Session.txn sc (fun c ->
+                  Queue.clear observed;
+                  match
+                    Session.nested c (fun () ->
+                        Session.rmw c ~node:0 "x"
+                          (tracked observed (0, "x") 805))
+                  with
+                  | Ok () -> ()
+                  | Error _ -> ())
+            with
+            | Session.Committed cm -> record_commit rec_ c_committed observed cm
+            | Session.Failed _ -> ());
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:3.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:0));
+        Sim.Engine.schedule engine ~name:"Q" ~delay:4.0 (fun () ->
+            recorded_query rec_ db ~root:1 [ (0, "x"); (1, "y") ]);
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:60.0 (fun () ->
+            settle db ~coordinator:0;
+            recorded_query rec_ db ~root:0 keys);
+        let inst = ava3_instance db rec_ ~keys in
+        {
+          inst with
+          Scenario.check_final =
+            (fun () ->
+              List.filter_map
+                (fun (name, flag) ->
+                  if !flag then None
+                  else
+                    Some
+                      (Printf.sprintf
+                         "session transaction %s did not commit: a \
+                          deadlock-free workload deadlocked (savepoint \
+                          rollback kept the scope's locks?)"
+                         name))
+                [ ("A", a_committed); ("B", b_committed); ("C", c_committed) ]
+              @ inst.Scenario.check_final ());
+        })
+  }
+
+let savepoint_rollback =
+  savepoint_variant ~leak:false ~name:"savepoint-rollback"
+    ~descr:
+      "session savepoint scopes rolling back under contention: scope locks \
+       release, so the deadlock-free workload commits on every schedule"
+
+let savepoint_leak_buggy =
+  savepoint_variant ~leak:true ~name:"savepoint-leak-buggy"
+    ~descr:
+      "savepoint rollback forgetting to release the scope's locks: some \
+       schedule closes a wait cycle and a deadlock-free workload aborts"
+
+(* One generated DSL program under the third interpreter.  [Session.Dsl.gen]
+   is deterministic in its rng, so the program built from seed 77 here is
+   the same value the stress driver ([--sessions]) and the E15 harness
+   run from the same generator seed — only [choose] differs.  Here every
+   [choice] is resolved by {!Session.Dsl.explorer_choose}, i.e. routed
+   through {!Sim.Engine.branch} as a first-class exploration decision,
+   and the program races an advancement round.  The extra oracle is
+   completeness: on every schedule the program must run to the end with
+   each transaction committed (within the session retry budget) and no
+   query failed — a wedged or silently-dropped program is a bug even
+   when the store invariants hold. *)
+let session_dsl =
+  {
+    Scenario.name = "session-dsl";
+    descr =
+      "a generated Session.Dsl program (same generator seed as stress \
+       --sessions / E15) with its choice points explored: every schedule \
+       must complete and commit all of it";
+    seed = 77L;
+    max_time = 400.0;
+    setup =
+      (fun engine ->
+        let config =
+          {
+            Ava3.Config.default with
+            read_service_time = 1.0;
+            write_service_time = 1.0;
+            max_retries = 2;
+            retry_backoff_base = 1.0;
+          }
+        in
+        let db : int Ava3.Cluster.t =
+          Ava3.Cluster.create ~engine ~config ~nodes:2 ()
+        in
+        (* Preload the generator's key namespace so reads and deletes
+           touch live items from the first transaction. *)
+        for node = 0 to 1 do
+          Ava3.Cluster.load db ~node
+            (List.init 3 (fun i -> (Session.Dsl.gen_key ~node i, i)))
+        done;
+        let grng = Sim.Rng.create 77L in
+        let pa = Session.Dsl.gen ~rng:grng ~nodes:2 ~keys_per_node:3 ~txns:1 in
+        let pb = Session.Dsl.gen ~rng:grng ~nodes:2 ~keys_per_node:3 ~txns:1 in
+        let prog =
+          Session.Dsl.(
+            choice ~label:"dsl-order" [ seq [ pa; pb ]; seq [ pb; pa ] ])
+        in
+        let s = Session.create db ~seed:5L ~coordinators:[ 0; 1 ] in
+        let summary = ref None in
+        Sim.Engine.schedule engine ~name:"DSL" ~delay:1.0 (fun () ->
+            summary :=
+              Some
+                (Session.Dsl.run ~choose:(Session.Dsl.explorer_choose s) s
+                   prog));
+        Sim.Engine.schedule engine ~name:"ADV" ~delay:3.0 (fun () ->
+            ignore (Ava3.Cluster.advance db ~coordinator:0));
+        Sim.Engine.schedule engine ~name:"epilogue" ~delay:150.0 (fun () ->
+            settle db ~coordinator:0);
+        let rec_ = recorder [] in
+        let inst = ava3_instance db rec_ ~keys:[] in
+        {
+          inst with
+          Scenario.check_final =
+            (fun () ->
+              (match !summary with
+              | None -> [ "the DSL program did not run to completion" ]
+              | Some (sum : Session.Dsl.summary) ->
+                  (if sum.failed > 0 then
+                     [
+                       Printf.sprintf
+                         "%d DSL transaction(s) failed within the retry \
+                          budget"
+                         sum.failed;
+                     ]
+                   else [])
+                  @ (if sum.query_failures > 0 then
+                       [
+                         Printf.sprintf "%d DSL query(ies) failed"
+                           sum.query_failures;
+                       ]
+                     else [])
+                  @
+                  if sum.committed = 0 then
+                    [ "no DSL transaction committed" ]
+                  else [])
+              @ inst.Scenario.check_final ());
+        })
+  }
+
 (* ---------- toy scenarios (explorer self-validation) ---------- *)
 
 (* A two-item commit racing a two-item query on the toy store.  In buggy
@@ -870,6 +1107,9 @@ let all =
     replica_ack_early_buggy;
     index_mtf_race;
     index_skip_mtf_buggy;
+    savepoint_rollback;
+    savepoint_leak_buggy;
+    session_dsl;
     toy_torn;
     toy_safe;
     toy_lost_update;

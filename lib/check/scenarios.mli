@@ -39,7 +39,22 @@
       candidate's newest slot instead of the pinned version; at
       quiescence the two coincide, but some schedule catches a racing
       write mid-scan and the probe diverges from the back-to-back full
-      scan.
+      scan;
+    - [savepoint-rollback] (must clear) / [savepoint-leak-buggy] (must
+      convict) — session-layer savepoint scopes ({!Session.nested})
+      rolling back under lock contention, arranged so the workload is
+      deadlock-free exactly when rollback releases the scope's locks.
+      The buggy twin sets {!Ava3.Config.t.savepoint_leak} (rollback
+      keeps the locks): serializability survives — 2PL only over-locks —
+      but some schedule closes a wait cycle and the
+      all-transactions-committed oracle convicts;
+    - [session-dsl] (must clear) — a {!Session.Dsl.gen} program (the
+      same deterministic generator the stress driver's [--sessions] mode
+      and the E15 experiment run) interpreted through a session with
+      {!Session.Dsl.explorer_choose}, so the program's [choice] points
+      are first-class exploration decisions.  Extra oracle:
+      completeness — on every schedule the program finishes with all
+      transactions committed and no query failed.
 
     Toy scenarios (explorer self-validation on a deliberately broken
     store, {!Toy}):
@@ -60,6 +75,9 @@ val backup_promotion : Scenario.t
 val replica_ack_early_buggy : Scenario.t
 val index_mtf_race : Scenario.t
 val index_skip_mtf_buggy : Scenario.t
+val savepoint_rollback : Scenario.t
+val savepoint_leak_buggy : Scenario.t
+val session_dsl : Scenario.t
 val toy_torn : Scenario.t
 val toy_safe : Scenario.t
 val toy_lost_update : Scenario.t

@@ -28,6 +28,10 @@ type t = {
   replica_ack_early : bool;
   join_partitions : int;
   index_skip_visibility : bool;
+  max_retries : int;
+  retry_backoff_base : float;
+  session_pool_size : int;
+  savepoint_leak : bool;
 }
 
 let default =
@@ -61,6 +65,10 @@ let default =
     replica_ack_early = false;
     join_partitions = 8;
     index_skip_visibility = false;
+    max_retries = 5;
+    retry_backoff_base = 5.0;
+    session_pool_size = 4;
+    savepoint_leak = false;
   }
 
 exception Invalid of string
@@ -125,7 +133,16 @@ let validate t =
     invalid "replica_ack_early requires replicas > 0 (there is no backup \
              whose acknowledgment could run early)";
   if t.join_partitions < 1 then
-    invalid "join_partitions must be >= 1 (got %d)" t.join_partitions
+    invalid "join_partitions must be >= 1 (got %d)" t.join_partitions;
+  if t.max_retries < 0 then
+    invalid "max_retries must be >= 0 (got %d); 0 means no automatic retry"
+      t.max_retries;
+  (* Base 0 means immediate retries (attempt spacing stays deterministic
+     through the seeded jitter); infinity or NaN would make the first
+     backoff unschedulable. *)
+  check_time "retry_backoff_base" t.retry_backoff_base;
+  if t.session_pool_size < 1 then
+    invalid "session_pool_size must be >= 1 (got %d)" t.session_pool_size
 
 let durability_active t =
   t.disk_force_latency > 0.0 || t.group_commit_window > 0.0
@@ -134,11 +151,13 @@ let pp ppf t =
   Format.fprintf ppf
     "{scheme=%s; eager_handoff=%b; piggyback=%b; root_only_qc=%b; \
      overlap_gc=%b; read=%g; write=%g; gc_item=%g; retry=%g; rpc_timeout=%g; \
-     force=%g; gc_window=%g/%d; rpc_window=%g; tree=%d%s; replicas=%d}"
+     force=%g; gc_window=%g/%d; rpc_window=%g; tree=%d%s; replicas=%d; \
+     session=%d@%g/%d%s}"
     (Wal.Scheme.kind_name t.scheme)
     t.eager_counter_handoff t.piggyback_version t.root_only_query_counters
     t.overlap_gc t.read_service_time t.write_service_time t.gc_item_time
     t.advancement_retry t.rpc_timeout t.disk_force_latency
     t.group_commit_window t.group_commit_batch t.rpc_batch_window t.tree_arity
     (if t.partition_aware then "/pa" else "")
-    t.replicas
+    t.replicas t.max_retries t.retry_backoff_base t.session_pool_size
+    (if t.savepoint_leak then "/leak" else "")

@@ -157,6 +157,29 @@ type t = {
           probe makes the probe disagree with the full-scan plan at the
           same pinned version, the bug the [index-skip-mtf-buggy] scenario
           convicts.  Never enable outside the checker.  Default [false]. *)
+  max_retries : int;
+      (** Session layer ({!Session}): how many times [Session.txn] re-runs
+          a client function after a retryable failure ([Aborted],
+          [Root_down], [Rpc_timeout]) before surfacing the last error.  [0]
+          disables automatic retry (one attempt only).  Default [5]. *)
+  retry_backoff_base : float;
+      (** Session layer: base of the seeded exponential backoff — attempt
+          [k] sleeps [retry_backoff_base * 2^k * jitter] virtual seconds
+          with jitter drawn from the session's own [Rng] stream in
+          [0.5, 1.5).  [0.] retries immediately.  Default [5.]. *)
+  session_pool_size : int;
+      (** Session layer: logical connections a session pools; each holds a
+          pinned coordinator node, and [Session.txn] checks one out per
+          attempt (round-robin over the cluster, skipping sites that
+          rejected with [Root_down]).  Must be [>= 1]; default [4]. *)
+  savepoint_leak : bool;
+      (** Fault injection for the model checker: a savepoint rollback
+          restores the write-set but {e forgets to release} the locks first
+          acquired inside the rolled-back scope ({!Subtxn.rollback_to}).
+          Serializability survives (2PL only over-locks) but workloads that
+          are deadlock-free under clean rollback now deadlock and abort —
+          the bug the [savepoint-leak-buggy] scenario convicts.  Never
+          enable outside the checker.  Default [false]. *)
 }
 
 val default : t

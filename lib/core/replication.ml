@@ -54,6 +54,9 @@ let fresh_node cs ~site =
    lockstep is what makes a promoted backup indistinguishable from a
    crash-recovered primary. *)
 
+let rec drop n l =
+  if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+
 let apply_record cs b nd r =
   match r with
   | Wal.Record.Begin { txn; _ } -> Hashtbl.replace b.b_pending txn []
@@ -71,6 +74,12 @@ let apply_record cs b nd r =
               | None -> Vstore.Store.delete (Node_state.store nd) key final_version)
             (List.rev writes);
           Hashtbl.remove b.b_pending txn)
+  | Wal.Record.Rollback { txn; keep } -> (
+      match Hashtbl.find_opt b.b_pending txn with
+      | None -> ()
+      | Some writes ->
+          Hashtbl.replace b.b_pending txn
+            (drop (List.length writes - keep) writes))
   | Wal.Record.Abort { txn } -> Hashtbl.remove b.b_pending txn
   | Wal.Record.Advance_update v ->
       Node_state.apply_advance_u nd v;
@@ -115,8 +124,6 @@ let apply_batch cs b nd records =
      the records survive this backup's crash, so they are durable by fiat
      (the primary already paid the force before shipping them). *)
   Wal.Log.mark_all_durable (Node_state.log nd)
-
-let rec drop n l = if n <= 0 then l else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
 
 (* The deliberately broken twin ([Config.replica_ack_early]): acknowledge
    — and bump the visible version counters that version-pinned routing
@@ -473,6 +480,12 @@ let rebuild_pending b log =
           Hashtbl.replace b.b_pending txn ((key, value) :: writes)
       | Wal.Record.Commit { txn; _ } | Wal.Record.Abort { txn } ->
           Hashtbl.remove b.b_pending txn
+      | Wal.Record.Rollback { txn; keep } -> (
+          match Hashtbl.find_opt b.b_pending txn with
+          | None -> ()
+          | Some writes ->
+              Hashtbl.replace b.b_pending txn
+                (drop (List.length writes - keep) writes))
       | Wal.Record.Advance_update _ | Wal.Record.Advance_query _
       | Wal.Record.Collect _ ->
           ()

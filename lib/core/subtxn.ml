@@ -16,6 +16,30 @@ type 'v t = {
       (* version whose updateCount slot this subtransaction occupies — its
          start version unless the §8 eager hand-off moved it *)
   mutable is_finished : bool;
+  mutable is_committed : bool;
+      (* commit record durable here — [is_finished] alone cannot tell a
+         committed participant from an aborted one, and the session layer's
+         idempotence guard needs the distinction *)
+  mutable commit_submitted : bool;
+      (* store changes and the Commit record are in (point of no return
+         locally) but the durability force may still be pending: the window
+         in which a coordinator that timed out must wait, not rerun *)
+  mutable commit_finalized : bool;
+      (* the post-force bookkeeping (counter hand-back, lock release,
+         replication settle) ran; duplicate decision deliveries — a
+         redriven commit racing the original — must not run it twice *)
+  mutable committed_at : float;
+      (* local time the commit finalized (locks released, writes visible)
+         — the instant serializability oracles order conflicts by, stamped
+         here because a coordinator that lost the ack learns of it late *)
+  mutable acq_order : string list;
+      (* keys in first-acquisition order, newest first; savepoints mark a
+         position so rollback can release exactly the scope's fresh locks *)
+}
+
+type 'v savepoint = {
+  sv_mark : 'v Wal.Scheme.savepoint;
+  sv_acq : string list; (* physical tail of [acq_order] at the mark *)
 }
 
 let check_alive nd =
@@ -47,11 +71,26 @@ let start cs ~txn_id ~state ~node:nd ~carried =
     emit cs ~tag:"txn"
       (Printf.sprintf "T%d: subtransaction at node%d starts in version %d"
          txn_id (Node_state.id nd) v);
-  { txn_id; txn_state = state; sub_node = nd; session; counted = v; is_finished = false }
+  {
+    txn_id;
+    txn_state = state;
+    sub_node = nd;
+    session;
+    counted = v;
+    is_finished = false;
+    is_committed = false;
+    commit_submitted = false;
+    commit_finalized = false;
+    committed_at = nan;
+    acq_order = [];
+  }
 
 let node t = t.sub_node
 let version t = Wal.Scheme.version t.session
 let finished t = t.is_finished
+let committed t = t.is_committed
+let commit_submitted t = t.commit_submitted
+let committed_at t = t.committed_at
 
 (* moveToFuture plus the bookkeeping around it.  In the baseline
    synchronous-advancement mode there is no moveToFuture: a transaction
@@ -81,6 +120,10 @@ let move_to cs t ~newv ~at_commit =
 let lock cs t key mode =
   ignore cs;
   check_live t;
+  let fresh =
+    Lockmgr.Lock_table.holds (Node_state.locks t.sub_node) ~owner:t.txn_id ~key
+    = None
+  in
   match
     Lockmgr.Lock_table.acquire (Node_state.locks t.sub_node) ~owner:t.txn_id
       ~key mode
@@ -90,7 +133,7 @@ let lock cs t key mode =
          while we were queued); the abort already released our locks, so
          this fresh grant must not leak. *)
       match !(t.txn_state) with
-      | Running -> ()
+      | Running -> if fresh then t.acq_order <- key :: t.acq_order
       | Aborting | Finished ->
           Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node)
             ~owner:t.txn_id;
@@ -138,6 +181,44 @@ let read_modify_write cs t key f =
   Sim.Engine.sleep cs.config.Config.write_service_time;
   Wal.Scheme.write (Node_state.scheme t.sub_node) t.session key (Some (f current))
 
+let savepoint cs t =
+  ignore cs;
+  check_live t;
+  {
+    sv_mark = Wal.Scheme.savepoint (Node_state.scheme t.sub_node) t.session;
+    sv_acq = t.acq_order;
+  }
+
+(* Keys first acquired since the mark: [acq_order] grows by consing, so the
+   mark's list is a physical tail of the current one. *)
+let scope_keys t sp =
+  let rec collect acc l =
+    if l == sp.sv_acq then acc
+    else match l with [] -> acc | key :: tl -> collect (key :: acc) tl
+  in
+  collect [] t.acq_order
+
+let rollback_to cs t sp =
+  check_live t;
+  Wal.Scheme.rollback_to (Node_state.scheme t.sub_node) t.session sp.sv_mark;
+  (* Locks first acquired inside the rolled-back scope are released so the
+     items become re-acquirable (pre-scope locks — including those upgraded
+     inside the scope — are conservatively kept: a pre-scope read stays
+     protected).  The [savepoint_leak] twin forgets this release: the
+     rolled-back scope's items stay locked, manufacturing deadlocks the
+     clean rollback makes impossible. *)
+  if not cs.config.Config.savepoint_leak then
+    List.iter
+      (fun key ->
+        Lockmgr.Lock_table.release_one (Node_state.locks t.sub_node)
+          ~owner:t.txn_id ~key)
+      (scope_keys t sp);
+  t.acq_order <- sp.sv_acq;
+  if tracing cs then
+    emit cs ~tag:"txn"
+      (Printf.sprintf "T%d: savepoint rollback at node%d" t.txn_id
+         (Node_state.id t.sub_node))
+
 let prepare cs t =
   ignore cs;
   check_live t;
@@ -150,27 +231,48 @@ let prepare cs t =
    commit. *)
 let commit cs t ~final_version =
   check_alive t.sub_node;
-  if version t < final_version then begin
-    if Node_state.u t.sub_node < final_version then begin
-      Node_state.set_u t.sub_node final_version;
-      note_version_change cs
+  if t.is_committed then ()
+  else if t.is_finished && not t.commit_submitted then
+    (* A stale decision: the coordinator gave this transaction up while
+       the commit message was in flight and the subtransaction has already
+       rolled back (locks released, workspace gone).  Applying now would
+       resurrect its writes without locks — refuse silently; the caller's
+       own timeout already decided the outcome. *)
+    ()
+  else begin
+    if not t.commit_submitted then begin
+      if version t < final_version then begin
+        if Node_state.u t.sub_node < final_version then begin
+          Node_state.set_u t.sub_node final_version;
+          note_version_change cs
+        end;
+        move_to cs t ~newv:final_version ~at_commit:true
+      end;
+      Wal.Scheme.commit (Node_state.scheme t.sub_node) t.session
+        ~final_version;
+      (* The store changes and the Commit record are in; the subtransaction
+         is past the point of no return locally — [abort] must not touch it
+         even if the durability wait below fails. *)
+      t.commit_submitted <- true;
+      t.is_finished <- true
     end;
-    move_to cs t ~newv:final_version ~at_commit:true
-  end;
-  Wal.Scheme.commit (Node_state.scheme t.sub_node) t.session ~final_version;
-  (* The store changes and the Commit record are in; the subtransaction is
-     past the point of no return locally — [abort_all] must not touch it
-     even if the durability wait below fails. *)
-  t.is_finished <- true;
-  (* Group commit: the acknowledgement (and the lock release ordering
-     conflicting transactions behind this commit) waits until the Commit
-     record is forced.  If the node crashes first, the record may be lost
-     with the crash and no ack must escape. *)
-  (try Node_state.commit_durable t.sub_node
-   with Wal.Group_commit.Crashed ->
-     raise (Txn_abort (`Node_down (Node_state.id t.sub_node))));
-  Node_state.decr_update_count t.sub_node ~version:t.counted;
-  Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node) ~owner:t.txn_id;
+    (* Group commit: the acknowledgement (and the lock release ordering
+       conflicting transactions behind this commit) waits until the Commit
+       record is forced.  If the node crashes first, the record may be lost
+       with the crash and no ack must escape.  A duplicate delivery — a
+       redriven decision racing the original — waits on the same force;
+       the finalization below runs exactly once. *)
+    (try Node_state.commit_durable t.sub_node
+     with Wal.Group_commit.Crashed ->
+       raise (Txn_abort (`Node_down (Node_state.id t.sub_node))));
+    if t.commit_finalized then ()
+    else begin
+      t.commit_finalized <- true;
+      t.is_committed <- true;
+      t.committed_at <- now cs;
+      Node_state.decr_update_count t.sub_node ~version:t.counted;
+      Lockmgr.Lock_table.release_all (Node_state.locks t.sub_node)
+        ~owner:t.txn_id;
   (* Replication: the commit acknowledgment must also cover the backups —
      wait (after releasing locks, so conflicting transactions are not
      serialized behind the ship round-trip) until every live in-sync
@@ -191,9 +293,16 @@ let commit cs t ~final_version =
       match Replication.commit_fate cs nd ~txn:t.txn_id with
       | `Own_log -> ()
       | `Successor nd' -> settle nd'
-      | `Lost -> raise (Txn_abort (`Node_down (Node_state.id nd)))
-  in
-  settle t.sub_node
+      | `Lost ->
+          (* Failover discarded the commit record: the write is gone for
+             good, so the session layer's idempotence guard must not treat
+             this participant as committed. *)
+          t.is_committed <- false;
+          raise (Txn_abort (`Node_down (Node_state.id nd)))
+      in
+      settle t.sub_node
+    end
+  end
 
 let abort cs t =
   ignore cs;

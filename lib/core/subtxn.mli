@@ -40,10 +40,46 @@ val version : 'v t -> int
 
 val finished : 'v t -> bool
 
+val committed : 'v t -> bool
+(** The subtransaction's commit record is durable (and, under replication,
+    not discarded by a failover).  Distinguishes a committed participant
+    from an aborted one after the transaction failed mid-commit-round —
+    the session layer's idempotence guard. *)
+
+val committed_at : 'v t -> float
+(** Local time the commit finalized (locks released, writes visible) —
+    what serializability oracles order same-version conflicts by; [nan]
+    until {!committed}.  Stamped at the participant because a coordinator
+    whose ack was lost only learns of the commit later. *)
+
+val commit_submitted : 'v t -> bool
+(** The commit decision reached this participant: store changes and the
+    Commit record are in, though the durability force may still be pending.
+    [commit_submitted] without {!committed} is the in-limbo window a
+    coordinator that timed out must wait out (or redrive) rather than
+    rerun the transaction — the force completing commits it, the node
+    crashing first loses it. *)
+
 val read : 'v Cluster_state.t -> 'v t -> string -> 'v option
 val write : 'v Cluster_state.t -> 'v t -> string -> 'v -> unit
 val read_modify_write : 'v Cluster_state.t -> 'v t -> string -> ('v option -> 'v) -> unit
 val delete : 'v Cluster_state.t -> 'v t -> string -> unit
+
+type 'v savepoint
+(** A mark in this subtransaction's write and lock history. *)
+
+val savepoint : 'v Cluster_state.t -> 'v t -> 'v savepoint
+
+val rollback_to : 'v Cluster_state.t -> 'v t -> 'v savepoint -> unit
+(** Partial abort: erase every write made since the mark (logging a
+    [Rollback] record) and release the locks first acquired since it, so
+    the items become re-acquirable by other transactions.  Locks held
+    before the mark — including any upgraded inside the scope — are kept:
+    strict 2PL still covers everything the surviving write-set and
+    pre-scope reads depend on.  Reads made inside the rolled-back scope are
+    void (the session layer discards the scope's results with it).  With
+    {!Config.savepoint_leak} the lock release is skipped — the deliberately
+    broken twin the explorer convicts. *)
 
 val prepare : 'v Cluster_state.t -> 'v t -> int
 (** Reach the prepared state: release shared locks, report [V(T_i)] (the
@@ -52,7 +88,10 @@ val prepare : 'v Cluster_state.t -> 'v t -> int
 val commit : 'v Cluster_state.t -> 'v t -> final_version:int -> unit
 (** Process the [commit(V(T))] message: if behind, treat it as the signal
     that advancement began, move to the future, then commit, decrement the
-    counter and release all locks. *)
+    counter and release all locks.  Idempotent: a duplicate delivery (the
+    session layer redrives the decision after a timeout) waits for
+    durability without reapplying, and a stale delivery to a participant
+    that already rolled back is refused silently. *)
 
 val abort : 'v Cluster_state.t -> 'v t -> unit
 (** Roll back and release; no-op if already finished (a participant that

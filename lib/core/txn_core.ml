@@ -45,6 +45,7 @@ let create cs ~root =
 let txn_id t = t.txn_id
 let root t = t.root
 let started_at t = t.started_at
+let running t = !(t.state) = Subtxn.Running
 
 (* Highest version any subtransaction currently runs in; carried with new
    subtransaction dispatch when the §10 piggybacking is on. *)
@@ -97,6 +98,39 @@ let at_sub_nodes t f =
       if n = t.root then f s
       else Net.Network.call t.cs.net ~src:t.root ~dst:n (fun () -> f s))
     (sub_list t)
+
+type 'v savepoint = { sp_subs : (int * 'v Subtxn.savepoint) list }
+
+let savepoint t =
+  {
+    sp_subs =
+      List.map
+        (fun s ->
+          let n = Node_state.id (Subtxn.node s) in
+          (n, at_node t n (fun s -> Subtxn.savepoint t.cs s)))
+        (sub_list t);
+  }
+
+let rollback_to t sp =
+  List.iter
+    (fun s ->
+      let n = Node_state.id (Subtxn.node s) in
+      match List.assoc_opt n sp.sp_subs with
+      | Some mark -> at_node t n (fun s -> Subtxn.rollback_to t.cs s mark)
+      | None ->
+          (* The subtransaction was dispatched inside the scope: its whole
+             life is being rolled back, so abort it outright and drop it
+             from the registry (a later operation at the node starts
+             fresh). *)
+          at_node t n (fun s -> Subtxn.abort t.cs s);
+          Hashtbl.remove t.subs n)
+    (sub_list t);
+  Sim.Metrics.record_savepoint_rollback t.cs.metrics ~node:t.root
+
+let release_savepoint _t _sp =
+  (* Merging a scope into its parent keeps every write and lock: savepoints
+     carry no per-scope resources beyond the marks themselves. *)
+  ()
 
 let decide_version t versions =
   let final_version = List.fold_left max 0 versions in

@@ -38,6 +38,13 @@ val txn_id : _ t -> int
 val root : _ t -> int
 val started_at : _ t -> float
 
+val running : _ t -> bool
+(** Whether the shared state cell is still [Running].  A lock denial
+    ([Txn_abort `Deadlock] from {!Subtxn}) leaves it [Running] — the
+    requester was refused but nothing was rolled back yet, so a savepoint
+    rollback can still break the cycle; once {!abort_all} has run it is
+    not. The session layer's nested-scope handler keys on this. *)
+
 val carried : 'v t -> int
 (** Highest version any registered subtransaction currently runs in —
     the version piggybacked on new dispatch (§10). *)
@@ -71,6 +78,25 @@ val at_node : 'v t -> int -> ('v Subtxn.t -> 'a) -> 'a
 val at_sub_nodes : 'v t -> ('v Subtxn.t -> 'a) -> 'a list
 (** Run [f] on every registered subtransaction at its node, in node-id
     order — the prepare and commit rounds of the flat executor. *)
+
+type 'v savepoint
+(** A transaction-wide mark: one {!Subtxn.savepoint} per subtransaction
+    registered when it was taken. *)
+
+val savepoint : 'v t -> 'v savepoint
+(** Mark every registered subtransaction (routing to each node).  Cheap:
+    logs nothing; an untaken rollback leaves behavior bit-identical. *)
+
+val rollback_to : 'v t -> 'v savepoint -> unit
+(** Partial abort back to the mark: subtransactions that existed then roll
+    back to their marks; ones dispatched since are aborted outright and
+    removed from the registry.  The generalization of {!abort_all}'s
+    all-or-nothing fan-out (PROTOCOL.md "Savepoints").  An RPC failure
+    while rolling back raises and so aborts the whole transaction. *)
+
+val release_savepoint : 'v t -> 'v savepoint -> unit
+(** Merge the scope into its parent — keeps all writes and locks (no-op;
+    exists so the session layer's scope discipline reads explicitly). *)
 
 val decide_version : 'v t -> int list -> int
 (** The transaction's global version [V(T)]: the maximum of the

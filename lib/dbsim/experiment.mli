@@ -350,3 +350,39 @@ val print_analytical : ?horizon:float -> unit -> unit
 (** E14 as a table; [horizon] shortens the run for CI smoke.  Raises
     [Failure] if the update-stream counters drift across plans or any
     invariant check fails. *)
+
+(** {1 E15 — session layer: goodput and wasted work vs retry policy} *)
+
+type session_row = {
+  sn_policy : string;
+      (** ["no-retry"], ["retry-2"], ["retry-5"] or ["retry-5-eager"]
+          (zero backoff) *)
+  sn_committed : int;
+  sn_failed : int;  (** retry budget exhausted or not retryable *)
+  sn_attempts : int;  (** total attempts, retries included *)
+  sn_wasted : int;
+      (** attempts that did not end in a commit — locks taken, RPCs sent
+          and log records written for nothing *)
+  sn_retries : int;
+  sn_backoff : float;  (** total virtual time slept in backoff *)
+  sn_rollbacks : int;  (** savepoint rollbacks, expect-abort scopes included *)
+  sn_queries_ok : int;
+  sn_query_failures : int;
+  sn_goodput : float;  (** committed transactions per 100 time units *)
+  sn_violations : int;  (** invariant probe hits plus a stalled-run flag *)
+}
+
+val session_retry :
+  ?seed:int64 -> ?horizon:float -> ?domains:int -> unit -> session_row list
+(** The same seeded session-layer client mix ({!Session.Dsl.gen} programs
+    with savepoint scopes and expect-abort rollbacks) under each retry
+    policy, against one nemesis fault schedule (2 crashes, 2 partitions,
+    1 slow link) with advancement beats underneath.  All randomness comes
+    from named forks of the engine's root stream, so every row faces the
+    identical workload and faults; only [max_retries] and
+    [retry_backoff_base] differ. *)
+
+val print_session_retry : ?horizon:float -> unit -> unit
+(** E15 as a table; [horizon] shortens the run for CI smoke.  Raises
+    [Failure] if the per-policy program counts drift, an invariant probe
+    fires, or a run fails to drain. *)

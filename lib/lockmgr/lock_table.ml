@@ -255,6 +255,8 @@ let release_key t ~owner ~key ~only_shared =
         if lock.holders = [] && lock.queue = [] then Hashtbl.remove t.table key
       end
 
+let release_one t ~owner ~key = release_key t ~owner ~key ~only_shared:false
+
 let release_all t ~owner =
   List.iter
     (fun key -> release_key t ~owner ~key ~only_shared:false)

@@ -41,6 +41,11 @@ val held_keys : t -> owner:int -> string list
 val release_all : t -> owner:int -> unit
 (** Drop every lock the owner holds (commit/abort time). *)
 
+val release_one : t -> owner:int -> key:string -> unit
+(** Drop whatever the owner holds on one key (savepoint rollback: locks
+    first acquired inside the rolled-back scope become re-acquirable).
+    No-op if the owner holds nothing on [key]. *)
+
 val release_shared : t -> owner:int -> unit
 (** Drop only the owner's shared locks — the paper's rule that update
     transactions release read locks when sending [prepared]. *)

@@ -79,6 +79,9 @@ type node_metrics = {
   mutable envelopes : int;
   mutable disk_forces : int;
   mutable records_forced : int;
+  mutable savepoint_rollbacks : int;
+  mutable session_retries : int;
+  mutable session_backoff : float;
 }
 
 type t = node_metrics array
@@ -106,6 +109,9 @@ let create ~nodes =
         envelopes = 0;
         disk_forces = 0;
         records_forced = 0;
+        savepoint_rollbacks = 0;
+        session_retries = 0;
+        session_backoff = 0.0;
       })
 
 let node_count t = Array.length t
@@ -171,6 +177,15 @@ let record_disk_force t ~node ~records =
   m.disk_forces <- m.disk_forces + 1;
   m.records_forced <- m.records_forced + records
 
+let record_savepoint_rollback t ~node =
+  let m = at t node in
+  m.savepoint_rollbacks <- m.savepoint_rollbacks + 1
+
+let record_session_retry t ~node ~backoff =
+  let m = at t node in
+  m.session_retries <- m.session_retries + 1;
+  m.session_backoff <- m.session_backoff +. backoff
+
 let hist_merge_into ~into:a b =
   a.h_count <- a.h_count + b.h_count;
   a.h_sum <- a.h_sum +. b.h_sum;
@@ -205,7 +220,10 @@ let merge_into ~into src =
       hist_merge_into ~into:d.rpc_latency s.rpc_latency;
       d.envelopes <- d.envelopes + s.envelopes;
       d.disk_forces <- d.disk_forces + s.disk_forces;
-      d.records_forced <- d.records_forced + s.records_forced)
+      d.records_forced <- d.records_forced + s.records_forced;
+      d.savepoint_rollbacks <- d.savepoint_rollbacks + s.savepoint_rollbacks;
+      d.session_retries <- d.session_retries + s.session_retries;
+      d.session_backoff <- d.session_backoff +. s.session_backoff)
     src
 
 let sum f t = Array.fold_left (fun acc m -> acc + f m) 0 t
@@ -227,6 +245,11 @@ let total_rpc_timeouts t = sum (fun m -> m.rpc_timeouts) t
 let total_envelopes t = sum (fun m -> m.envelopes) t
 let total_disk_forces t = sum (fun m -> m.disk_forces) t
 let total_records_forced t = sum (fun m -> m.records_forced) t
+let total_savepoint_rollbacks t = sum (fun m -> m.savepoint_rollbacks) t
+let total_session_retries t = sum (fun m -> m.session_retries) t
+
+let total_session_backoff t =
+  Array.fold_left (fun acc m -> acc +. m.session_backoff) 0.0 t
 
 type hist_snapshot = {
   count : int;
@@ -258,6 +281,9 @@ type node_snapshot = {
   envelopes : int;
   disk_forces : int;
   records_forced : int;
+  savepoint_rollbacks : int;
+  session_retries : int;
+  session_backoff : float;
 }
 
 type snapshot = node_snapshot list
@@ -299,6 +325,9 @@ let snapshot t =
            envelopes = m.envelopes;
            disk_forces = m.disk_forces;
            records_forced = m.records_forced;
+           savepoint_rollbacks = m.savepoint_rollbacks;
+           session_retries = m.session_retries;
+           session_backoff = m.session_backoff;
          })
 
 let aborts_total (ns : node_snapshot) =
@@ -339,8 +368,9 @@ let node_json b (ns : node_snapshot) =
   hist_json b ns.rpc_latency;
   Buffer.add_string b
     (Printf.sprintf
-       {|},"envelopes":%d,"wal":{"forces":%d,"records_forced":%d}}|}
-       ns.envelopes ns.disk_forces ns.records_forced)
+       {|},"envelopes":%d,"wal":{"forces":%d,"records_forced":%d},"session":{"savepoint_rollbacks":%d,"retries":%d,"backoff_time":%s}}|}
+       ns.envelopes ns.disk_forces ns.records_forced ns.savepoint_rollbacks
+       ns.session_retries (jf ns.session_backoff))
 
 let to_json (s : snapshot) =
   let b = Buffer.create 1024 in

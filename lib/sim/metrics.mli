@@ -73,6 +73,15 @@ val record_disk_force : t -> node:int -> records:int -> unit
     Group commit amortizes many commits over one force, so
     [records/forces] is the achieved batch size. *)
 
+val record_savepoint_rollback : t -> node:int -> unit
+(** One transaction-wide savepoint rollback (partial abort), attributed
+    to the transaction's root node. *)
+
+val record_session_retry : t -> node:int -> backoff:float -> unit
+(** One session-layer retry of a failed transaction, attributed to the
+    session's coordinator node; [backoff] is the virtual time slept
+    before the new attempt. *)
+
 val merge_into : into:t -> t -> unit
 (** [merge_into ~into src] adds every counter and histogram of [src]
     into [into], node by node.  Raises [Invalid_argument] if the node
@@ -99,6 +108,9 @@ val total_rpc_timeouts : t -> int
 val total_envelopes : t -> int
 val total_disk_forces : t -> int
 val total_records_forced : t -> int
+val total_savepoint_rollbacks : t -> int
+val total_session_retries : t -> int
+val total_session_backoff : t -> float
 
 (** {1 Snapshots} *)
 
@@ -136,6 +148,9 @@ type node_snapshot = {
   envelopes : int;
   disk_forces : int;
   records_forced : int;
+  savepoint_rollbacks : int;
+  session_retries : int;
+  session_backoff : float;
 }
 
 type snapshot = node_snapshot list
@@ -153,6 +168,8 @@ val to_json : snapshot -> string
     "mtf":{"data_access":..,"commit_time":..},"version_mismatches":..,
     "advancements":..,"phase1_duration":H,"phase2_duration":H,
     "rpc":{"calls":..,"timeouts":..,"latency":H},"envelopes":..,
-    "wal":{"forces":..,"records_forced":..}}] where H is
+    "wal":{"forces":..,"records_forced":..},
+    "session":{"savepoint_rollbacks":..,"retries":..,"backoff_time":..}}]
+    where H is
     [{"count":..,"sum":..,"min":..,"max":..,"neg":..,
     "buckets":[{"le":..,"count":..},...]}]. *)

@@ -2,6 +2,7 @@ type 'v t =
   | Begin of { txn : int; version : int }
   | Update of { txn : int; key : string; value : 'v option }
   | Commit of { txn : int; final_version : int }
+  | Rollback of { txn : int; keep : int }
   | Abort of { txn : int }
   | Advance_update of int
   | Advance_query of int
@@ -14,7 +15,11 @@ type 'v t =
     }
 
 let txn_of = function
-  | Begin { txn; _ } | Update { txn; _ } | Commit { txn; _ } | Abort { txn } ->
+  | Begin { txn; _ }
+  | Update { txn; _ }
+  | Commit { txn; _ }
+  | Rollback { txn; _ }
+  | Abort { txn } ->
       Some txn
   | Advance_update _ | Advance_query _ | Collect _ | Checkpoint _ -> None
 
@@ -26,6 +31,8 @@ let pp pp_v ppf = function
       Format.fprintf ppf "update(T%d, delete %s)" txn key
   | Commit { txn; final_version } ->
       Format.fprintf ppf "commit(T%d, v%d)" txn final_version
+  | Rollback { txn; keep } ->
+      Format.fprintf ppf "rollback(T%d, keep %d)" txn keep
   | Abort { txn } -> Format.fprintf ppf "abort(T%d)" txn
   | Advance_update v -> Format.fprintf ppf "advance-u(%d)" v
   | Advance_query v -> Format.fprintf ppf "advance-q(%d)" v

@@ -11,6 +11,11 @@ type 'v t =
   | Update of { txn : int; key : string; value : 'v option }
       (** Redo record; [None] encodes a deletion. *)
   | Commit of { txn : int; final_version : int }
+  | Rollback of { txn : int; keep : int }
+      (** Savepoint rollback: discard all but the first [keep] of [txn]'s
+          update records.  Redo-only counterpart of the session layer's
+          partial abort — replay truncates the pending write list the same
+          way the live path discards the in-memory workspace suffix. *)
   | Abort of { txn : int }
   | Advance_update of int  (** Node set its update version number. *)
   | Advance_query of int  (** Node set its query version number. *)

@@ -36,6 +36,17 @@ let replay log ?bound ?gc_renumber () =
           let writes = Option.value (Hashtbl.find_opt pending txn) ~default:[] in
           Hashtbl.replace pending txn ((key, value) :: writes)
       | Record.Commit { txn; final_version } -> apply txn final_version
+      | Record.Rollback { txn; keep } -> (
+          (* Writes are kept newest-first: keeping the first [keep]
+             chronological records means dropping from the front. *)
+          match Hashtbl.find_opt pending txn with
+          | None -> ()
+          | Some writes ->
+              let rec drop n l =
+                if n <= 0 then l
+                else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+              in
+              Hashtbl.replace pending txn (drop (List.length writes - keep) writes))
       | Record.Abort { txn } -> Hashtbl.remove pending txn
       | Record.Advance_update v -> if v > !u then u := v
       | Record.Advance_query v -> if v > !q then q := v

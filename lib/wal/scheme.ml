@@ -14,6 +14,18 @@ type 'v session = {
   (* Undo_redo: one in-memory undo image per touched key (first touch wins),
      newest first. *)
   mutable undo_log : (string * 'v undo_image) list;
+  (* Update records appended so far — savepoints log how many to keep. *)
+  mutable s_writes : int;
+}
+
+type 'v savepoint = {
+  sp_writes : int;
+  (* No_undo: the workspace as of the mark. *)
+  sp_ws_order : string list;
+  sp_workspace : (string * 'v option) list;
+  (* Undo_redo: keys touched before the mark, with the store image each had
+     at the mark (so post-mark in-place overwrites can be reverted). *)
+  sp_marked : (string * 'v undo_image) list;
 }
 
 type 'v t = {
@@ -49,6 +61,7 @@ let begin_session t ~txn ~version =
     workspace = Hashtbl.create 8;
     ws_order = [];
     undo_log = [];
+    s_writes = 0;
   }
 
 let txn s = s.s_txn
@@ -78,6 +91,7 @@ let apply_to_store t key v = function
 
 let write t s key value =
   Log.append t.wal (Record.Update { txn = s.s_txn; key; value });
+  s.s_writes <- s.s_writes + 1;
   match t.scheme_kind with
   | No_undo ->
       if not (Hashtbl.mem s.workspace key) then s.ws_order <- key :: s.ws_order;
@@ -115,6 +129,61 @@ let move_to_future t s ~new_version =
         s.undo_log <- List.map (fun (key, _) -> (key, Absent)) s.undo_log);
     s.s_version <- new_version
   end
+
+let savepoint t s =
+  match t.scheme_kind with
+  | No_undo ->
+      {
+        sp_writes = s.s_writes;
+        sp_ws_order = s.ws_order;
+        sp_workspace =
+          List.map (fun key -> (key, Hashtbl.find s.workspace key)) s.ws_order;
+        sp_marked = [];
+      }
+  | Undo_redo ->
+      {
+        sp_writes = s.s_writes;
+        sp_ws_order = [];
+        sp_workspace = [];
+        (* Capture what each already-touched key holds *now* (not its
+           first-touch undo image): rollback must revert post-mark
+           overwrites while keeping pre-mark ones. *)
+        sp_marked =
+          List.map
+            (fun (key, _) -> (key, capture_image t key s.s_version))
+            s.undo_log;
+      }
+
+let rollback_to t s sp =
+  (match t.scheme_kind with
+  | No_undo ->
+      Hashtbl.reset s.workspace;
+      List.iter
+        (fun (key, value) -> Hashtbl.replace s.workspace key value)
+        sp.sp_workspace;
+      s.ws_order <- sp.sp_ws_order
+  | Undo_redo ->
+      (* Keys first touched after the mark: scrub them with their undo image
+         and drop the entries.  Images captured after the last moveToFuture
+         are valid at the session's current version; entries predating an
+         mtf were rewritten to [Absent] by it, which correctly scrubs the
+         copied-forward slot. *)
+      s.undo_log <-
+        List.filter
+          (fun (key, image) ->
+            let marked = List.mem_assoc key sp.sp_marked in
+            if not marked then apply_image t key s.s_version image;
+            marked)
+          s.undo_log;
+      (* Keys touched before the mark: restore their mark-time store image
+         at the current version (reverting any post-mark overwrite).  Their
+         surviving undo entries still record the transaction-start state,
+         so a later full abort remains correct. *)
+      List.iter
+        (fun (key, image) -> apply_image t key s.s_version image)
+        sp.sp_marked);
+  Log.append t.wal (Record.Rollback { txn = s.s_txn; keep = sp.sp_writes });
+  s.s_writes <- sp.sp_writes
 
 let commit t s ~final_version =
   (match t.scheme_kind with

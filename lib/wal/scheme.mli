@@ -53,6 +53,27 @@ val move_to_future : 'v t -> 'v session -> new_version:int -> unit
     operated in [new_version] all along.  Never blocks, acquires no locks.
     No-op if [new_version <= version session]. *)
 
+(** {1 Savepoints}
+
+    A savepoint marks a point in the session's write history; rolling back
+    to it erases every write made since while keeping earlier ones — the
+    partial-abort primitive under the session layer's nested transactions.
+    Savepoints compose with [move_to_future]: marks taken before an mtf
+    remain valid after it. *)
+
+type 'v savepoint
+
+val savepoint : 'v t -> 'v session -> 'v savepoint
+(** Mark the current write-set state.  Logs nothing: an untouched savepoint
+    leaves the WAL byte-identical. *)
+
+val rollback_to : 'v t -> 'v session -> 'v savepoint -> unit
+(** Restore the write-set to the mark, logging a [Rollback] record so
+    recovery replays the same truncation.  Under [No_undo] the deferred
+    workspace is reset to the mark; under [Undo_redo] post-mark store
+    mutations are reverted in place at the session's current version.
+    Rolling back to the same savepoint twice is idempotent. *)
+
 val commit : 'v t -> 'v session -> final_version:int -> unit
 (** Make the session's writes durable in [final_version] and log the commit
     record carrying that version.  Callers must have already moved the

@@ -148,6 +148,40 @@ let test_group_commit_crash_buggy_convicted () =
       check_bool "minimized counterexample replays to the violation" true
         (out.r_messages <> [])
 
+(* {1 Session savepoints} *)
+
+let test_savepoint_rollback_clean () =
+  (* Rollback releases the scope's locks, so the workload is
+     deadlock-free and all three session transactions commit on every
+     schedule — the space is small enough to exhaust. *)
+  let r = Explorer.explore ~budget:2_000 Scenarios.savepoint_rollback in
+  check_bool "no violation" true (r.violation = None);
+  check_bool "space exhausted" true r.stats.exhausted
+
+let test_savepoint_leak_buggy_convicted () =
+  (* The leak twin keeps the scope's locks after rollback: some schedule
+     closes the A->x B->y wait cycle and the all-committed oracle
+     convicts; the minimized counterexample must replay. *)
+  let r = Explorer.explore ~budget:2_000 Scenarios.savepoint_leak_buggy in
+  match r.violation with
+  | None -> Alcotest.fail "explorer missed the savepoint lock leak"
+  | Some v ->
+      let out =
+        Explorer.replay ~record_trace:false Scenarios.savepoint_leak_buggy
+          (List.map (fun (d : Explorer.decision) -> d.index) v.v_decisions)
+      in
+      check_bool "minimized counterexample replays to the violation" true
+        (out.r_messages <> [])
+
+let test_session_dsl_clean () =
+  (* The generated DSL program (same generator seed as stress --sessions
+     and E15) with its choice points explored: every schedule completes
+     and commits it. *)
+  let r = Explorer.explore ~budget:2_000 Scenarios.session_dsl in
+  check_bool "no violation" true (r.violation = None);
+  check_bool "space exhausted" true r.stats.exhausted;
+  check_bool "choice points explored" true (r.stats.choice_points > 0)
+
 let test_prune_only_skips_converged () =
   (* Pruned and unpruned exploration of an exhaustible space must agree
      on the set of distinct final states. *)
@@ -190,5 +224,11 @@ let () =
             test_group_commit_crash_clean;
           Alcotest.test_case "group-commit early-ack convicted" `Quick
             test_group_commit_crash_buggy_convicted;
+          Alcotest.test_case "savepoint rollback clean" `Quick
+            test_savepoint_rollback_clean;
+          Alcotest.test_case "savepoint lock leak convicted" `Quick
+            test_savepoint_leak_buggy_convicted;
+          Alcotest.test_case "session DSL program clean" `Quick
+            test_session_dsl_clean;
         ] );
     ]

@@ -119,6 +119,26 @@ let test_replication_knobs () =
   check_bool "ack-early twin with replicas fine" false
     (rejected { C.default with replicas = 1; replica_ack_early = true })
 
+let test_session_knobs () =
+  check_bool "negative max_retries rejected" true
+    (rejected { C.default with max_retries = -1 });
+  check_bool "zero retries fine (no automatic retry)" false
+    (rejected { C.default with max_retries = 0 });
+  check_bool "negative backoff base rejected" true
+    (rejected { C.default with retry_backoff_base = -1.0 });
+  check_bool "nan backoff base rejected" true
+    (rejected { C.default with retry_backoff_base = Float.nan });
+  check_bool "infinite backoff base rejected" true
+    (rejected { C.default with retry_backoff_base = infinity });
+  check_bool "zero backoff base fine (immediate retries)" false
+    (rejected { C.default with retry_backoff_base = 0.0 });
+  check_bool "zero pool rejected" true
+    (rejected { C.default with session_pool_size = 0 });
+  check_bool "negative pool rejected" true
+    (rejected { C.default with session_pool_size = -3 });
+  check_bool "leak twin knob is a valid (deliberately broken) config" false
+    (rejected { C.default with savepoint_leak = true })
+
 let test_message_names_knob () =
   (* The error text must name the offending knob so a CLI user can act
      on it. *)
@@ -151,7 +171,17 @@ let test_message_names_knob () =
        (msg { C.default with replica_ship_window = -2.0 })
        "replica_ship_window");
   check_bool "names replica_ack_early" true
-    (contains (msg { C.default with replica_ack_early = true }) "replica_ack_early")
+    (contains (msg { C.default with replica_ack_early = true }) "replica_ack_early");
+  check_bool "names max_retries" true
+    (contains (msg { C.default with max_retries = -1 }) "max_retries");
+  check_bool "names retry_backoff_base" true
+    (contains
+       (msg { C.default with retry_backoff_base = -1.0 })
+       "retry_backoff_base");
+  check_bool "names session_pool_size" true
+    (contains
+       (msg { C.default with session_pool_size = 0 })
+       "session_pool_size")
 
 let test_cluster_create_validates () =
   (* The wiring, not just the function: Cluster.create must refuse a bad
@@ -183,6 +213,7 @@ let () =
           Alcotest.test_case "partition-aware needs tree" `Quick
             test_partition_aware_needs_tree;
           Alcotest.test_case "replication knobs" `Quick test_replication_knobs;
+          Alcotest.test_case "session knobs" `Quick test_session_knobs;
           Alcotest.test_case "errors name the knob" `Quick
             test_message_names_knob;
         ] );

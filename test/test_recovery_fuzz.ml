@@ -55,19 +55,19 @@ let gen_workload rng kind =
   let sessions = ref [] in
   let pick l = List.nth l (Random.State.int rng (List.length l)) in
   let open_session () =
-    let taken = List.map (fun (_, slot, _) -> slot) !sessions in
+    let taken = List.map (fun (_, slot, _, _) -> slot) !sessions in
     match List.filter (fun s -> not (List.mem s taken)) [ 0; 1; 2 ] with
     | [] -> ()
     | free ->
         incr next_txn;
         let s = Scheme.begin_session scheme ~txn:!next_txn ~version:!u in
-        sessions := (!next_txn, pick free, s) :: !sessions
+        sessions := (!next_txn, pick free, s, ref []) :: !sessions
   in
   let write_in_session () =
     match !sessions with
     | [] -> open_session ()
     | l ->
-        let _, slot, s = pick l in
+        let _, slot, s, _ = pick l in
         let key = keys.(slot + (3 * Random.State.int rng 3)) in
         let value =
           if Random.State.int rng 10 = 0 then None
@@ -75,11 +75,29 @@ let gen_workload rng kind =
         in
         Scheme.write scheme s key value
   in
+  (* Savepoints: mark the picked session, or roll it back to its most
+     recent mark (popping it), exercising the Rollback record across every
+     crash prefix. *)
+  let savepoint_or_rollback () =
+    match !sessions with
+    | [] -> ()
+    | l ->
+        let _, _, s, sps = pick l in
+        if !sps = [] || Random.State.bool rng then
+          sps := Scheme.savepoint scheme s :: !sps
+        else begin
+          match !sps with
+          | sp :: rest ->
+              Scheme.rollback_to scheme s sp;
+              sps := rest
+          | [] -> ()
+        end
+  in
   let close_session ~commit =
     match !sessions with
     | [] -> ()
     | l ->
-        let ((_, _, s) as chosen) = pick l in
+        let ((_, _, s, _) as chosen) = pick l in
         sessions := List.filter (fun c -> c != chosen) l;
         if commit then begin
           if Scheme.version s < !u then
@@ -96,7 +114,7 @@ let gen_workload rng kind =
     Log.append log (Record.Advance_update !u);
     let min_active =
       List.fold_left
-        (fun acc (_, _, s) -> min acc (Scheme.version s))
+        (fun acc (_, _, s, _) -> min acc (Scheme.version s))
         max_int !sessions
     in
     let new_q = min (!u - 1) (min_active - 1) in
@@ -125,9 +143,10 @@ let gen_workload rng kind =
   for _ = 1 to steps do
     match Random.State.int rng 100 with
     | r when r < 15 -> if List.length !sessions < 3 then open_session ()
-    | r when r < 55 -> write_in_session ()
-    | r when r < 72 -> close_session ~commit:true
-    | r when r < 80 -> close_session ~commit:false
+    | r when r < 50 -> write_in_session ()
+    | r when r < 60 -> savepoint_or_rollback ()
+    | r when r < 74 -> close_session ~commit:true
+    | r when r < 81 -> close_session ~commit:false
     | r when r < 93 -> advance ()
     | _ -> checkpoint ()
   done;
@@ -180,6 +199,15 @@ let model_apply m = function
           Hashtbl.remove m.pending txn);
       Hashtbl.replace m.resolved txn false;
       m.committed <- txn :: m.committed
+  | Record.Rollback { txn; keep } -> (
+      match Hashtbl.find_opt m.pending txn with
+      | None -> ()
+      | Some w ->
+          let rec drop n l =
+            if n <= 0 then l
+            else match l with [] -> [] | _ :: tl -> drop (n - 1) tl
+          in
+          Hashtbl.replace m.pending txn (drop (List.length w - keep) w))
   | Record.Abort { txn } ->
       Hashtbl.remove m.pending txn;
       Hashtbl.replace m.resolved txn false
